@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §3 and EXPERIMENTS.md).  The paper is a vision paper with no
+measured numbers, so each bench (a) times the relevant operation with
+pytest-benchmark and (b) computes the *claim metric* the artifact makes
+(reduction factors, competitive ratios, loop latencies) — printed via
+``report()`` and attached to ``benchmark.extra_info`` so it lands in the
+benchmark table/JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.flowkey import FIVE_TUPLE, GeneralizationPolicy
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+SITES = ("region1/router1", "region2/router1", "region3/router1",
+         "region4/router1")
+
+
+@pytest.fixture(scope="session")
+def policy() -> GeneralizationPolicy:
+    return GeneralizationPolicy.default_for(FIVE_TUPLE)
+
+
+@pytest.fixture(scope="session")
+def traffic() -> TrafficGenerator:
+    return TrafficGenerator(
+        TrafficConfig(sites=SITES, flows_per_epoch=3000), seed=2019
+    )
+
+
+@pytest.fixture(scope="session")
+def small_traffic() -> TrafficGenerator:
+    return TrafficGenerator(
+        TrafficConfig(sites=SITES, flows_per_epoch=600), seed=2019
+    )
+
+
+def report(title: str, rows, columns=None) -> None:
+    """Print one claim table under the benchmark output."""
+    print(f"\n=== {title} ===")
+    if columns:
+        print("  " + " | ".join(str(c) for c in columns))
+    for row in rows:
+        print("  " + " | ".join(str(c) for c in row))

@@ -1,0 +1,128 @@
+"""repro: a reproduction of "Distributed Mega-Datasets: The Need for
+Novel Computing Primitives" (Semmler, Smaragdakis, Feldmann — ICDCS 2019).
+
+The paper is a vision paper; this library *builds the vision*:
+
+* **Computing primitives** (:mod:`repro.core`) — the five-property
+  aggregator interface and a library of primitives, from time-binned
+  statistics and sketches to the paper's novel, domain-aware Flowtree.
+* **Flows and the Flowtree** (:mod:`repro.flows`) — generalized flows
+  over maskable features and the self-adjusting tree with the eight
+  Table II operators.
+* **Data stores** (:mod:`repro.datastore`) — aggregators, the three
+  storage strategies, triggers, partitions, and federated queries.
+* **Hierarchy and network** (:mod:`repro.hierarchy`) — both Figure 1
+  settings and a byte-accounted WAN.
+* **Analytics** (:mod:`repro.analytics`) — transfer patterns,
+  MapReduce, pipelines, and lightweight inference.
+* **Control** (:mod:`repro.control`) — controllers with conflict
+  resolution and the Manager control plane.
+* **Applications** (:mod:`repro.apps`) — predictive maintenance,
+  process mining, supply-chain tracing, network trends, traffic
+  matrices, and DDoS investigation.
+* **Flowstream** (:mod:`repro.flowstream`, :mod:`repro.flowdb`,
+  :mod:`repro.flowql`) — the Figure 5 system: routers → data stores →
+  FlowDB → FlowQL.
+* **Adaptive replication** (:mod:`repro.replication`) — ski-rental
+  policies, access prediction, and the Figure 6 engine.
+* **Simulation** (:mod:`repro.simulation`) — the discrete-event
+  substrate and workload generators standing in for factory sensors,
+  router exports, and the enterprise query trace.
+
+Quickstart::
+
+    from repro import Flowstream, TrafficGenerator, TrafficConfig
+
+    fs = Flowstream(sites=["region1/router1", "region2/router1"])
+    gen = TrafficGenerator(TrafficConfig(sites=tuple(fs.sites)))
+    for epoch in range(3):
+        for site in fs.sites:
+            fs.ingest(site, gen.epoch(site, epoch))
+        fs.close_epoch((epoch + 1) * 60.0)
+    print(fs.query("SELECT TOPK(5) FROM ALL BY bytes").rows)
+"""
+
+from repro.core import (
+    ComputingPrimitive,
+    DataSummary,
+    FlowtreePrimitive,
+    Location,
+    QueryRequest,
+    SummaryMeta,
+    TimeInterval,
+    default_registry,
+)
+from repro.flows import (
+    FIVE_TUPLE,
+    FlowKey,
+    FlowRecord,
+    Flowtree,
+    GeneralizationPolicy,
+    Score,
+)
+from repro.datastore import Aggregator, DataStore
+from repro.hierarchy import (
+    Hierarchy,
+    NetworkFabric,
+    network_monitoring_hierarchy,
+    smart_factory_hierarchy,
+)
+from repro.control import Controller, Manager
+from repro.flowdb import FlowDB
+from repro.flowql import FlowQLExecutor
+from repro.flowstream import Flowstream
+from repro.replication import (
+    AdaptiveReplicationEngine,
+    BreakEvenPolicy,
+    DistributionAwarePolicy,
+)
+from repro.scenarios import (
+    FactoryScenario,
+    NetworkScenario,
+)
+from repro.simulation import (
+    Simulator,
+    TrafficConfig,
+    TrafficGenerator,
+    build_factory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ComputingPrimitive",
+    "QueryRequest",
+    "DataSummary",
+    "SummaryMeta",
+    "TimeInterval",
+    "Location",
+    "default_registry",
+    "FlowtreePrimitive",
+    "FIVE_TUPLE",
+    "FlowKey",
+    "FlowRecord",
+    "Flowtree",
+    "GeneralizationPolicy",
+    "Score",
+    "DataStore",
+    "Aggregator",
+    "Hierarchy",
+    "NetworkFabric",
+    "smart_factory_hierarchy",
+    "network_monitoring_hierarchy",
+    "Controller",
+    "Manager",
+    "FlowDB",
+    "FlowQLExecutor",
+    "Flowstream",
+    "AdaptiveReplicationEngine",
+    "BreakEvenPolicy",
+    "DistributionAwarePolicy",
+    "Simulator",
+    "TrafficGenerator",
+    "TrafficConfig",
+    "build_factory",
+    "FactoryScenario",
+    "NetworkScenario",
+]

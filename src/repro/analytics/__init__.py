@@ -1,0 +1,60 @@
+"""The Analytics building block (Figure 2a, "transfer & process").
+
+The paper treats analytics as a pluggable toolset between data stores
+and applications.  This package supplies the transfer patterns the
+figure names (scatter & gather, publish & subscribe, request & reply,
+forward & replicate), an in-process MapReduce engine, composable
+pipelines (pre-process → transfer → infer), and lightweight inference
+blocks (EWMA anomaly scores, linear trends, CUSUM change detection,
+time-to-threshold forecasts) that the example applications build on.
+"""
+
+from repro.analytics.transfer import (
+    MessageBus,
+    RequestReplyChannel,
+    ScatterGather,
+)
+from repro.analytics.mapreduce import LocalMapReduce
+from repro.analytics.pipeline import Pipeline, PipelineStage, StageTiming
+from repro.analytics.inference import (
+    CusumDetector,
+    EwmaAnomalyDetector,
+    LinearTrend,
+    time_to_threshold,
+)
+from repro.analytics.eventlog import (
+    MachineProfile,
+    ProcessAnalysis,
+    analyze_event_log,
+    efficiency_gain_estimate,
+)
+from repro.analytics.graph import (
+    communication_graph,
+    demand_weighted_link_load,
+    hierarchy_choke_points,
+    top_talkers,
+    traffic_communities,
+)
+
+__all__ = [
+    "MessageBus",
+    "ScatterGather",
+    "RequestReplyChannel",
+    "LocalMapReduce",
+    "Pipeline",
+    "PipelineStage",
+    "StageTiming",
+    "EwmaAnomalyDetector",
+    "CusumDetector",
+    "LinearTrend",
+    "time_to_threshold",
+    "communication_graph",
+    "top_talkers",
+    "traffic_communities",
+    "hierarchy_choke_points",
+    "demand_weighted_link_load",
+    "analyze_event_log",
+    "efficiency_gain_estimate",
+    "ProcessAnalysis",
+    "MachineProfile",
+]

@@ -1,0 +1,152 @@
+"""Graph analysis over flow summaries (Figure 2a: "Graph Analysis").
+
+The Infer column of the paper's building-block figure lists graph
+analysis next to machine learning.  This module turns Flowtree
+summaries into communication graphs and answers the network-operator
+questions that are graph-shaped:
+
+* **communication graph** — nodes are address prefixes, weighted edges
+  are the traffic between them (from ``aggregate_by_feature`` pairs);
+* **top talkers** — weighted-degree ranking;
+* **communities** — connected components of the thresholded graph,
+  separating independent traffic clusters;
+* **choke points** — betweenness centrality on the hierarchy topology
+  projected with demand, flagging the links a failure would hurt most.
+
+Built on :mod:`networkx`, which plays the role of the "graph
+processing" engine in the analytics toolset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.flows.features import format_ipv4
+from repro.flows.tree import Flowtree
+from repro.hierarchy.network import NetworkFabric
+
+
+def communication_graph(
+    tree: Flowtree,
+    prefix_level: int = 8,
+    metric: str = "bytes",
+    min_edge_weight: int = 0,
+) -> nx.Graph:
+    """Build the src-prefix ↔ dst-prefix traffic graph from a Flowtree.
+
+    Edges aggregate all flows between the two prefixes at
+    ``prefix_level`` bits; node/edge weights use ``metric``.  The
+    aggregation runs on the *tree*, so it works on merged multi-site
+    summaries exactly like every other operator.
+    """
+    schema = tree.schema
+    src_index = schema.index_of("src_ip")
+    dst_index = schema.index_of("dst_ip")
+    wanted = [0] * len(schema)
+    wanted[src_index] = prefix_level
+    wanted[dst_index] = prefix_level
+    depth = tree.policy.shallowest_covering_depth(wanted)
+    graph = nx.Graph()
+    src_feature = schema.features[src_index]
+    dst_feature = schema.features[dst_index]
+    for node in tree.nodes():
+        if node.depth != depth:
+            continue
+        weight = node.subtree.metric(metric)
+        if weight <= min_edge_weight:
+            continue
+        src = (
+            f"{format_ipv4(src_feature.mask(node.values[src_index], prefix_level))}"
+            f"/{prefix_level}"
+        )
+        dst = (
+            f"{format_ipv4(dst_feature.mask(node.values[dst_index], prefix_level))}"
+            f"/{prefix_level}"
+        )
+        if graph.has_edge(src, dst):
+            graph[src][dst]["weight"] += weight
+        else:
+            graph.add_edge(src, dst, weight=weight)
+    return graph
+
+
+def top_talkers(
+    graph: nx.Graph, k: int = 10
+) -> List[Tuple[str, float]]:
+    """Prefixes ranked by weighted degree (total traffic touching them)."""
+    degrees = [
+        (node, sum(data["weight"] for _, _, data in graph.edges(node, data=True)))
+        for node in graph.nodes
+    ]
+    degrees.sort(key=lambda pair: (-pair[1], pair[0]))
+    return degrees[:k]
+
+
+def traffic_communities(
+    graph: nx.Graph, min_edge_weight: float = 0.0
+) -> List[List[str]]:
+    """Connected components after dropping light edges.
+
+    Communities are independent traffic clusters; two sites in
+    different components never exchange (heavy) traffic — useful for
+    partitioning monitoring responsibility or validating segmentation.
+    """
+    filtered = nx.Graph()
+    filtered.add_nodes_from(graph.nodes)
+    for a, b, data in graph.edges(data=True):
+        if data["weight"] >= min_edge_weight:
+            filtered.add_edge(a, b, weight=data["weight"])
+    components = [
+        sorted(component) for component in nx.connected_components(filtered)
+        if len(component) > 1
+    ]
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return components
+
+
+def hierarchy_choke_points(
+    fabric: NetworkFabric, k: int = 5
+) -> List[Tuple[Tuple[str, str], float]]:
+    """Links ranked by (weighted) betweenness on the hierarchy graph.
+
+    Edge distance is the reciprocal of bandwidth, so slow WAN links —
+    the ones the paper says are scarce — surface first.
+    """
+    graph = nx.Graph()
+    for link in fabric.links():
+        graph.add_edge(
+            link.upper.path,
+            link.lower.path,
+            distance=1.0 / link.bandwidth_bps,
+        )
+    centrality = nx.edge_betweenness_centrality(graph, weight="distance")
+    ranked = sorted(centrality.items(), key=lambda pair: -pair[1])
+    return ranked[:k]
+
+
+def demand_weighted_link_load(
+    fabric: NetworkFabric,
+    site_demand: Dict[str, float],
+    source: Optional[str] = None,
+) -> Dict[Tuple[str, str], float]:
+    """Project per-site demand onto hierarchy links via shortest paths.
+
+    ``site_demand`` maps location paths to traffic volumes; ``source``
+    defaults to the hierarchy root (external traffic entering at the
+    top).  Returns per-link carried volume — the graph-analysis form of
+    the traffic-matrix app's projection.
+    """
+    graph = nx.Graph()
+    for link in fabric.links():
+        graph.add_edge(link.upper.path, link.lower.path)
+    origin = source or fabric.hierarchy.root.location.path
+    loads: Dict[Tuple[str, str], float] = {}
+    for site, demand in site_demand.items():
+        if site not in graph or origin not in graph:
+            continue
+        path = nx.shortest_path(graph, origin, site)
+        for a, b in zip(path, path[1:]):
+            loads[(a, b)] = loads.get((a, b), 0.0) + demand
+    return loads

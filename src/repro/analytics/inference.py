@@ -1,0 +1,146 @@
+"""Lightweight inference blocks for the "Infer" stage (Figure 2a).
+
+These are the statistical models the example applications need:
+
+* :class:`EwmaAnomalyDetector` — exponentially weighted mean/variance
+  with z-score anomaly flags, for per-sensor monitoring.
+* :class:`CusumDetector` — cumulative-sum change detection, for abrupt
+  shifts (e.g. traffic floods).
+* :class:`LinearTrend` — least-squares slope/intercept over a series,
+  the basis of degradation trending.
+* :func:`time_to_threshold` — extrapolate a trend to a critical value,
+  which is precisely what predictive maintenance schedules against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class EwmaAnomalyDetector:
+    """Streaming z-score anomaly detection over an EWMA baseline."""
+
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        z_threshold: float = 4.0,
+        warmup: int = 20,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.mean: Optional[float] = None
+        self.variance = 0.0
+        self.observed = 0
+        self.anomalies: List[Tuple[float, float, float]] = []
+
+    def observe(self, value: float, timestamp: float = 0.0) -> bool:
+        """Feed one value; returns True when it is anomalous.
+
+        The baseline is *not* updated with anomalous values, so a level
+        shift keeps firing until acknowledged, rather than being
+        absorbed.
+        """
+        self.observed += 1
+        if self.mean is None:
+            self.mean = value
+            return False
+        deviation = value - self.mean
+        std = math.sqrt(self.variance) if self.variance > 0 else 0.0
+        is_anomaly = (
+            self.observed > self.warmup
+            and std > 0
+            and abs(deviation) > self.z_threshold * std
+        )
+        if is_anomaly:
+            z = abs(deviation) / std
+            self.anomalies.append((timestamp, value, z))
+            return True
+        self.mean += self.alpha * deviation
+        self.variance = (1 - self.alpha) * (
+            self.variance + self.alpha * deviation * deviation
+        )
+        return False
+
+
+class CusumDetector:
+    """Two-sided CUSUM change detection around a target mean."""
+
+    def __init__(self, target: float, slack: float, threshold: float) -> None:
+        if slack < 0 or threshold <= 0:
+            raise ValueError("slack must be >= 0 and threshold > 0")
+        self.target = target
+        self.slack = slack
+        self.threshold = threshold
+        self.positive_sum = 0.0
+        self.negative_sum = 0.0
+        self.changes: List[Tuple[float, str]] = []
+
+    def observe(self, value: float, timestamp: float = 0.0) -> Optional[str]:
+        """Feed one value; returns ``"up"``/``"down"`` on detection."""
+        self.positive_sum = max(
+            0.0, self.positive_sum + value - self.target - self.slack
+        )
+        self.negative_sum = max(
+            0.0, self.negative_sum + self.target - value - self.slack
+        )
+        if self.positive_sum > self.threshold:
+            self.positive_sum = 0.0
+            self.changes.append((timestamp, "up"))
+            return "up"
+        if self.negative_sum > self.threshold:
+            self.negative_sum = 0.0
+            self.changes.append((timestamp, "down"))
+            return "down"
+        return None
+
+
+@dataclass(frozen=True)
+class LinearTrend:
+    """A fitted line ``value = intercept + slope * t``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @classmethod
+    def fit(cls, points: Sequence[Tuple[float, float]]) -> "LinearTrend":
+        """Least-squares fit over ``(t, value)`` pairs (needs >= 2)."""
+        if len(points) < 2:
+            raise ValueError("need at least two points to fit a trend")
+        n = len(points)
+        mean_t = sum(t for t, _ in points) / n
+        mean_v = sum(v for _, v in points) / n
+        ss_tt = sum((t - mean_t) ** 2 for t, _ in points)
+        ss_tv = sum((t - mean_t) * (v - mean_v) for t, v in points)
+        ss_vv = sum((v - mean_v) ** 2 for _, v in points)
+        if ss_tt == 0:
+            return cls(slope=0.0, intercept=mean_v, r_squared=0.0)
+        slope = ss_tv / ss_tt
+        intercept = mean_v - slope * mean_t
+        r_squared = (ss_tv * ss_tv) / (ss_tt * ss_vv) if ss_vv > 0 else 1.0
+        return cls(slope=slope, intercept=intercept, r_squared=r_squared)
+
+    def value_at(self, t: float) -> float:
+        """Predicted value at time ``t``."""
+        return self.intercept + self.slope * t
+
+
+def time_to_threshold(
+    trend: LinearTrend, current_time: float, threshold: float
+) -> Optional[float]:
+    """Seconds until the trend crosses ``threshold``; None if receding.
+
+    Predictive maintenance calls this with the vibration trend and the
+    failure threshold to decide *when* to schedule service.
+    """
+    current = trend.value_at(current_time)
+    if current >= threshold:
+        return 0.0
+    if trend.slope <= 0:
+        return None
+    return (threshold - current) / trend.slope

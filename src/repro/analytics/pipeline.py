@@ -1,0 +1,113 @@
+"""Analytics pipelines: pre-process → transfer → infer (Section III.B).
+
+"The pipeline performs pre-processing (e.g., using MapReduce), data
+transfer (scatter and gather semantics) and inference (e.g., using a
+Machine Learning algorithm). A pipeline feeds the processed data to one
+or possibly many applications."
+
+A :class:`Pipeline` is an ordered list of named stages.  Each run is
+timed per stage and recorded in the lineage log, and results are
+delivered to every registered application sink — which is all the
+architecture requires of an analytics engine, whether it is this
+in-process one or Spark/Flink in a real deployment.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.summary import LineageLog, Location
+
+StageFunction = Callable[[Any], Any]
+ResultSink = Callable[[Any], None]
+
+
+@dataclass
+class PipelineStage:
+    """One named transformation in a pipeline."""
+
+    name: str
+    function: StageFunction
+    #: "preprocess" | "transfer" | "infer" — informational, used by the
+    #: Figure 2 benchmark to attribute latency to loop phases.
+    role: str = "preprocess"
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock duration of one stage in one run."""
+
+    stage: str
+    role: str
+    seconds: float
+
+
+@dataclass
+class PipelineRun:
+    """The outcome of one pipeline execution."""
+
+    output: Any
+    timings: List[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall-clock duration."""
+        return sum(t.seconds for t in self.timings)
+
+
+class Pipeline:
+    """An ordered, observable chain of analytics stages."""
+
+    def __init__(
+        self,
+        name: str,
+        stages: Optional[List[PipelineStage]] = None,
+        lineage: Optional[LineageLog] = None,
+        location: Optional[Location] = None,
+    ) -> None:
+        self.name = name
+        self.stages: List[PipelineStage] = stages or []
+        self.lineage = lineage
+        self.location = location
+        self._sinks: List[ResultSink] = []
+        self.runs = 0
+
+    def add_stage(
+        self, name: str, function: StageFunction, role: str = "preprocess"
+    ) -> "Pipeline":
+        """Append a stage; returns self for chaining."""
+        self.stages.append(PipelineStage(name=name, function=function, role=role))
+        return self
+
+    def feed_to(self, sink: ResultSink) -> "Pipeline":
+        """Register an application sink; returns self for chaining."""
+        self._sinks.append(sink)
+        return self
+
+    def run(self, data: Any, at_time: float = 0.0) -> PipelineRun:
+        """Push ``data`` through every stage and deliver the result."""
+        timings: List[StageTiming] = []
+        current = data
+        for stage in self.stages:
+            started = _wallclock.perf_counter()
+            current = stage.function(current)
+            timings.append(
+                StageTiming(
+                    stage=stage.name,
+                    role=stage.role,
+                    seconds=_wallclock.perf_counter() - started,
+                )
+            )
+        if self.lineage is not None:
+            self.lineage.record(
+                operation="pipeline",
+                location=self.location,
+                timestamp=at_time,
+                detail=self.name,
+            )
+        for sink in self._sinks:
+            sink(current)
+        self.runs += 1
+        return PipelineRun(output=current, timings=timings)

@@ -1,0 +1,112 @@
+"""Transfer patterns: scatter/gather, publish/subscribe, request/reply.
+
+These are the "Transfer" primitives of Figure 2a.  Everything is
+in-process (the simulation is single-node) but the interfaces mirror
+their distributed counterparts: topic-based fan-out, worker fan-out with
+result gathering, and synchronous request/reply — and every payload can
+be charged to the :class:`~repro.hierarchy.network.NetworkFabric` when
+endpoints carry locations, so transfer volume stays observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.summary import Location
+from repro.errors import ReproError
+from repro.hierarchy.network import NetworkFabric
+
+Subscriber = Callable[[str, Any], None]
+
+
+class MessageBus:
+    """Topic-based publish/subscribe with optional fabric accounting."""
+
+    def __init__(self, fabric: Optional[NetworkFabric] = None) -> None:
+        self._subscribers: Dict[str, List[Tuple[Subscriber, Optional[Location]]]] = {}
+        self.fabric = fabric
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(
+        self,
+        topic: str,
+        subscriber: Subscriber,
+        location: Optional[Location] = None,
+    ) -> None:
+        """Subscribe a callback (with an optional location for transfer
+        accounting) to a topic."""
+        self._subscribers.setdefault(topic, []).append((subscriber, location))
+
+    def unsubscribe(self, topic: str, subscriber: Subscriber) -> None:
+        """Remove a subscriber from a topic."""
+        entries = self._subscribers.get(topic, [])
+        self._subscribers[topic] = [
+            (callback, loc) for callback, loc in entries if callback is not subscriber
+        ]
+
+    def publish(
+        self,
+        topic: str,
+        message: Any,
+        size_bytes: int = 0,
+        origin: Optional[Location] = None,
+        at_time: float = 0.0,
+    ) -> int:
+        """Deliver a message to every subscriber; returns delivery count."""
+        self.published += 1
+        count = 0
+        for subscriber, location in self._subscribers.get(topic, []):
+            if (
+                self.fabric is not None
+                and origin is not None
+                and location is not None
+            ):
+                self.fabric.transfer(origin, location, size_bytes, at_time)
+            subscriber(topic, message)
+            count += 1
+        self.delivered += count
+        return count
+
+
+class ScatterGather:
+    """Fan a task list out to workers and gather the results.
+
+    ``workers`` are callables; tasks are distributed round-robin (the
+    "embarrassingly parallel" case the paper cites).  In-process, so the
+    value is the semantics and the accounting, not actual parallelism.
+    """
+
+    def __init__(self, workers: Sequence[Callable[[Any], Any]]) -> None:
+        if not workers:
+            raise ReproError("scatter/gather needs at least one worker")
+        self.workers = list(workers)
+
+    def run(self, tasks: Sequence[Any]) -> List[Any]:
+        """Scatter tasks round-robin, gather results in task order."""
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            worker = self.workers[index % len(self.workers)]
+            results.append(worker(task))
+        return results
+
+
+@dataclass
+class RequestReplyChannel:
+    """Synchronous request/reply against a named handler registry."""
+
+    _handlers: Dict[str, Callable[[Any], Any]] = field(default_factory=dict)
+    requests: int = 0
+
+    def register(self, name: str, handler: Callable[[Any], Any]) -> None:
+        """Expose a handler under a name."""
+        self._handlers[name] = handler
+
+    def request(self, name: str, payload: Any) -> Any:
+        """Invoke a handler and return its reply."""
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise ReproError(f"no request handler named {name!r}")
+        self.requests += 1
+        return handler(payload)

@@ -1,0 +1,55 @@
+"""The application base class.
+
+An application (1) declares its data requirements, which the Manager
+turns into installed aggregators; (2) consumes summaries or query
+results each epoch; and (3) acts — by producing reports for users, or
+by installing triggers and controller rules ("the latter ... for simple
+conditions that need real-time reactions while the former ... complex
+situations").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.control.manager import Manager
+from repro.control.requirements import ApplicationRequirement
+
+
+@dataclass(frozen=True)
+class AppReport:
+    """One report an application emitted for monitoring/users."""
+
+    app_name: str
+    time: float
+    kind: str
+    body: Dict[str, Any] = field(default_factory=dict)
+
+
+class Application(abc.ABC):
+    """Base class for all decision-logic applications."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reports: List[AppReport] = []
+
+    @abc.abstractmethod
+    def requirements(self) -> List[ApplicationRequirement]:
+        """What this application needs the Manager to install."""
+
+    def deploy(self, manager: Manager) -> None:
+        """Submit every requirement to the manager."""
+        for requirement in self.requirements():
+            manager.submit_requirement(requirement)
+
+    def report(self, time: float, kind: str, **body: Any) -> AppReport:
+        """Record one report."""
+        entry = AppReport(app_name=self.name, time=time, kind=kind, body=body)
+        self.reports.append(entry)
+        return entry
+
+    @abc.abstractmethod
+    def on_epoch(self, manager: Manager, now: float) -> List[AppReport]:
+        """Run the application's decision logic after an epoch close."""

@@ -1,0 +1,188 @@
+"""Sensor-health monitoring: the lineage use case of Section III.C.
+
+"Data lineage can, e.g., be used to identify faulty sensors or retract
+erroneous rules."  This application watches every sensor stream with a
+streaming anomaly detector; when a sensor turns anomalous (stuck,
+drifting, or spiking in a way inconsistent with its peers) the app
+
+1. flags the sensor,
+2. walks the lineage log *forward* from the sensor's ingest records to
+   enumerate every summary the faulty data contaminated, and
+3. recommends the contaminated summaries for retraction.
+
+Peers matter: a machine genuinely overheating raises *all* of its
+sensors coherently, while a faulty sensor disagrees with its
+co-located peers — the app only flags the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analytics.inference import EwmaAnomalyDetector
+from repro.apps.base import Application, AppReport
+from repro.control.manager import Manager
+from repro.control.requirements import ApplicationRequirement
+from repro.core.summary import LineageLog, LineageRecord, Location
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """One detected faulty sensor."""
+
+    sensor_id: str
+    detected_at: float
+    anomaly_score: float
+    contaminated_lineage_ids: List[int]
+
+
+@dataclass
+class _SensorState:
+    detector: EwmaAnomalyDetector
+    location: Location
+    consecutive_anomalies: int = 0
+    flagged: bool = False
+    ingest_lineage_ids: List[int] = field(default_factory=list)
+
+
+class SensorHealthApp(Application):
+    """Per-sensor anomaly detection + lineage-based contamination trace.
+
+    Unlike the other applications this one taps the raw stream (it *is*
+    the quality-control path), so it registers no aggregators; wire it
+    with :meth:`observe` from the ingest loop, and give it the store's
+    lineage log to trace contamination.
+    """
+
+    def __init__(
+        self,
+        lineage: LineageLog,
+        z_threshold: float = 6.0,
+        consecutive_required: int = 5,
+        peer_agreement_ratio: float = 0.5,
+    ) -> None:
+        super().__init__("sensor-health")
+        self.lineage = lineage
+        self.z_threshold = z_threshold
+        self.consecutive_required = consecutive_required
+        self.peer_agreement_ratio = peer_agreement_ratio
+        self._sensors: Dict[str, _SensorState] = {}
+        self.faults: List[SensorFault] = []
+
+    def requirements(self) -> List[ApplicationRequirement]:
+        """Raw-stream consumer: nothing for the Manager to install."""
+        return []
+
+    # -- wiring ----------------------------------------------------------
+
+    def watch(self, sensor_id: str, location: Location) -> None:
+        """Start tracking one sensor."""
+        if sensor_id not in self._sensors:
+            self._sensors[sensor_id] = _SensorState(
+                detector=EwmaAnomalyDetector(
+                    alpha=0.05, z_threshold=self.z_threshold, warmup=30
+                ),
+                location=location,
+            )
+
+    def note_ingest_lineage(self, sensor_id: str, lineage_id: int) -> None:
+        """Associate an ingest-lineage record with a sensor."""
+        state = self._sensors.get(sensor_id)
+        if state is not None:
+            state.ingest_lineage_ids.append(lineage_id)
+
+    # -- detection ---------------------------------------------------------
+
+    def observe(
+        self, sensor_id: str, value: float, timestamp: float,
+        location: Optional[Location] = None,
+    ) -> Optional[SensorFault]:
+        """Feed one reading; returns a fault when one is confirmed."""
+        if sensor_id not in self._sensors:
+            self.watch(
+                sensor_id, location or Location(sensor_id.split("/")[0])
+            )
+        state = self._sensors[sensor_id]
+        is_anomalous = state.detector.observe(value, timestamp)
+        if not is_anomalous:
+            state.consecutive_anomalies = 0
+            return None
+        state.consecutive_anomalies += 1
+        if state.flagged:
+            return None
+        if state.consecutive_anomalies < self.consecutive_required:
+            return None
+        if self._peers_agree(state):
+            # co-located sensors see it too: a real physical event, not
+            # a sensor fault — leave it to the control loop.  The streak
+            # counter is kept so this sensor still counts as corroborating
+            # evidence for its peers' own checks.
+            return None
+        return self._flag(sensor_id, state, timestamp)
+
+    def _peers_agree(self, state: _SensorState) -> bool:
+        peers = [
+            other
+            for other in self._sensors.values()
+            if other is not state and other.location == state.location
+        ]
+        if not peers:
+            return False
+        anomalous = sum(
+            1 for peer in peers if peer.consecutive_anomalies > 0
+        )
+        return anomalous / len(peers) >= self.peer_agreement_ratio
+
+    def _flag(
+        self, sensor_id: str, state: _SensorState, timestamp: float
+    ) -> SensorFault:
+        state.flagged = True
+        contaminated: List[int] = []
+        for lineage_id in state.ingest_lineage_ids:
+            contaminated.extend(
+                record.lineage_id
+                for record in self.lineage.descendants(lineage_id)
+            )
+        score = (
+            state.detector.anomalies[-1][2]
+            if state.detector.anomalies
+            else float("inf")
+        )
+        fault = SensorFault(
+            sensor_id=sensor_id,
+            detected_at=timestamp,
+            anomaly_score=score,
+            contaminated_lineage_ids=sorted(set(contaminated)),
+        )
+        self.faults.append(fault)
+        self.report(
+            timestamp,
+            "sensor-fault",
+            sensor=sensor_id,
+            contaminated_summaries=len(fault.contaminated_lineage_ids),
+        )
+        return fault
+
+    def clear_flag(self, sensor_id: str) -> None:
+        """Mark a sensor repaired (it may be flagged again later)."""
+        state = self._sensors.get(sensor_id)
+        if state is not None:
+            state.flagged = False
+            state.consecutive_anomalies = 0
+
+    def on_epoch(self, manager: Manager, now: float) -> List[AppReport]:
+        """Detection is streaming; epochs only summarize open faults."""
+        open_faults = [
+            fault for fault in self.faults
+            if self._sensors[fault.sensor_id].flagged
+        ]
+        if not open_faults:
+            return []
+        return [
+            self.report(
+                now,
+                "health-summary",
+                open_faults=[fault.sensor_id for fault in open_faults],
+            )
+        ]

@@ -1,0 +1,86 @@
+"""Supply-chain tracing (Section II.A, application (b)) via lineage.
+
+"Procedures for tracing product failures back to the material used in
+the production steps or to variations in the production process
+itself."  Combined with Section III.C's lineage requirement, this app
+is a consumer of the schema-level :class:`~repro.core.summary.LineageLog`:
+given a suspect summary (a production epoch that yielded faulty goods)
+it walks the ancestry to the contributing aggregation steps and
+locations; given a suspect sensor's ingest record it walks descendants
+to every summary — and hence every decision — the bad data touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.base import Application, AppReport
+from repro.control.manager import Manager
+from repro.control.requirements import ApplicationRequirement
+from repro.core.summary import LineageLog, LineageRecord
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of one trace."""
+
+    direction: str
+    origin_id: int
+    steps: List[LineageRecord]
+
+    @property
+    def locations(self) -> List[str]:
+        """Distinct locations touched, in discovery order."""
+        seen: List[str] = []
+        for record in self.steps:
+            if record.location is not None and record.location.path not in seen:
+                seen.append(record.location.path)
+        return seen
+
+
+class SupplyChainApp(Application):
+    """Lineage-driven failure tracing."""
+
+    def __init__(self, lineage: LineageLog) -> None:
+        super().__init__("supply-chain")
+        self.lineage = lineage
+        self.traces: List[TraceResult] = []
+
+    def requirements(self) -> List[ApplicationRequirement]:
+        """Tracing needs no aggregators — it reads the lineage log."""
+        return []
+
+    def trace_back(self, lineage_id: int, now: float = 0.0) -> TraceResult:
+        """Where did this summary's data come from?"""
+        steps = self.lineage.ancestry(lineage_id)
+        result = TraceResult(direction="back", origin_id=lineage_id, steps=steps)
+        self.traces.append(result)
+        self.report(
+            now,
+            "trace-back",
+            origin=lineage_id,
+            steps=len(steps),
+            locations=result.locations,
+        )
+        return result
+
+    def trace_forward(self, lineage_id: int, now: float = 0.0) -> TraceResult:
+        """What did this (faulty) data contaminate?"""
+        steps = self.lineage.descendants(lineage_id)
+        result = TraceResult(
+            direction="forward", origin_id=lineage_id, steps=steps
+        )
+        self.traces.append(result)
+        self.report(
+            now,
+            "trace-forward",
+            origin=lineage_id,
+            steps=len(steps),
+            locations=result.locations,
+        )
+        return result
+
+    def on_epoch(self, manager: Manager, now: float) -> List[AppReport]:
+        """Tracing is interactive (query-driven); epochs are a no-op."""
+        return []

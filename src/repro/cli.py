@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Three subcommands mirror the example scripts in scriptable form::
+
+    repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
+    repro factory --hours 6 --no-apps
+    repro replication --partitions 400 --distribution pareto
+
+Run ``repro <subcommand> --help`` for the full flag set.  Everything is
+deterministic per ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed mega-datasets reproduction: Flowstream/FlowQL, "
+            "the smart-factory loop, and adaptive replication."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    flowql = subparsers.add_parser(
+        "flowql", help="load synthetic traffic and run FlowQL queries"
+    )
+    flowql.add_argument(
+        "--sites", nargs="+",
+        default=["region1/router1", "region2/router1"],
+        help="router sites (region/router paths)",
+    )
+    flowql.add_argument("--epochs", type=int, default=3)
+    flowql.add_argument("--flows-per-epoch", type=int, default=1500)
+    flowql.add_argument("--seed", type=int, default=42)
+    flowql.add_argument("--node-budget", type=int, default=4096)
+    flowql.add_argument(
+        "--query", action="append", default=None,
+        help="FlowQL text (repeatable); default runs a small demo set",
+    )
+    flowql.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="persist the loaded FlowDB to a JSON file",
+    )
+
+    factory = subparsers.add_parser(
+        "factory", help="run the smart-factory scenario"
+    )
+    factory.add_argument("--hours", type=float, default=6.0)
+    factory.add_argument("--lines", type=int, default=2)
+    factory.add_argument("--machines-per-line", type=int, default=3)
+    factory.add_argument("--seed", type=int, default=17)
+    factory.add_argument(
+        "--no-apps", action="store_true",
+        help="disable predictive maintenance (baseline run)",
+    )
+
+    replication = subparsers.add_parser(
+        "replication", help="compare replication policies on a trace"
+    )
+    replication.add_argument("--partitions", type=int, default=400)
+    replication.add_argument(
+        "--partition-mb", type=float, default=10.0,
+        help="replication cost per partition in MB",
+    )
+    replication.add_argument("--mean-result-mb", type=float, default=1.0)
+    replication.add_argument(
+        "--distribution", choices=("pareto", "geometric", "lognormal"),
+        default="pareto",
+    )
+    replication.add_argument("--seed", type=int, default=3)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# flowql
+
+
+def _run_flowql(args: argparse.Namespace) -> int:
+    from repro.flowstream.system import Flowstream
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    system = Flowstream(sites=args.sites, node_budget=args.node_budget)
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(args.sites), flows_per_epoch=args.flows_per_epoch
+        ),
+        seed=args.seed,
+    )
+    for epoch in range(args.epochs):
+        for site in args.sites:
+            system.ingest(site, generator.epoch(site, epoch))
+        system.close_epoch((epoch + 1) * 60.0)
+    print(
+        f"loaded {args.epochs} epochs x {len(args.sites)} sites "
+        f"({system.stats.raw_records_ingested:,} flows, reduction "
+        f"{system.stats.reduction_factor:.0f}x)"
+    )
+    queries = args.query or [
+        "SELECT TOTAL FROM ALL",
+        "SELECT TOPK(5) FROM ALL BY bytes",
+        "SELECT GROUPBY(dst_port, 16) FROM ALL BY bytes LIMIT 5",
+    ]
+    for text in queries:
+        print(f"\nflowql> {text}")
+        try:
+            result = system.query(text)
+        except ReproError as error:
+            print(f"  error: {error}")
+            return 1
+        if result.scalar is not None:
+            print(f"  {result.scalar}")
+        else:
+            for row in result.rows[:20]:
+                print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+    if args.save:
+        from repro.flowdb.persistence import save_flowdb
+
+        written = save_flowdb(system.db, args.save)
+        print(f"\nsaved {written} summaries to {args.save}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# factory
+
+
+def _run_factory(args: argparse.Namespace) -> int:
+    from repro.scenarios.factory import FactoryScenario
+
+    with_apps = not args.no_apps
+    scenario = FactoryScenario(
+        lines=args.lines,
+        machines_per_line=args.machines_per_line,
+        seed=args.seed,
+        with_maintenance=with_apps,
+    )
+    outcome = scenario.run(hours=args.hours)
+    print(
+        f"simulated {args.hours:g} h, {outcome.machines} machines "
+        f"({'with' if with_apps else 'without'} predictive maintenance)"
+    )
+    print(f"  failures: {len(outcome.failures)}/{outcome.machines}")
+    for machine_id, failed_at in outcome.failures:
+        print(f"    {machine_id} at t={failed_at/3600:.1f} h")
+    if with_apps:
+        print(f"  maintenance actions: {len(outcome.maintenance_decisions)}")
+    print(f"  emergency stops: {outcome.emergency_stops}")
+    print(f"  stored partitions: {outcome.partitions_stored} "
+          f"({outcome.stored_bytes:,} B)")
+    return 0 if (not with_apps or not outcome.failures) else 1
+
+
+# ---------------------------------------------------------------------------
+# replication
+
+
+def _run_replication(args: argparse.Namespace) -> int:
+    from repro.replication.engine import (
+        offline_optimal_cost,
+        simulate_policy_on_trace,
+    )
+    from repro.replication.ski_rental import default_policies
+    from repro.simulation.querytrace import (
+        QueryTraceConfig,
+        QueryTraceGenerator,
+    )
+
+    partition_bytes = int(args.partition_mb * 1e6)
+    config = QueryTraceConfig(
+        partitions=args.partitions,
+        partition_bytes=partition_bytes,
+        mean_result_bytes=int(args.mean_result_mb * 1e6),
+        run_length_distribution=args.distribution,
+        run_length_param={"pareto": 1.3, "geometric": 1.0,
+                          "lognormal": 1.0}[args.distribution],
+    )
+    trace = QueryTraceGenerator(config, seed=args.seed).trace()
+    optimal = offline_optimal_cost(trace, partition_bytes)
+    print(
+        f"{args.distribution} trace: {len(trace)} accesses over "
+        f"{args.partitions} partitions, offline OPT = {optimal/1e6:.0f} MB"
+    )
+    print(f"  {'policy':<22}{'network':>12}{'vs OPT':>9}{'replications':>14}")
+    for policy in default_policies(seed=args.seed):
+        costs = simulate_policy_on_trace(trace, policy, partition_bytes)
+        print(
+            f"  {costs.policy:<22}{costs.total_bytes/1e6:>10.0f}MB"
+            f"{costs.competitive_ratio(optimal):>9.3f}"
+            f"{costs.replications:>14}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "flowql":
+        return _run_flowql(args)
+    if args.command == "factory":
+        return _run_factory(args)
+    if args.command == "replication":
+        return _run_replication(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

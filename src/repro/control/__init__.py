@@ -1,0 +1,28 @@
+"""Controllers and the Manager (Figure 3).
+
+* :mod:`repro.control.rules` / :mod:`repro.control.controller` — the
+  local control logic: applications install rules (checked for
+  conflicts, optionally required to be certified); trigger firings from
+  the data store activate matching rules, which actuate machines within
+  the level's deadline.  This is the fast "Control Cycle" of Fig. 3a.
+* :mod:`repro.control.requirements` / :mod:`repro.control.manager` —
+  the control plane of Fig. 3b: applications state *what* they need
+  (data source, aggregation format, precision); the Manager decides
+  what primitives to install where, configures them, tracks resources,
+  and re-tunes granularity as needs and rates change.  This is the slow
+  "Adaptive Cycle".
+"""
+
+from repro.control.rules import ControlRule
+from repro.control.controller import Controller, ControlAction
+from repro.control.requirements import ApplicationRequirement
+from repro.control.manager import Manager, StoreStatus
+
+__all__ = [
+    "ControlRule",
+    "Controller",
+    "ControlAction",
+    "ApplicationRequirement",
+    "Manager",
+    "StoreStatus",
+]

@@ -1,0 +1,263 @@
+"""The Manager: the architecture's control plane (Figure 3b).
+
+The Manager knows every data store, tracks the resources they and the
+network consume, and turns application requirements into installed,
+configured aggregators:
+
+    "The manager then uses this information to decide (a) what data
+    should be kept from which sensors (b) what computing primitive
+    should be installed, (c) how the computing primitives should be
+    configured and (d) what analytics is deployed within the
+    infrastructure."
+
+It also owns the access records that drive adaptive replication
+(Section VII): every remote access observed on a partition is forwarded
+to the replication engine, closing the Figure 6 loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.control.requirements import ApplicationRequirement
+from repro.core.registry import PrimitiveRegistry, default_registry
+from repro.core.summary import Location
+from repro.datastore.aggregator import Aggregator, match_all, prefix_filter
+from repro.datastore.store import DataStore
+from repro.errors import PlacementError
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import Hierarchy
+from repro.replication.engine import AdaptiveReplicationEngine
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Resource snapshot of one data store."""
+
+    location: str
+    aggregators: int
+    partitions: int
+    stored_bytes: int
+    storage_pressure: float
+    items_ingested: int
+
+
+class Manager:
+    """Installs, configures, and adapts the whole architecture."""
+
+    def __init__(
+        self,
+        hierarchy: Optional[Hierarchy] = None,
+        fabric: Optional[NetworkFabric] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+        require_authorization: bool = False,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.fabric = fabric
+        self.registry = registry or default_registry()
+        #: Section III.C: "requiring authorization prior to interaction
+        #: with the manager".  When enabled, mutating calls need an
+        #: AuthorizationContext holding the right role.
+        self.require_authorization = require_authorization
+        self._stores: Dict[str, DataStore] = {}
+        self._requirements: List[ApplicationRequirement] = []
+        #: aggregator installations per requirement, for withdrawal
+        self._installed: Dict[str, List[tuple]] = {}
+        self.replication_engine: Optional[AdaptiveReplicationEngine] = None
+
+    # -- store registry ---------------------------------------------------
+
+    def register_store(self, store: DataStore) -> None:
+        """Make a data store known to the control plane."""
+        self._stores[store.location.path] = store
+
+    def store_at(self, location: Location) -> DataStore:
+        """The store at exactly this location."""
+        try:
+            return self._stores[location.path]
+        except KeyError as exc:
+            raise PlacementError(
+                f"no data store registered at {location.path!r}"
+            ) from exc
+
+    def stores(self) -> List[DataStore]:
+        """All registered stores."""
+        return list(self._stores.values())
+
+    def covering_store(self, location: Location) -> DataStore:
+        """The store at ``location`` or the nearest registered ancestor.
+
+        This is the placement rule: aggregation happens as close to the
+        data as the deployed stores allow.
+        """
+        probe: Optional[Location] = location
+        while probe is not None:
+            store = self._stores.get(probe.path)
+            if store is not None:
+                return store
+            probe = probe.parent
+        raise PlacementError(
+            f"no data store covers location {location.path!r}"
+        )
+
+    # -- requirements → installations ---------------------------------------
+
+    def _authorize(self, context, role: str) -> None:
+        if not self.require_authorization:
+            return
+        from repro.datastore.privacy import PrivacyViolation
+
+        if context is None:
+            raise PrivacyViolation(
+                f"manager requires authorization (role {role!r}) but no "
+                "context was given"
+            )
+        context.require(role)
+
+    def submit_requirement(
+        self, requirement: ApplicationRequirement, context=None
+    ) -> Aggregator:
+        """Install (or reuse) an aggregator satisfying a requirement."""
+        self._authorize(context, "deploy")
+        store = self.covering_store(requirement.location)
+        existing = None
+        try:
+            existing = store.aggregator(requirement.aggregator_name)
+        except Exception:
+            existing = None
+        if existing is not None:
+            if existing.primitive.kind != requirement.kind:
+                raise PlacementError(
+                    f"aggregator {requirement.aggregator_name!r} exists at "
+                    f"{store.location.path!r} with kind "
+                    f"{existing.primitive.kind!r}, requirement wants "
+                    f"{requirement.kind!r}"
+                )
+            aggregator = existing
+        else:
+            primitive = self.registry.create(
+                requirement.kind,
+                store.location,
+                requirement.effective_config(),
+            )
+            stream_filter = (
+                prefix_filter(requirement.stream_prefix)
+                if requirement.stream_prefix
+                else match_all
+            )
+            aggregator = Aggregator(
+                requirement.aggregator_name,
+                primitive,
+                stream_filter=stream_filter,
+                item_of=requirement.config.get("item_of"),
+            )
+            store.install_aggregator(aggregator)
+        self._requirements.append(requirement)
+        self._installed.setdefault(requirement.app_name, []).append(
+            (store.location.path, requirement.aggregator_name)
+        )
+        return aggregator
+
+    def withdraw_application(self, app_name: str, context=None) -> int:
+        """Remove aggregators installed solely for one application.
+
+        An aggregator still required by another application stays.
+        Returns how many aggregators were removed.
+        """
+        self._authorize(context, "deploy")
+        mine = self._installed.pop(app_name, [])
+        self._requirements = [
+            r for r in self._requirements if r.app_name != app_name
+        ]
+        still_needed = {
+            (self.covering_store(r.location).location.path, r.aggregator_name)
+            for r in self._requirements
+        }
+        removed = 0
+        for store_path, aggregator_name in mine:
+            if (store_path, aggregator_name) in still_needed:
+                continue
+            store = self._stores.get(store_path)
+            if store is None:
+                continue
+            try:
+                store.remove_aggregator(aggregator_name)
+                removed += 1
+            except Exception:
+                pass
+        return removed
+
+    def requirements(self) -> List[ApplicationRequirement]:
+        """All active requirements."""
+        return list(self._requirements)
+
+    # -- precision control -----------------------------------------------
+
+    def retune(
+        self,
+        location: Location,
+        aggregator_name: str,
+        precision: float,
+        context=None,
+    ) -> None:
+        """Change an installed aggregator's granularity on demand."""
+        self._authorize(context, "operate")
+        store = self.covering_store(location)
+        store.aggregator(aggregator_name).primitive.set_granularity(precision)
+
+    # -- epochs and adaptation ---------------------------------------------
+
+    def close_epochs(self, now: float) -> int:
+        """Close the epoch on every store; returns partitions created.
+
+        Stores compute per-aggregator adaptation feedback themselves
+        (storage pressure, rates) during the close.
+        """
+        created = 0
+        for store in self._stores.values():
+            created += len(store.close_epoch(now))
+        return created
+
+    # -- replication (Figure 6 integration) ---------------------------------
+
+    def enable_adaptive_replication(
+        self, engine: AdaptiveReplicationEngine
+    ) -> None:
+        """Attach the replication engine that access records feed."""
+        self.replication_engine = engine
+
+    def record_remote_access(
+        self,
+        producer: DataStore,
+        consumer: DataStore,
+        partition_id: str,
+        result_bytes: int,
+        now: float,
+    ) -> bool:
+        """Fig. 6 step 1-2: record the access, maybe start replication."""
+        if self.replication_engine is None:
+            return False
+        return self.replication_engine.on_remote_access(
+            producer, consumer, partition_id, result_bytes, now
+        )
+
+    # -- observability ------------------------------------------------------
+
+    def status(self) -> List[StoreStatus]:
+        """Resource snapshot across all stores."""
+        return [
+            StoreStatus(
+                location=store.location.path,
+                aggregators=len(store.aggregators()),
+                partitions=len(store.catalog),
+                stored_bytes=store.catalog.total_bytes(),
+                storage_pressure=store.storage_pressure(),
+                items_ingested=store.ingest_stats.items,
+            )
+            for store in self._stores.values()
+        ]
+
+    def network_bytes(self) -> int:
+        """Total bytes carried by the fabric so far."""
+        return self.fabric.total_bytes() if self.fabric else 0

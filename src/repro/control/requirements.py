@@ -1,0 +1,57 @@
+"""Application requirements: what apps tell the Manager (Figure 3b).
+
+"For each application, it records the application requirements in terms
+of the required data source and aggregation format (e.g., sample or
+histogram) and the required precision (e.g., sample rate or bin size)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.summary import Location
+
+
+@dataclass(frozen=True)
+class ApplicationRequirement:
+    """One application's demand for aggregated data.
+
+    ``kind`` names a registered computing primitive ("sample",
+    "timebin", "flowtree", …); ``config`` parameterizes it;
+    ``precision`` is the kind-specific granularity the application needs
+    (sampling rate, bin seconds, node budget) and overrides the config
+    default when given.  ``stream_prefix`` narrows the subscription to
+    matching stream ids.
+    """
+
+    app_name: str
+    aggregator_name: str
+    kind: str
+    location: Location
+    config: Dict[str, Any] = field(default_factory=dict)
+    precision: Optional[float] = None
+    stream_prefix: Optional[str] = None
+
+    def effective_config(self) -> Dict[str, Any]:
+        """The primitive config with precision folded in."""
+        config = dict(self.config)
+        if self.precision is None:
+            return config
+        # map the generic precision knob to each kind's natural parameter
+        knob = {
+            "sample": "rate",
+            "timebin": "bin_seconds",
+            "heavy_hitter": "capacity",
+            "count_min": "width",
+            "reservoir": "capacity",
+            "flowtree": "node_budget",
+            "hhh": "capacity_per_level",
+        }.get(self.kind)
+        if knob is not None:
+            config[knob] = (
+                self.precision
+                if self.kind in ("sample", "timebin")
+                else int(self.precision)
+            )
+        return config

@@ -1,0 +1,56 @@
+"""Control rules: what a controller does when a trigger fires.
+
+A rule binds a trigger pattern to an actuation command.  Rules carry a
+priority and an optional *exclusive group*: within one group, only one
+command may win per actuator — the controller uses this both to detect
+install-time conflicts ("two applications demand contradictory commands
+with equal priority") and to resolve runtime races by priority, which
+is the paper's "conflicts between rules are resolved locally at the
+controller".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.datastore.triggers import TriggerFiring
+
+RuleCondition = Callable[[TriggerFiring], bool]
+
+
+def _always(firing: TriggerFiring) -> bool:
+    return True
+
+
+@dataclass
+class ControlRule:
+    """One installed controller rule."""
+
+    rule_id: str
+    command: str
+    target_actuator: str
+    trigger_id: Optional[str] = None
+    condition: RuleCondition = field(default=_always)
+    priority: int = 0
+    exclusive_group: Optional[str] = None
+    installed_by: str = "unknown"
+    certified: bool = False
+
+    def matches(self, firing: TriggerFiring) -> bool:
+        """Whether this rule reacts to the given firing."""
+        if self.trigger_id is not None and self.trigger_id != firing.trigger_id:
+            return False
+        return self.condition(firing)
+
+    def conflicts_with(self, other: "ControlRule") -> bool:
+        """Install-time conflict: same actuator and exclusive group,
+        equal priority, but contradictory commands — no deterministic
+        winner would exist at runtime."""
+        return (
+            self.exclusive_group is not None
+            and self.exclusive_group == other.exclusive_group
+            and self.target_actuator == other.target_actuator
+            and self.priority == other.priority
+            and self.command != other.command
+        )

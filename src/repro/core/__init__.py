@@ -1,0 +1,64 @@
+"""Computing primitives: the paper's core contribution.
+
+Section V demands primitives that (1) support arbitrary queries,
+(2) produce combinable summaries, (3) have adjustable aggregation
+granularity, (4) self-adapt to data and queries, and (5) can use domain
+knowledge.  :class:`~repro.core.primitive.ComputingPrimitive` encodes
+those properties as an interface; the concrete primitives range from the
+"existing methods" the paper contrasts against (time-binned statistics,
+sampling, heavy hitters, sketches) to the novel, domain-aware
+:class:`~repro.core.flowtree.FlowtreePrimitive`.
+"""
+
+from repro.core.summary import (
+    DataSummary,
+    LineageLog,
+    LineageRecord,
+    Location,
+    SummaryMeta,
+    TimeInterval,
+)
+from repro.core.primitive import (
+    AdaptationFeedback,
+    ComputingPrimitive,
+    QueryRequest,
+)
+from repro.core.sampling import RandomSamplePrimitive, SampledPoint
+from repro.core.timebin import TimeBinStatistics, BinStats
+from repro.core.heavy_hitters import SpaceSaving, HeavyHitterPrimitive
+from repro.core.hhh_primitive import HierarchicalHeavyHitterPrimitive
+from repro.core.sketches import CountMinSketch, CountMinPrimitive
+from repro.core.reservoir import ReservoirSample, ReservoirPrimitive
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.quantiles import KLLSketch, QuantilePrimitive
+from repro.core.rawstore import RawStorePrimitive
+from repro.core.registry import PrimitiveRegistry, default_registry
+
+__all__ = [
+    "TimeInterval",
+    "Location",
+    "SummaryMeta",
+    "DataSummary",
+    "LineageRecord",
+    "LineageLog",
+    "ComputingPrimitive",
+    "AdaptationFeedback",
+    "QueryRequest",
+    "RandomSamplePrimitive",
+    "SampledPoint",
+    "TimeBinStatistics",
+    "BinStats",
+    "SpaceSaving",
+    "HeavyHitterPrimitive",
+    "HierarchicalHeavyHitterPrimitive",
+    "CountMinSketch",
+    "CountMinPrimitive",
+    "ReservoirSample",
+    "ReservoirPrimitive",
+    "FlowtreePrimitive",
+    "RawStorePrimitive",
+    "KLLSketch",
+    "QuantilePrimitive",
+    "PrimitiveRegistry",
+    "default_registry",
+]

@@ -1,0 +1,192 @@
+"""The computing-primitive interface (Section V.A).
+
+A :class:`ComputingPrimitive` is a streaming aggregator that a data store
+instantiates per subscribed stream.  The abstract interface maps the
+paper's five design properties onto methods:
+
+=====================================  ==================================
+Design property                        Interface
+=====================================  ==================================
+(1) support arbitrary queries          :meth:`ComputingPrimitive.query`
+(2) combinable summaries               :meth:`ComputingPrimitive.combine`
+(3) adjustable aggregation granularity :meth:`ComputingPrimitive.set_granularity`
+(4) self-adaptation                    :meth:`ComputingPrimitive.adapt`
+(5) domain knowledge                   :attr:`ComputingPrimitive.uses_domain_knowledge`
+=====================================  ==================================
+
+Primitives also expose their resource footprint
+(:meth:`ComputingPrimitive.footprint_bytes`) because the data store's
+storage strategies and the manager's placement decisions are driven by
+it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import SchemaMismatchError
+from repro.core.summary import DataSummary, Location, SummaryMeta, TimeInterval
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A generic query against a primitive's summary.
+
+    ``operator`` selects among the primitive's supported operations (each
+    primitive documents its set); ``params`` carries operator arguments.
+    Primitives raise ``ValueError`` for unsupported operators, which is
+    how the data store discovers it must route a sub-query elsewhere.
+    """
+
+    operator: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AdaptationFeedback:
+    """What a primitive learns from its environment between epochs.
+
+    The data store computes this from observed stream rates, its storage
+    pressure, and the granularity of recent queries; primitives use it to
+    re-tune themselves (design property 4).
+    """
+
+    ingest_rate: float = 0.0
+    storage_pressure: float = 0.0
+    requested_granularity: Optional[float] = None
+    query_rate: float = 0.0
+
+
+class ComputingPrimitive(abc.ABC):
+    """Base class for all aggregators installed in data stores."""
+
+    #: A short, registry-unique kind name (e.g. ``"flowtree"``).
+    kind: str = "abstract"
+
+    def __init__(self, location: Location) -> None:
+        self.location = location
+        self._epoch_start: Optional[float] = None
+        self._epoch_end: Optional[float] = None
+        self.items_ingested = 0
+
+    # -- ingest --------------------------------------------------------
+
+    def ingest(self, item: Any, timestamp: float) -> None:
+        """Feed one stream item into the aggregator."""
+        if self._epoch_start is None or timestamp < self._epoch_start:
+            self._epoch_start = timestamp
+        if self._epoch_end is None or timestamp > self._epoch_end:
+            self._epoch_end = timestamp
+        self.items_ingested += 1
+        self._ingest(item, timestamp)
+
+    @abc.abstractmethod
+    def _ingest(self, item: Any, timestamp: float) -> None:
+        """Primitive-specific ingest."""
+
+    # -- summaries -----------------------------------------------------
+
+    def interval(self) -> TimeInterval:
+        """The time span covered by ingested data so far."""
+        if self._epoch_start is None:
+            return TimeInterval(0.0, 0.0)
+        return TimeInterval(self._epoch_start, self._epoch_end)
+
+    def meta(self) -> SummaryMeta:
+        """Current summary metadata."""
+        return SummaryMeta(interval=self.interval(), location=self.location)
+
+    @abc.abstractmethod
+    def summary(self) -> DataSummary:
+        """Snapshot the current aggregate as a :class:`DataSummary`."""
+
+    def reset_epoch(self) -> DataSummary:
+        """Emit the current summary and start a fresh epoch.
+
+        Data stores call this at epoch boundaries; the default
+        implementation snapshots then delegates clearing to
+        :meth:`_reset`.
+        """
+        snapshot = self.summary()
+        self._epoch_start = None
+        self._epoch_end = None
+        self.items_ingested = 0
+        self._reset()
+        return snapshot
+
+    @abc.abstractmethod
+    def _reset(self) -> None:
+        """Clear primitive state for a new epoch."""
+
+    # -- the five design properties -------------------------------------
+
+    @abc.abstractmethod
+    def query(self, request: QueryRequest) -> Any:
+        """Answer a query over the current aggregate (property 1)."""
+
+    @abc.abstractmethod
+    def combine(self, other: "ComputingPrimitive") -> None:
+        """Merge another primitive's aggregate into this one (property 2).
+
+        Implementations must call :meth:`_check_combinable` first.
+        """
+
+    def _check_combinable(self, other: "ComputingPrimitive") -> None:
+        if type(other) is not type(self):
+            raise SchemaMismatchError(
+                f"cannot combine {self.kind!r} with {other.kind!r}"
+            )
+        if self.items_ingested == 0 or other.items_ingested == 0:
+            # an empty summary combines with anything: adopt the other
+            # side's metadata wholesale
+            if self.items_ingested == 0 and other.items_ingested > 0:
+                self._epoch_start = other._epoch_start
+                self._epoch_end = other._epoch_end
+                self.location = other.location
+            self.items_ingested += other.items_ingested
+            return
+        if not self.meta().combinable_with(other.meta()):
+            raise SchemaMismatchError(
+                "summaries share neither time nor location: "
+                f"{self.meta()} vs {other.meta()}"
+            )
+        # the combined epoch spans both inputs
+        merged = self.meta().combined(other.meta())
+        self._epoch_start = merged.interval.start
+        self._epoch_end = merged.interval.end
+        self.location = merged.location
+        self.items_ingested += other.items_ingested
+
+    @abc.abstractmethod
+    def set_granularity(self, granularity: float) -> None:
+        """Re-target the aggregation granularity (property 3).
+
+        The unit is primitive-specific: bin seconds for time-binned
+        statistics, a sampling probability for samplers, a node budget
+        for trees.  Implementations document theirs.
+        """
+
+    def adapt(self, feedback: AdaptationFeedback) -> None:
+        """Self-adapt to observed data and queries (property 4).
+
+        The default does nothing; adaptive primitives override it.
+        """
+
+    @property
+    def uses_domain_knowledge(self) -> bool:
+        """Whether aggregation levels are semantic (property 5)."""
+        return False
+
+    # -- resources -------------------------------------------------------
+
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Approximate in-memory/wire size of the current aggregate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(location={self.location.path!r}, "
+            f"items={self.items_ingested})"
+        )

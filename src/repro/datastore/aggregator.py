@@ -1,0 +1,92 @@
+"""Aggregators: named primitive instances subscribed to streams.
+
+Figure 4 shows a data store feeding sensor streams into several
+aggregators ("Sample", "HHH", "Flow Tree", "Raw Access").  An
+:class:`Aggregator` binds one computing primitive to a stream-id
+predicate, tracks its observed ingest rate and query load (the inputs to
+self-adaptation), and cuts epoch summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.primitive import AdaptationFeedback, ComputingPrimitive
+from repro.core.summary import DataSummary
+
+#: Decides whether a stream belongs to this aggregator.
+StreamFilter = Callable[[str], bool]
+
+
+def match_all(stream_id: str) -> bool:
+    """The default stream filter: subscribe to everything."""
+    return True
+
+
+def prefix_filter(prefix: str) -> StreamFilter:
+    """A filter matching stream ids beginning with ``prefix``."""
+
+    def matches(stream_id: str) -> bool:
+        return stream_id.startswith(prefix)
+
+    return matches
+
+
+class Aggregator:
+    """One installed primitive plus its subscription and statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        primitive: ComputingPrimitive,
+        stream_filter: StreamFilter = match_all,
+        item_of: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.name = name
+        self.primitive = primitive
+        self.stream_filter = stream_filter
+        #: Optional projection from the raw stream item to what the
+        #: primitive ingests (e.g. ``reading.value`` for numeric
+        #: primitives fed from :class:`SensorReading` objects).
+        self.item_of = item_of
+        self.items_this_epoch = 0
+        self.queries_this_epoch = 0
+        self.epoch_opened_at: Optional[float] = None
+        self.epochs_closed = 0
+
+    def wants(self, stream_id: str) -> bool:
+        """Whether this aggregator subscribes to the stream."""
+        return self.stream_filter(stream_id)
+
+    def ingest(self, item: Any, timestamp: float) -> None:
+        """Feed one stream item to the primitive."""
+        if self.epoch_opened_at is None:
+            self.epoch_opened_at = timestamp
+        value = self.item_of(item) if self.item_of else item
+        self.primitive.ingest(value, timestamp)
+        self.items_this_epoch += 1
+
+    def note_query(self) -> None:
+        """Record one query against this aggregator (for adaptation)."""
+        self.queries_this_epoch += 1
+
+    def feedback(self, now: float, storage_pressure: float) -> AdaptationFeedback:
+        """Summarize the epoch's conditions for self-adaptation."""
+        opened = self.epoch_opened_at if self.epoch_opened_at is not None else now
+        elapsed = max(1e-9, now - opened)
+        return AdaptationFeedback(
+            ingest_rate=self.items_this_epoch / elapsed,
+            storage_pressure=storage_pressure,
+            query_rate=self.queries_this_epoch / elapsed,
+        )
+
+    def close_epoch(self, now: float, storage_pressure: float) -> DataSummary:
+        """Snapshot the epoch summary, adapt, and start a new epoch."""
+        feedback = self.feedback(now, storage_pressure)
+        summary = self.primitive.reset_epoch()
+        self.primitive.adapt(feedback)
+        self.items_this_epoch = 0
+        self.queries_this_epoch = 0
+        self.epoch_opened_at = now
+        self.epochs_closed += 1
+        return summary

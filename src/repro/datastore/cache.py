@@ -1,0 +1,130 @@
+"""Reactive result caching (Section VII).
+
+"The performance can be improved both by reactively caching earlier
+results and by proactively replicating data ...  Note, that the
+approaches are not mutually exclusive, but can be combined."
+
+A :class:`QueryCache` memoizes federated query results for identical
+(aggregator, request, window) keys within a TTL.  Caching only helps
+*repeat* queries — the paper's stated reason to focus on replication —
+which the hit/miss counters make measurable.  Cache keys hash the
+request's operator and parameters; requests whose parameters are not
+hashable (callables etc.) are simply never cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.core.primitive import QueryRequest
+
+
+#: Sentinel marking values that must never be used as cache keys.
+_UNCACHEABLE = object()
+
+
+def _freeze(value: Any) -> Any:
+    """Convert a request parameter to a hashable key, or the
+    ``_UNCACHEABLE`` sentinel when that is not safely possible."""
+    if callable(value):
+        # callables hash by identity, which would make semantically
+        # identical requests miss (and different ones collide on reuse)
+        return _UNCACHEABLE
+    if isinstance(value, dict):
+        frozen_items = []
+        for key in sorted(value, key=repr):
+            frozen = _freeze(value[key])
+            if frozen is _UNCACHEABLE:
+                return _UNCACHEABLE
+            frozen_items.append((key, frozen))
+        return tuple(frozen_items)
+    if isinstance(value, (list, tuple)):
+        frozen_list = []
+        for item in value:
+            frozen = _freeze(item)
+            if frozen is _UNCACHEABLE:
+                return _UNCACHEABLE
+            frozen_list.append(frozen)
+        return tuple(frozen_list)
+    try:
+        hash(value)
+    except TypeError:
+        return _UNCACHEABLE
+    return value
+
+
+@dataclass
+class CacheEntry:
+    """One memoized result."""
+
+    value: Any
+    stored_at: float
+    result_bytes: int
+
+
+@dataclass
+class QueryCache:
+    """A TTL-bounded, size-bounded result cache."""
+
+    ttl_seconds: float = 300.0
+    max_entries: int = 1024
+    _entries: Dict[Hashable, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+
+    def key_for(
+        self,
+        aggregator: str,
+        request: QueryRequest,
+        start: Optional[float],
+        end: Optional[float],
+    ) -> Optional[Hashable]:
+        """The cache key, or None when the request is uncacheable."""
+        params = _freeze(request.params)
+        if params is _UNCACHEABLE:
+            self.uncacheable += 1
+            return None
+        return (aggregator, request.operator, params, start, end)
+
+    def get(self, key: Optional[Hashable], now: float) -> Optional[CacheEntry]:
+        """A live entry, or None (counts hit/miss)."""
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None or now - entry.stored_at >= self.ttl_seconds:
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: Optional[Hashable],
+        value: Any,
+        result_bytes: int,
+        now: float,
+    ) -> None:
+        """Store one result (evicting oldest entries past the cap)."""
+        if key is None:
+            return
+        if len(self._entries) >= self.max_entries:
+            oldest = min(
+                self._entries, key=lambda k: self._entries[k].stored_at
+            )
+            del self._entries[oldest]
+        self._entries[key] = CacheEntry(
+            value=value, stored_at=now, result_bytes=result_bytes
+        )
+
+    def invalidate(self) -> int:
+        """Drop everything (e.g. after an epoch close); returns count."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,533 @@
+"""The data store (Figure 4): collect, aggregate, store, trigger, query.
+
+One :class:`DataStore` manages one mega-dataset at one location.  It is
+the only component that persists data; everything else (analytics,
+applications) sees summaries or query results.
+
+Federation: stores know their peers.  A query for data held elsewhere is
+either **shipped to the data** (the peer executes it and returns the
+result over the network, accounted on the fabric) or answered **on a
+local replica** if the partition has been replicated here — the two
+sides of the Section VII trade-off that the adaptive-replication engine
+arbitrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.primitive import QueryRequest
+from repro.core.summary import DataSummary, LineageLog, Location
+from repro.datastore.aggregator import Aggregator
+from repro.datastore.partitions import Partition, PartitionCatalog
+from repro.datastore.recombine import combine_summaries
+from repro.datastore.storage import StorageStrategy
+from repro.datastore.summary_query import (
+    approx_result_bytes,
+    can_rehydrate,
+    rehydrate,
+)
+from repro.datastore.triggers import (
+    RawTrigger,
+    SummaryTrigger,
+    TriggerEngine,
+    TriggerSink,
+)
+from repro.errors import StorageError
+from repro.hierarchy.network import NetworkFabric
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datastore.privacy import PrivacyGuard
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a data-store query."""
+
+    value: Any
+    aggregator: str
+    partitions_used: List[str] = field(default_factory=list)
+    used_live: bool = False
+    result_bytes: int = 0
+    shipped_bytes: int = 0
+    source: str = "local"
+    latency: float = 0.0
+
+
+@dataclass
+class IngestStats:
+    """Running ingest accounting for one store."""
+
+    items: int = 0
+    bytes: int = 0
+
+    def observe(self, size_bytes: int) -> None:
+        """Count one ingested item."""
+        self.items += 1
+        self.bytes += size_bytes
+
+
+class DataStore:
+    """One mega-dataset: aggregators + storage + triggers + query API."""
+
+    def __init__(
+        self,
+        location: Location,
+        storage: StorageStrategy,
+        fabric: Optional[NetworkFabric] = None,
+        lineage: Optional[LineageLog] = None,
+        privacy: Optional["PrivacyGuard"] = None,
+    ) -> None:
+        self.location = location
+        self.storage = storage
+        self.fabric = fabric
+        self.privacy = privacy
+        self.lineage = lineage or LineageLog()
+        #: optional reactive result cache for federated queries
+        #: (Section VII: caching combines with replication)
+        self.cache = None
+        self.catalog = PartitionCatalog()
+        self.replicas = PartitionCatalog()
+        self.triggers = TriggerEngine()
+        self._aggregators: Dict[str, Aggregator] = {}
+        self._peers: Dict[str, "DataStore"] = {}
+        self.ingest_stats = IngestStats()
+        self.evictions: List[Partition] = []
+
+    # ------------------------------------------------------------------
+    # aggregators
+
+    def install_aggregator(self, aggregator: Aggregator) -> None:
+        """Install a named aggregator (names are unique per store)."""
+        if aggregator.name in self._aggregators:
+            raise StorageError(
+                f"aggregator {aggregator.name!r} already installed at "
+                f"{self.location.path!r}"
+            )
+        self._aggregators[aggregator.name] = aggregator
+
+    def remove_aggregator(self, name: str) -> Aggregator:
+        """Uninstall an aggregator; its stored partitions remain."""
+        try:
+            return self._aggregators.pop(name)
+        except KeyError as exc:
+            raise StorageError(
+                f"no aggregator {name!r} at {self.location.path!r}"
+            ) from exc
+
+    def aggregator(self, name: str) -> Aggregator:
+        """Fetch one installed aggregator."""
+        try:
+            return self._aggregators[name]
+        except KeyError as exc:
+            raise StorageError(
+                f"no aggregator {name!r} at {self.location.path!r}"
+            ) from exc
+
+    def aggregators(self) -> List[Aggregator]:
+        """All installed aggregators."""
+        return list(self._aggregators.values())
+
+    def owns(self, aggregator: str) -> bool:
+        """Whether this store produces or stores data for ``aggregator``."""
+        return (
+            aggregator in self._aggregators
+            or bool(self.catalog.for_aggregator(aggregator))
+        )
+
+    # ------------------------------------------------------------------
+    # ingest path (Figure 4, left side)
+
+    def ingest(self, stream_id: str, item: Any, timestamp: float,
+               size_bytes: int = 0) -> None:
+        """Push one raw item through triggers and subscribed aggregators."""
+        self.ingest_stats.observe(size_bytes)
+        self.triggers.evaluate_raw(stream_id, item, timestamp)
+        for aggregator in self._aggregators.values():
+            if aggregator.wants(stream_id):
+                aggregator.ingest(item, timestamp)
+
+    def storage_pressure(self) -> float:
+        """Current storage pressure from the strategy."""
+        return self.storage.pressure(self.catalog)
+
+    def close_epoch(self, now: float) -> List[Partition]:
+        """Cut summaries from every aggregator, store them, fire triggers.
+
+        Returns the newly created partitions.  Evictions performed by
+        the storage strategy are appended to :attr:`evictions`.
+        """
+        created: List[Partition] = []
+        pressure = self.storage_pressure()
+        for aggregator in self._aggregators.values():
+            if aggregator.items_this_epoch == 0:
+                continue
+            summary = aggregator.close_epoch(now, pressure)
+            record = self.lineage.record(
+                operation="aggregate",
+                location=self.location,
+                timestamp=now,
+                detail=f"{aggregator.name}:{summary.kind}",
+            )
+            summary.meta = type(summary.meta)(
+                interval=summary.meta.interval,
+                location=summary.meta.location,
+                lineage_id=record.lineage_id,
+            )
+            partition = Partition(
+                partition_id=Partition.fresh_id(aggregator.name),
+                aggregator=aggregator.name,
+                summary=summary,
+                created_at=now,
+            )
+            self.evictions.extend(
+                self.storage.admit(partition, self.catalog, now)
+            )
+            created.append(partition)
+            self.triggers.evaluate_summary(aggregator.name, summary, now)
+        self.evictions.extend(self.storage.maintain(self.catalog, now))
+        return created
+
+    # ------------------------------------------------------------------
+    # triggers (installed by applications via the controller/manager)
+
+    def install_raw_trigger(self, trigger: RawTrigger) -> None:
+        """Install a per-item trigger."""
+        self.triggers.install_raw(trigger)
+
+    def install_summary_trigger(self, trigger: SummaryTrigger) -> None:
+        """Install an epoch-summary trigger."""
+        self.triggers.install_summary(trigger)
+
+    def subscribe_triggers(self, sink: TriggerSink) -> None:
+        """Route trigger firings to a controller."""
+        self.triggers.subscribe(sink)
+
+    # ------------------------------------------------------------------
+    # local queries
+
+    def window_summary(
+        self,
+        aggregator: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        record_access: bool = False,
+        now: float = 0.0,
+        remote: bool = False,
+    ) -> Tuple[Optional[DataSummary], List[str]]:
+        """Combine stored partitions overlapping a window into one summary.
+
+        Returns ``(summary, partition ids used)``; summary is None when
+        no partition overlaps the window.
+        """
+        partitions = self.catalog.in_interval(aggregator, start, end)
+        if not partitions:
+            return None, []
+        combined = combine_summaries(
+            [p.summary for p in partitions], shrink=1.0
+        )
+        if record_access:
+            share = combined.size_bytes // max(1, len(partitions))
+            for partition in partitions:
+                partition.record_access(now, share, remote)
+        return combined, [p.partition_id for p in partitions]
+
+    def query(
+        self,
+        aggregator: str,
+        request: QueryRequest,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        include_live: bool = True,
+        now: float = 0.0,
+        _remote: bool = False,
+    ) -> QueryResult:
+        """Answer a query from local data (live aggregator + history).
+
+        With a time window, stored partitions overlapping it are merged
+        and rehydrated; without one, only the live aggregator answers.
+        Every touched partition's access is recorded — the raw material
+        for replication decisions.
+        """
+        live = self._aggregators.get(aggregator)
+        use_history = start is not None or end is not None
+        partitions_used: List[str] = []
+        if use_history:
+            summary, partitions_used = self.window_summary(
+                aggregator, start, end, record_access=True, now=now,
+                remote=_remote,
+            )
+            if summary is None or not can_rehydrate(summary.kind):
+                if live is None:
+                    raise StorageError(
+                        f"no data for aggregator {aggregator!r} in window at "
+                        f"{self.location.path!r}"
+                    )
+                value = live.primitive.query(request)
+                live.note_query()
+                return QueryResult(
+                    value=value,
+                    aggregator=aggregator,
+                    used_live=True,
+                    result_bytes=approx_result_bytes(value),
+                )
+            primitive = rehydrate(summary)
+            value = primitive.query(request)
+            if live is not None:
+                live.note_query()
+            return QueryResult(
+                value=value,
+                aggregator=aggregator,
+                partitions_used=partitions_used,
+                result_bytes=approx_result_bytes(value),
+            )
+        if live is None:
+            raise StorageError(
+                f"no live aggregator {aggregator!r} at {self.location.path!r}"
+            )
+        value = live.primitive.query(request)
+        live.note_query()
+        return QueryResult(
+            value=value,
+            aggregator=aggregator,
+            used_live=True,
+            result_bytes=approx_result_bytes(value),
+        )
+
+    def query_composite(
+        self,
+        subqueries: Dict[str, Tuple[str, QueryRequest]],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        now: float = 0.0,
+    ) -> Dict[str, QueryResult]:
+        """Break a composite query into per-aggregator sub-queries.
+
+        Section IV: "Queries received by the data store are broken into
+        sub-queries and are forwarded to the respective aggregator.
+        Sub-queries for aggregators stored at other data stores are
+        forwarded or resolved on a local replicate."  Each entry maps a
+        caller-chosen label to ``(aggregator name, request)``; local
+        aggregators answer directly, everything else goes through the
+        federated path (replica, then peer).
+        """
+        results: Dict[str, QueryResult] = {}
+        for label, (aggregator, request) in subqueries.items():
+            if self.owns(aggregator):
+                results[label] = self.query(
+                    aggregator, request, start=start, end=end, now=now
+                )
+            else:
+                results[label] = self.query_federated(
+                    aggregator, request, start=start, end=end, now=now
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # federation (peers, remote queries, replicas)
+
+    def add_peer(self, store: "DataStore") -> None:
+        """Register a peer store (and vice versa)."""
+        if store.location.path == self.location.path:
+            return
+        self._peers[store.location.path] = store
+        store._peers[self.location.path] = self
+
+    def peers(self) -> List["DataStore"]:
+        """All registered peers."""
+        return list(self._peers.values())
+
+    def _replica_for(
+        self,
+        aggregator: str,
+        start: Optional[float],
+        end: Optional[float],
+    ) -> List[Partition]:
+        selected = []
+        for partition in self.replicas.all():
+            if partition.aggregator != aggregator:
+                continue
+            interval = partition.summary.meta.interval
+            if start is not None and interval.end <= start:
+                continue
+            if end is not None and interval.start >= end:
+                continue
+            selected.append(partition)
+        return selected
+
+    def query_federated(
+        self,
+        aggregator: str,
+        request: QueryRequest,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        now: float = 0.0,
+    ) -> QueryResult:
+        """Answer a query wherever the data lives.
+
+        Resolution order mirrors Section IV: local data, then local
+        replicas of the remote aggregator, then shipping the query to
+        the owning peer (accounting the result transfer on the fabric).
+        """
+        if self.owns(aggregator):
+            return self.query(
+                aggregator, request, start=start, end=end, now=now
+            )
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self.cache.key_for(aggregator, request, start, end)
+            entry = self.cache.get(cache_key, now)
+            if entry is not None:
+                return QueryResult(
+                    value=entry.value,
+                    aggregator=aggregator,
+                    result_bytes=entry.result_bytes,
+                    source="cache",
+                )
+        replicas = self._replica_for(aggregator, start, end)
+        if replicas:
+            combined = combine_summaries(
+                [p.summary for p in replicas], shrink=1.0
+            )
+            primitive = rehydrate(combined)
+            value = primitive.query(request)
+            for replica in replicas:
+                replica.record_access(
+                    now,
+                    combined.size_bytes // max(1, len(replicas)),
+                    remote=False,
+                )
+            return QueryResult(
+                value=value,
+                aggregator=aggregator,
+                partitions_used=[p.partition_id for p in replicas],
+                result_bytes=approx_result_bytes(value),
+                source="replica",
+            )
+        for peer in self._peers.values():
+            if not peer.owns(aggregator):
+                continue
+            result = peer.query(
+                aggregator, request, start=start, end=end, now=now,
+                _remote=True,
+            )
+            latency = 0.0
+            if self.fabric is not None:
+                transfer = self.fabric.transfer(
+                    peer.location, self.location, result.result_bytes, now
+                )
+                latency = transfer.duration
+            result.shipped_bytes = result.result_bytes
+            result.source = "remote"
+            result.latency = latency
+            if self.cache is not None:
+                self.cache.put(
+                    cache_key, result.value, result.result_bytes, now
+                )
+            return result
+        raise StorageError(
+            f"no store (local, replica, or peer) holds aggregator "
+            f"{aggregator!r}"
+        )
+
+    def replicate_partition(
+        self, partition_id: str, to_store: "DataStore", now: float = 0.0
+    ) -> float:
+        """Copy one partition to a peer; returns the transfer duration.
+
+        The replica lands in the peer's replica catalog and will satisfy
+        its future queries locally — replication "buys the ski-set".
+        """
+        partition = self.catalog.get(partition_id)
+        outgoing = partition.summary
+        if self.privacy is not None:
+            # Section III.C: a replica leaves the store's trust domain,
+            # so it gets the policy-degraded view; local data stays full
+            # fidelity
+            outgoing = self.privacy.export(partition.aggregator, outgoing)
+        duration = 0.0
+        if self.fabric is not None:
+            transfer = self.fabric.transfer(
+                self.location, to_store.location, outgoing.size_bytes, now
+            )
+            duration = transfer.duration
+        record = self.lineage.record(
+            operation="replicate",
+            inputs=(
+                (partition.summary.meta.lineage_id,)
+                if partition.summary.meta.lineage_id
+                else ()
+            ),
+            location=to_store.location,
+            timestamp=now,
+            detail=partition.partition_id,
+        )
+        replica_summary = DataSummary(
+            kind=outgoing.kind,
+            meta=type(outgoing.meta)(
+                interval=outgoing.meta.interval,
+                location=outgoing.meta.location,
+                lineage_id=record.lineage_id,
+            ),
+            payload=outgoing.payload,
+            size_bytes=outgoing.size_bytes,
+            attrs=dict(outgoing.attrs),
+        )
+        replica = Partition(
+            partition_id=f"{partition.partition_id}@{to_store.location.path}",
+            aggregator=partition.aggregator,
+            summary=replica_summary,
+            created_at=now,
+        )
+        to_store.replicas.add(replica)
+        partition.replicated_to.append(to_store.location.path)
+        return duration
+
+    # ------------------------------------------------------------------
+    # export up the hierarchy (Figure 5, step 3)
+
+    def export_summaries(
+        self,
+        aggregator: str,
+        to_store: "DataStore",
+        into_aggregator: Optional[str] = None,
+        now: float = 0.0,
+    ) -> Optional[float]:
+        """Ship the aggregator's latest summary to a parent store.
+
+        The receiving store combines it into its own live aggregator of
+        the same (or the named) kind.  Returns the transfer duration, or
+        None when there was nothing to export.
+        """
+        source = self.aggregator(aggregator)
+        if source.primitive.items_ingested == 0:
+            return None
+        summary = source.primitive.summary()
+        exported_primitive = source.primitive
+        if self.privacy is not None:
+            from repro.datastore.summary_query import rehydrate
+
+            summary = self.privacy.export(aggregator, summary)
+            exported_primitive = rehydrate(summary)
+            exported_primitive.items_ingested = source.primitive.items_ingested
+        duration = 0.0
+        if self.fabric is not None:
+            transfer = self.fabric.transfer(
+                self.location, to_store.location, summary.size_bytes, now
+            )
+            duration = transfer.duration
+        target = to_store.aggregator(into_aggregator or aggregator)
+        target.primitive.combine(exported_primitive)
+        target.items_this_epoch += source.items_this_epoch
+        if target.epoch_opened_at is None:
+            target.epoch_opened_at = now
+        self.lineage.record(
+            operation="export",
+            location=to_store.location,
+            timestamp=now,
+            detail=f"{aggregator}->{to_store.location.path}",
+        )
+        return duration

@@ -1,0 +1,158 @@
+"""Triggers: the data store's hook into the controller (Figures 3/4).
+
+Applications install triggers in the data store; when one matches, it
+"activates the controller which regulates the respective machine(s)".
+Two flavors exist because the paper distinguishes real-time reactions to
+simple conditions (raw triggers, evaluated on every ingested item) from
+conditions over aggregates (summary triggers, evaluated when an epoch
+closes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.summary import DataSummary
+from repro.errors import TriggerError
+
+#: A trigger notification delivered to a controller/sink.
+TriggerSink = Callable[["TriggerFiring"], None]
+
+
+@dataclass(frozen=True)
+class TriggerFiring:
+    """One trigger match."""
+
+    trigger_id: str
+    stream_id: str
+    time: float
+    payload: Any
+    installed_by: str
+
+
+@dataclass
+class RawTrigger:
+    """A per-item condition on a raw stream (real-time control path).
+
+    ``predicate(item)`` runs on every item of streams matching
+    ``stream_id`` (``None`` matches all streams).
+    """
+
+    trigger_id: str
+    predicate: Callable[[Any], bool]
+    stream_id: Optional[str] = None
+    installed_by: str = "unknown"
+    cooldown_seconds: float = 0.0
+    _last_fired: Optional[float] = field(default=None, repr=False)
+
+    def matches(self, stream_id: str, item: Any, time: float) -> bool:
+        """Evaluate the trigger, honoring its cooldown."""
+        if self.stream_id is not None and self.stream_id != stream_id:
+            return False
+        if (
+            self._last_fired is not None
+            and time - self._last_fired < self.cooldown_seconds
+        ):
+            return False
+        if not self.predicate(item):
+            return False
+        self._last_fired = time
+        return True
+
+
+@dataclass
+class SummaryTrigger:
+    """A condition over a fresh epoch summary (complex situations)."""
+
+    trigger_id: str
+    predicate: Callable[[DataSummary], bool]
+    aggregator: Optional[str] = None
+    installed_by: str = "unknown"
+
+    def matches(self, aggregator: str, summary: DataSummary) -> bool:
+        """Evaluate the trigger against one epoch summary."""
+        if self.aggregator is not None and self.aggregator != aggregator:
+            return False
+        return self.predicate(summary)
+
+
+class TriggerEngine:
+    """Holds installed triggers and dispatches firings to sinks."""
+
+    def __init__(self) -> None:
+        self._raw: Dict[str, RawTrigger] = {}
+        self._summary: Dict[str, SummaryTrigger] = {}
+        self._sinks: List[TriggerSink] = []
+        self.firings: List[TriggerFiring] = []
+
+    # -- installation -----------------------------------------------------
+
+    def install_raw(self, trigger: RawTrigger) -> None:
+        """Install a raw-item trigger (id must be unique)."""
+        if trigger.trigger_id in self._raw or trigger.trigger_id in self._summary:
+            raise TriggerError(f"duplicate trigger id {trigger.trigger_id!r}")
+        self._raw[trigger.trigger_id] = trigger
+
+    def install_summary(self, trigger: SummaryTrigger) -> None:
+        """Install a summary trigger (id must be unique)."""
+        if trigger.trigger_id in self._raw or trigger.trigger_id in self._summary:
+            raise TriggerError(f"duplicate trigger id {trigger.trigger_id!r}")
+        self._summary[trigger.trigger_id] = trigger
+
+    def remove(self, trigger_id: str) -> None:
+        """Uninstall a trigger of either flavor."""
+        if self._raw.pop(trigger_id, None) is None:
+            if self._summary.pop(trigger_id, None) is None:
+                raise TriggerError(f"unknown trigger id {trigger_id!r}")
+
+    def installed(self) -> List[str]:
+        """Ids of all installed triggers."""
+        return sorted(list(self._raw) + list(self._summary))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def subscribe(self, sink: TriggerSink) -> None:
+        """Register a firing sink (typically a controller)."""
+        self._sinks.append(sink)
+
+    def _fire(self, firing: TriggerFiring) -> None:
+        self.firings.append(firing)
+        for sink in self._sinks:
+            sink(firing)
+
+    def evaluate_raw(self, stream_id: str, item: Any, time: float) -> int:
+        """Run raw triggers against one item; returns match count."""
+        fired = 0
+        for trigger in self._raw.values():
+            if trigger.matches(stream_id, item, time):
+                self._fire(
+                    TriggerFiring(
+                        trigger_id=trigger.trigger_id,
+                        stream_id=stream_id,
+                        time=time,
+                        payload=item,
+                        installed_by=trigger.installed_by,
+                    )
+                )
+                fired += 1
+        return fired
+
+    def evaluate_summary(
+        self, aggregator: str, summary: DataSummary, time: float
+    ) -> int:
+        """Run summary triggers against one epoch summary."""
+        fired = 0
+        for trigger in self._summary.values():
+            if trigger.matches(aggregator, summary):
+                self._fire(
+                    TriggerFiring(
+                        trigger_id=trigger.trigger_id,
+                        stream_id=aggregator,
+                        time=time,
+                        payload=summary,
+                        installed_by=trigger.installed_by,
+                    )
+                )
+                fired += 1
+        return fired

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A flow key or record does not match the expected feature schema."""
+
+
+class SchemaMismatchError(SchemaError):
+    """Two summaries built over different schemas were combined."""
+
+
+class GranularityError(ReproError):
+    """An invalid aggregation granularity (mask level, bin size) was given."""
+
+
+class StorageError(ReproError):
+    """A data-store storage operation failed (budget exceeded, missing key)."""
+
+
+class PartitionNotFoundError(StorageError):
+    """A query referenced a partition unknown to the data store."""
+
+
+class TriggerError(ReproError):
+    """A trigger definition is invalid or references a missing aggregator."""
+
+
+class RuleConflictError(ReproError):
+    """A controller rule conflicts with an already-installed rule."""
+
+
+class PlacementError(ReproError):
+    """The manager could not place a primitive or analytics pipeline."""
+
+
+class FlowQLSyntaxError(ReproError):
+    """The FlowQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class FlowQLPlanningError(ReproError):
+    """A parsed FlowQL query could not be mapped onto stored summaries."""
+
+
+class ReplicationError(ReproError):
+    """An adaptive-replication operation failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class LineageError(ReproError):
+    """A lineage record is inconsistent (unknown parent, cyclic derivation)."""

@@ -1,0 +1,10 @@
+"""FlowDB: the analytic engine over Flowtree summaries (Section VI).
+
+"FlowDB takes flow summaries as input, stores, and indexes them while
+using them to answer FlowQL queries."
+"""
+
+from repro.flowdb.db import FlowDB, FlowDBEntry
+from repro.flowdb.persistence import load_flowdb, save_flowdb
+
+__all__ = ["FlowDB", "FlowDBEntry", "save_flowdb", "load_flowdb"]

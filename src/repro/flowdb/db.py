@@ -1,0 +1,162 @@
+"""FlowDB: storage, indexing, and merged views of Flowtree summaries.
+
+FlowDB is deliberately simple: an append-only table of (location, time
+interval, Flowtree) entries with an index by location and a sorted index
+by interval start.  Its one non-trivial operation — :meth:`merged_tree`
+— is where the paper's combination property pays off: any subset of
+sites and any span of epochs collapses into a single queryable tree via
+Merge + Compress (``A12 = compress(A1 U A2)``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.summary import DataSummary, TimeInterval
+from repro.errors import FlowQLPlanningError, SchemaMismatchError
+from repro.flows.tree import Flowtree
+
+_entry_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FlowDBEntry:
+    """One indexed Flowtree summary."""
+
+    entry_id: int
+    location: str
+    interval: TimeInterval
+    tree: Flowtree
+
+
+class FlowDB:
+    """An indexed store of Flowtree summaries answering merged queries."""
+
+    def __init__(self, merge_node_budget: Optional[int] = 65536) -> None:
+        self.merge_node_budget = merge_node_budget
+        self._entries: List[FlowDBEntry] = []
+        self._by_location: Dict[str, List[FlowDBEntry]] = {}
+        self._starts: List[float] = []  # parallel to _entries (sorted)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- ingest ------------------------------------------------------------
+
+    def insert_summary(self, summary: DataSummary) -> FlowDBEntry:
+        """Index one exported Flowtree summary."""
+        if summary.kind != "flowtree":
+            raise SchemaMismatchError(
+                f"FlowDB stores flowtree summaries, got {summary.kind!r}"
+            )
+        return self.insert(
+            location=summary.meta.location.path,
+            interval=summary.meta.interval,
+            tree=summary.payload,
+        )
+
+    def insert(
+        self, location: str, interval: TimeInterval, tree: Flowtree
+    ) -> FlowDBEntry:
+        """Index one Flowtree for a location and time interval."""
+        if self._entries and not self._entries[0].tree.policy.compatible_with(
+            tree.policy
+        ):
+            raise SchemaMismatchError(
+                "tree policy incompatible with trees already in FlowDB"
+            )
+        entry = FlowDBEntry(
+            entry_id=next(_entry_counter),
+            location=location,
+            interval=interval,
+            tree=tree,
+        )
+        index = bisect.bisect(self._starts, interval.start)
+        self._starts.insert(index, interval.start)
+        self._entries.insert(index, entry)
+        self._by_location.setdefault(location, []).append(entry)
+        return entry
+
+    # -- lookup ------------------------------------------------------------
+
+    def locations(self) -> List[str]:
+        """All indexed locations."""
+        return sorted(self._by_location)
+
+    def entries(
+        self,
+        locations: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[FlowDBEntry]:
+        """Entries matching a location set and/or time window."""
+        if locations is not None:
+            unknown = [l for l in locations if l not in self._by_location]
+            if unknown:
+                raise FlowQLPlanningError(
+                    f"unknown locations {unknown}; indexed: {self.locations()}"
+                )
+            pool: Iterable[FlowDBEntry] = (
+                entry
+                for location in locations
+                for entry in self._by_location[location]
+            )
+        else:
+            pool = self._entries
+        selected = []
+        for entry in pool:
+            if start is not None and entry.interval.end <= start:
+                continue
+            if end is not None and entry.interval.start >= end:
+                continue
+            selected.append(entry)
+        selected.sort(key=lambda e: (e.interval.start, e.location))
+        return selected
+
+    def time_span(self) -> Optional[TimeInterval]:
+        """The interval covered by all entries (None when empty)."""
+        if not self._entries:
+            return None
+        return TimeInterval(
+            min(e.interval.start for e in self._entries),
+            max(e.interval.end for e in self._entries),
+        )
+
+    # -- merged views ---------------------------------------------------------
+
+    def merged_tree(
+        self,
+        locations: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Flowtree:
+        """``compress(union of matching trees)`` — the Section VI recipe.
+
+        Raises :class:`FlowQLPlanningError` when nothing matches, since
+        an empty merge would silently answer every query with zero.
+        """
+        matching = self.entries(locations=locations, start=start, end=end)
+        if not matching:
+            raise FlowQLPlanningError(
+                "no Flowtree summaries match the requested sites/window "
+                f"(locations={locations}, start={start}, end={end})"
+            )
+        merged = Flowtree(
+            matching[0].tree.policy,
+            node_budget=self.merge_node_budget,
+            metric=matching[0].tree.metric,
+        )
+        for entry in matching:
+            merged.merge(entry.tree)
+        return merged
+
+    def stats(self) -> Dict[str, int]:
+        """Index statistics (entries, locations, total nodes)."""
+        return {
+            "entries": len(self._entries),
+            "locations": len(self._by_location),
+            "total_nodes": sum(e.tree.node_count for e in self._entries),
+        }

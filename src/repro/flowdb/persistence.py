@@ -1,0 +1,99 @@
+"""FlowDB persistence: save/load the summary index to disk.
+
+FlowDB "stores and indexes" summaries; for a library that means the
+index must survive a process restart.  The format is a single JSON
+document — one header (format version, policy shape) plus one record
+per entry with the serialized Flowtree (via
+:meth:`repro.flows.tree.Flowtree.to_dict`).  Schemas hold feature
+objects that do not round-trip through JSON, so loading takes the
+:class:`~repro.flows.flowkey.GeneralizationPolicy` explicitly and
+validates it against the stored shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.core.summary import TimeInterval
+from repro.errors import SchemaMismatchError, StorageError
+from repro.flowdb.db import FlowDB
+from repro.flows.flowkey import GeneralizationPolicy
+from repro.flows.tree import Flowtree
+
+FORMAT_VERSION = 1
+
+
+def save_flowdb(db: FlowDB, path: str) -> int:
+    """Write the whole FlowDB to ``path``; returns entries written.
+
+    Writes to a temporary file first and renames, so a crash mid-save
+    never leaves a truncated index behind.
+    """
+    entries = db.entries()
+    document = {
+        "format_version": FORMAT_VERSION,
+        "merge_node_budget": db.merge_node_budget,
+        "entries": [
+            {
+                "location": entry.location,
+                "start": entry.interval.start,
+                "end": entry.interval.end,
+                "tree": entry.tree.to_dict(),
+            }
+            for entry in entries
+        ],
+    }
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w") as handle:
+        json.dump(document, handle)
+    os.replace(temp_path, path)
+    return len(entries)
+
+
+def load_flowdb(
+    path: str,
+    policy: GeneralizationPolicy,
+    merge_node_budget: Optional[int] = None,
+) -> FlowDB:
+    """Load a FlowDB saved with :func:`save_flowdb`.
+
+    ``policy`` must match the shape the trees were built with (checked
+    tree by tree).  ``merge_node_budget`` overrides the saved value.
+    """
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except FileNotFoundError as exc:
+        raise StorageError(f"no FlowDB file at {path!r}") from exc
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt FlowDB file at {path!r}: {exc}") from exc
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported FlowDB format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    db = FlowDB(
+        merge_node_budget=(
+            merge_node_budget
+            if merge_node_budget is not None
+            else document.get("merge_node_budget")
+        )
+    )
+    for record in document["entries"]:
+        try:
+            tree = Flowtree.from_dict(record["tree"], policy)
+        except SchemaMismatchError as exc:
+            raise SchemaMismatchError(
+                f"entry for {record['location']!r} "
+                f"[{record['start']}, {record['end']}) does not match the "
+                f"supplied policy: {exc}"
+            ) from exc
+        db.insert(
+            location=record["location"],
+            interval=TimeInterval(record["start"], record["end"]),
+            tree=tree,
+        )
+    return db

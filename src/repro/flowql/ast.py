@@ -1,0 +1,62 @@
+"""FlowQL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+#: Operators taking no arguments.
+NO_ARG_OPERATORS = {"query", "total", "drilldown"}
+#: Operators with their required argument counts.
+OPERATOR_ARITY = {
+    "query": 0,
+    "total": 0,
+    "drilldown": 0,
+    "topk": 1,
+    "above": 1,
+    "hhh": 1,
+    "groupby": 2,
+}
+
+
+@dataclass(frozen=True)
+class OpCall:
+    """The SELECT clause: operator name plus arguments."""
+
+    name: str
+    args: List[Union[float, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TimeSpec:
+    """A FROM/VS time period; ``None`` bounds mean "all" on that side."""
+
+    start: Optional[float]
+    end: Optional[float]
+
+    @staticmethod
+    def all() -> "TimeSpec":
+        """The unbounded period (keyword ALL)."""
+        return TimeSpec(start=None, end=None)
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """One WHERE term: ``feature = value`` with an optional mask level."""
+
+    feature: str
+    value: str
+    mask: Optional[int]
+
+
+@dataclass(frozen=True)
+class FlowQLQuery:
+    """A fully parsed FlowQL query."""
+
+    select: OpCall
+    time: TimeSpec
+    vs_time: Optional[TimeSpec] = None
+    sites: List[str] = field(default_factory=list)
+    where: List[Restriction] = field(default_factory=list)
+    metric: str = "bytes"
+    limit: Optional[int] = None

@@ -1,0 +1,176 @@
+"""FlowQL planner/executor against a FlowDB.
+
+Planning is thin by design: the FROM/AT clauses select FlowDB entries,
+Merge + Compress collapses them into one tree (Diff for ``VS``), the
+WHERE clause compiles to a generalized :class:`FlowKey` pattern, and the
+SELECT operator maps onto the corresponding Table II tree operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import FlowQLPlanningError
+from repro.flowdb.db import FlowDB
+from repro.flows.flowkey import FlowKey
+from repro.flows.records import Score
+from repro.flows.tree import Flowtree
+from repro.flowql.ast import FlowQLQuery, Restriction, TimeSpec
+from repro.flowql.parser import parse
+
+
+@dataclass
+class FlowQLResult:
+    """The outcome of one FlowQL query.
+
+    Row-producing operators fill ``rows`` (flow text plus the three
+    score counters); scalar operators (QUERY, TOTAL) fill ``scalar``
+    with a :class:`~repro.flows.records.Score`.
+    """
+
+    operator: str
+    columns: Tuple[str, ...] = ("flow", "packets", "bytes", "flows")
+    rows: List[Tuple[str, int, int, int]] = field(default_factory=list)
+    scalar: Optional[Score] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class FlowQLExecutor:
+    """Executes FlowQL text against one FlowDB instance."""
+
+    def __init__(self, db: FlowDB) -> None:
+        self.db = db
+        self.queries_executed = 0
+
+    # -- planning helpers ---------------------------------------------------
+
+    def _pattern(
+        self, tree: Flowtree, restrictions: List[Restriction]
+    ) -> Optional[FlowKey]:
+        """Compile WHERE restrictions into a generalized key pattern."""
+        if not restrictions:
+            return None
+        schema = tree.schema
+        values = [0] * len(schema)
+        levels = [0] * len(schema)
+        for restriction in restrictions:
+            index = schema.index_of(restriction.feature)
+            feature = schema.features[index]
+            value = feature.parse(restriction.value)
+            level = (
+                restriction.mask
+                if restriction.mask is not None
+                else feature.max_level
+            )
+            values[index] = feature.mask(value, level)
+            levels[index] = level
+        return FlowKey(schema, tuple(values), tuple(levels))
+
+    def _merged(
+        self, query: FlowQLQuery, spec: TimeSpec
+    ) -> Flowtree:
+        return self.db.merged_tree(
+            locations=query.sites or None,
+            start=spec.start,
+            end=spec.end,
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, text: str) -> FlowQLResult:
+        """Parse and run one FlowQL query."""
+        return self.execute_query(parse(text))
+
+    def execute_query(self, query: FlowQLQuery) -> FlowQLResult:
+        """Run a parsed FlowQL query."""
+        result = self._execute(query)
+        if query.limit is not None and result.rows:
+            result.rows = result.rows[: query.limit]
+        return result
+
+    def _execute(self, query: FlowQLQuery) -> FlowQLResult:
+        self.queries_executed += 1
+        tree = self._merged(query, query.time)
+        if query.vs_time is not None:
+            tree = tree.diff(self._merged(query, query.vs_time))
+        pattern = self._pattern(tree, query.where)
+        operator = query.select.name
+        metric = query.metric
+        args = query.select.args
+
+        if operator == "total":
+            return FlowQLResult(operator=operator, scalar=tree.total())
+
+        if operator == "query":
+            if pattern is None:
+                raise FlowQLPlanningError(
+                    "QUERY needs a WHERE clause naming the flow"
+                )
+            return FlowQLResult(operator=operator, scalar=tree.query(pattern))
+
+        if operator == "drilldown":
+            if pattern is None:
+                raise FlowQLPlanningError(
+                    "DRILLDOWN needs a WHERE clause naming the flow"
+                )
+            depth = tree.policy.nearest_depth_at_or_above(pattern.levels)
+            node_key = tree.policy.key_at(pattern, depth)
+            pairs = tree.drilldown(node_key)
+            return self._rows(operator, pairs)
+
+        if operator == "topk":
+            pairs = tree.top_k(int(args[0]), metric=metric)
+            if pattern is not None:
+                pairs = [
+                    (key, score)
+                    for key, score in tree.top_k(
+                        max(int(args[0]) * 16, 128), metric=metric
+                    )
+                    if pattern.contains(key)
+                ][: int(args[0])]
+            return self._rows(operator, pairs)
+
+        if operator == "above":
+            pairs = tree.above_x(int(args[0]), metric=metric)
+            if pattern is not None:
+                pairs = [
+                    (key, score) for key, score in pairs if pattern.contains(key)
+                ]
+            return self._rows(operator, pairs)
+
+        if operator == "hhh":
+            threshold = float(args[0])
+            if threshold < 1.0:
+                threshold = threshold * max(1, tree.total().metric(metric))
+            results = tree.hhh(int(threshold), metric=metric)
+            pairs = [(r.key, r.score) for r in results]
+            if pattern is not None:
+                pairs = [
+                    (key, score) for key, score in pairs if pattern.contains(key)
+                ]
+            return self._rows(operator, pairs)
+
+        if operator == "groupby":
+            feature = str(args[0])
+            level = int(float(args[1]))
+            pairs = tree.aggregate_by_feature(
+                feature, level, metric=metric, within=pattern
+            )
+            return self._rows(operator, pairs)
+
+        raise FlowQLPlanningError(f"unhandled operator {operator!r}")
+
+    @staticmethod
+    def _rows(
+        operator: str, pairs: List[Tuple[FlowKey, Score]]
+    ) -> FlowQLResult:
+        return FlowQLResult(
+            operator=operator,
+            rows=[
+                (str(key), score.packets, score.bytes, score.flows)
+                for key, score in pairs
+            ],
+        )

@@ -1,0 +1,77 @@
+"""FlowQL tokenizer.
+
+A small regex-driven lexer.  The only subtlety is values: IPv4 literals
+with optional prefix masks (``10.0.0.0/8``) must win over plain numbers,
+and site paths (``region1/router1``) are identifiers that may contain
+slashes, dots, and dashes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FlowQLSyntaxError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "vs",
+    "at",
+    "where",
+    "by",
+    "and",
+    "time",
+    "all",
+    "limit",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IP>\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}(?:/\d{1,2})?)
+  | (?P<NUMBER>\d+(?:\.\d+)?)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_./-]*)
+  | (?P<STRING>'[^']*')
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<EQUALS>=)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize FlowQL text; raises on any unrecognized character."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise FlowQLSyntaxError(
+                f"unexpected character {text[position]!r} at offset "
+                f"{position}",
+                position=position,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "IDENT" and value.lower() in KEYWORDS:
+            tokens.append(Token("KEYWORD", value.lower(), position))
+        elif kind == "STRING":
+            tokens.append(Token("IDENT", value[1:-1], position))
+        elif kind != "WS":
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,186 @@
+"""FlowQL recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import FlowQLSyntaxError
+from repro.flowql.ast import (
+    OPERATOR_ARITY,
+    FlowQLQuery,
+    OpCall,
+    Restriction,
+    TimeSpec,
+)
+from repro.flowql.lexer import Token, tokenize
+
+_METRICS = {"bytes", "packets", "flows"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = f"{kind}{f' {text!r}' if text else ''}"
+            raise FlowQLSyntaxError(
+                f"expected {wanted}, got {token.kind} {token.text!r} at "
+                f"offset {token.position}",
+                position=token.position,
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.text == word:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> FlowQLQuery:
+        self.expect("KEYWORD", "select")
+        select = self.parse_op_call()
+        self.expect("KEYWORD", "from")
+        time = self.parse_time_spec()
+        vs_time = None
+        if self.accept_keyword("vs"):
+            vs_time = self.parse_time_spec()
+        sites: List[str] = []
+        if self.accept_keyword("at"):
+            sites = self.parse_site_list()
+        where: List[Restriction] = []
+        if self.accept_keyword("where"):
+            where = self.parse_restrictions()
+        metric = "bytes"
+        if self.accept_keyword("by"):
+            token = self.expect("IDENT")
+            if token.text not in _METRICS:
+                raise FlowQLSyntaxError(
+                    f"unknown metric {token.text!r}; choose from "
+                    f"{sorted(_METRICS)}",
+                    position=token.position,
+                )
+            metric = token.text
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.expect("NUMBER")
+            limit = int(float(token.text))
+            if limit < 1:
+                raise FlowQLSyntaxError(
+                    f"LIMIT must be >= 1, got {limit}",
+                    position=token.position,
+                )
+        self.expect("EOF")
+        return FlowQLQuery(
+            select=select,
+            time=time,
+            vs_time=vs_time,
+            sites=sites,
+            where=where,
+            metric=metric,
+            limit=limit,
+        )
+
+    def parse_op_call(self) -> OpCall:
+        token = self.expect("IDENT")
+        name = token.text.lower()
+        if name not in OPERATOR_ARITY:
+            raise FlowQLSyntaxError(
+                f"unknown operator {token.text!r}; known: "
+                f"{sorted(OPERATOR_ARITY)}",
+                position=token.position,
+            )
+        args: List[Union[float, str]] = []
+        if self.peek().kind == "LPAREN":
+            self.advance()
+            while self.peek().kind != "RPAREN":
+                arg = self.advance()
+                if arg.kind == "NUMBER":
+                    args.append(float(arg.text))
+                elif arg.kind in ("IDENT", "IP"):
+                    args.append(arg.text)
+                else:
+                    raise FlowQLSyntaxError(
+                        f"bad operator argument {arg.text!r} at offset "
+                        f"{arg.position}",
+                        position=arg.position,
+                    )
+                if self.peek().kind == "COMMA":
+                    self.advance()
+            self.expect("RPAREN")
+        arity = OPERATOR_ARITY[name]
+        if len(args) != arity:
+            raise FlowQLSyntaxError(
+                f"operator {name!r} takes {arity} argument(s), got "
+                f"{len(args)}",
+                position=token.position,
+            )
+        return OpCall(name=name, args=args)
+
+    def parse_time_spec(self) -> TimeSpec:
+        if self.accept_keyword("all"):
+            return TimeSpec.all()
+        self.expect("KEYWORD", "time")
+        self.expect("LPAREN")
+        start = float(self.expect("NUMBER").text)
+        self.expect("COMMA")
+        end = float(self.expect("NUMBER").text)
+        self.expect("RPAREN")
+        if end <= start:
+            raise FlowQLSyntaxError(
+                f"empty time period TIME({start:g}, {end:g})"
+            )
+        return TimeSpec(start=start, end=end)
+
+    def parse_site_list(self) -> List[str]:
+        sites = [self.expect("IDENT").text]
+        while self.peek().kind == "COMMA":
+            self.advance()
+            sites.append(self.expect("IDENT").text)
+        return sites
+
+    def parse_restrictions(self) -> List[Restriction]:
+        restrictions = [self.parse_restriction()]
+        while self.accept_keyword("and"):
+            restrictions.append(self.parse_restriction())
+        return restrictions
+
+    def parse_restriction(self) -> Restriction:
+        feature = self.expect("IDENT").text
+        self.expect("EQUALS")
+        token = self.advance()
+        if token.kind == "IP":
+            if "/" in token.text:
+                address, mask_text = token.text.split("/")
+                return Restriction(
+                    feature=feature, value=address, mask=int(mask_text)
+                )
+            return Restriction(feature=feature, value=token.text, mask=None)
+        if token.kind in ("NUMBER", "IDENT"):
+            return Restriction(feature=feature, value=token.text, mask=None)
+        raise FlowQLSyntaxError(
+            f"bad restriction value {token.text!r} at offset "
+            f"{token.position}",
+            position=token.position,
+        )
+
+
+def parse(text: str) -> FlowQLQuery:
+    """Parse FlowQL text into a :class:`FlowQLQuery`."""
+    return _Parser(tokenize(text)).parse_query()

@@ -1,0 +1,163 @@
+"""Typed, generalizable flow features.
+
+The paper builds its flow hierarchy on the observation that *"each feature
+can be generalized by using a mask, e.g., by moving from an IP to a
+prefix"* (Section VI).  A :class:`Feature` therefore bundles three things:
+
+* a name (``"src_ip"``),
+* a domain (how raw values are parsed and rendered), and
+* a ladder of **mask levels**: level ``max_level`` keeps the full value,
+  level 0 collapses everything to a single wildcard.  Level ``n`` of an
+  IPv4 feature is exactly the ``/n`` prefix of the address.
+
+Masking is the only operation the Flowtree needs from a feature, which
+keeps the feature model open: adding, say, a geographic feature only
+requires defining its mask ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GranularityError, SchemaError
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 text into its 32-bit integer value.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise SchemaError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise SchemaError(f"bad IPv4 octet {part!r} in {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise SchemaError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad IPv4 text.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A named flow attribute with a ladder of generalization levels.
+
+    ``max_level`` is the number of mask bits at full specificity; masking
+    to level ``n`` keeps the ``n`` most significant of those bits.  The
+    generic implementation covers every fixed-width bit-maskable domain;
+    subclasses only customize parsing/rendering.
+    """
+
+    name: str
+    bits: int
+
+    @property
+    def max_level(self) -> int:
+        """The level at which no generalization has been applied."""
+        return self.bits
+
+    def mask(self, value: int, level: int) -> int:
+        """Return ``value`` generalized to ``level`` mask bits."""
+        if not 0 <= level <= self.bits:
+            raise GranularityError(
+                f"level {level} out of range [0, {self.bits}] for feature "
+                f"{self.name!r}"
+            )
+        if level == 0:
+            return 0
+        keep = ((1 << level) - 1) << (self.bits - level)
+        return value & keep
+
+    def parse(self, text: str) -> int:
+        """Parse a textual value into the feature's integer domain."""
+        try:
+            value = int(text)
+        except ValueError as exc:
+            raise SchemaError(
+                f"bad value {text!r} for feature {self.name!r}"
+            ) from exc
+        self.validate(value)
+        return value
+
+    def render(self, value: int, level: int) -> str:
+        """Render a (possibly generalized) value for display."""
+        if level == 0:
+            return "*"
+        if level == self.bits:
+            return str(value)
+        return f"{value}/{level}"
+
+    def validate(self, value: int) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits the domain."""
+        if not isinstance(value, int):
+            raise SchemaError(
+                f"feature {self.name!r} expects int, got {type(value).__name__}"
+            )
+        if not 0 <= value < (1 << self.bits):
+            raise SchemaError(
+                f"value {value} out of range for {self.bits}-bit feature "
+                f"{self.name!r}"
+            )
+
+
+class IPv4Feature(Feature):
+    """A 32-bit IPv4 address feature; level ``n`` is the ``/n`` prefix."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name=name, bits=32)
+
+    def parse(self, text: str) -> int:
+        value = parse_ipv4(text)
+        self.validate(value)
+        return value
+
+    def render(self, value: int, level: int) -> str:
+        if level == 0:
+            return "*"
+        if level == self.bits:
+            return format_ipv4(value)
+        return f"{format_ipv4(value)}/{level}"
+
+
+class PortFeature(Feature):
+    """A 16-bit transport-port feature generalized by bit masking."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name=name, bits=16)
+
+
+class ProtocolFeature(Feature):
+    """An 8-bit IP-protocol feature; in practice used all-or-nothing."""
+
+    _NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+    _NUMBERS = {name: number for number, name in _NAMES.items()}
+
+    def __init__(self, name: str = "proto") -> None:
+        super().__init__(name=name, bits=8)
+
+    def parse(self, text: str) -> int:
+        lowered = text.strip().lower()
+        if lowered in self._NUMBERS:
+            return self._NUMBERS[lowered]
+        return super().parse(text)
+
+    def render(self, value: int, level: int) -> str:
+        if level == 0:
+            return "*"
+        if level == self.bits and value in self._NAMES:
+            return self._NAMES[value]
+        return super().render(value, level)

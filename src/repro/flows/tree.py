@@ -1,0 +1,743 @@
+"""Flowtree: the self-adjusting tree of generalized flows.
+
+This module implements the computing primitive of Section VI with the
+eight operators of Table II:
+
+=========  ====================================================
+Operator   Method
+=========  ====================================================
+Merge      :meth:`Flowtree.merge` / :meth:`Flowtree.merged`
+Compress   :meth:`Flowtree.compress`
+Diff       :meth:`Flowtree.diff`
+Query      :meth:`Flowtree.query`
+Drilldown  :meth:`Flowtree.drilldown`
+Top-k      :meth:`Flowtree.top_k`
+Above-x    :meth:`Flowtree.above_x`
+HHH        :meth:`Flowtree.hhh`
+=========  ====================================================
+
+Structure.  Every observed flow and every canonical generalization of it
+is a node; a node's parent is its most-specific canonical generalization
+(one step up the :class:`~repro.flows.flowkey.GeneralizationPolicy`
+chain).  Each node carries:
+
+* ``own`` — mass inserted directly at this key,
+* ``folded`` — mass absorbed from compressed (pruned) descendants, and
+* ``subtree`` — the node's *popularity score*: ``own + folded`` plus the
+  popularity of all live descendants, maintained incrementally.
+
+Self-adjustment.  The tree enforces a node budget: when an insert pushes
+the node count past ``node_budget`` the tree compresses itself by
+repeatedly folding the least-popular leaf into its parent, down to
+``compress_ratio * node_budget`` nodes.  Popularity mass is never lost —
+it only loses specificity — so the root's popularity always equals the
+total ingested mass (an invariant the property-based tests pin down).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GranularityError, SchemaMismatchError
+from repro.flows.flowkey import FlowKey, GeneralizationPolicy
+from repro.flows.records import FlowRecord, PacketRecord, Score
+
+NodeId = Tuple[int, Tuple[int, ...]]
+
+#: Approximate serialized footprint of one node, used for transfer
+#: accounting: depth + per-feature value + three 8-byte counters (twice,
+#: for own and folded).
+_NODE_BYTES_FIXED = 4 + 2 * 3 * 8
+_NODE_BYTES_PER_FEATURE = 4
+
+
+class FlowtreeNode:
+    """One generalized flow inside a :class:`Flowtree`."""
+
+    __slots__ = ("depth", "values", "own", "folded", "subtree", "children")
+
+    def __init__(self, depth: int, values: Tuple[int, ...]) -> None:
+        self.depth = depth
+        self.values = values
+        self.own = Score.zero()
+        self.folded = Score.zero()
+        self.subtree = Score.zero()
+        self.children: Dict[Tuple[int, ...], "FlowtreeNode"] = {}
+
+    @property
+    def node_id(self) -> NodeId:
+        """The node's identity within its tree."""
+        return (self.depth, self.values)
+
+    def is_leaf(self) -> bool:
+        """True when the node currently has no live children."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlowtreeNode(depth={self.depth}, values={self.values}, "
+            f"subtree={self.subtree})"
+        )
+
+
+@dataclass(frozen=True)
+class HHHResult:
+    """One hierarchical heavy hitter: its key, full popularity score, and
+    the *residual* score after discounting already-reported HHH
+    descendants (the quantity compared against the threshold)."""
+
+    key: FlowKey
+    score: Score
+    residual: Score
+
+
+class Flowtree:
+    """A mergeable, compressible summary of a flow stream.
+
+    Parameters
+    ----------
+    policy:
+        The canonical generalization chain.  Trees are only combinable
+        when their policies are compatible.
+    node_budget:
+        Maximum number of live nodes before self-compression kicks in.
+        ``None`` disables the budget (the tree grows without bound).
+    compress_ratio:
+        When self-compression runs it prunes down to
+        ``compress_ratio * node_budget`` nodes so that inserts do not
+        trigger compression on every call.
+    metric:
+        Which popularity counter (``packets``/``bytes``/``flows``) drives
+        compression decisions and is the default for ranking operators.
+    """
+
+    def __init__(
+        self,
+        policy: GeneralizationPolicy,
+        node_budget: Optional[int] = 4096,
+        compress_ratio: float = 0.8,
+        metric: str = "bytes",
+    ) -> None:
+        if node_budget is not None and node_budget < policy.depth + 1:
+            raise GranularityError(
+                f"node budget {node_budget} cannot hold a single root-to-leaf "
+                f"chain of depth {policy.depth}"
+            )
+        if not 0.0 < compress_ratio <= 1.0:
+            raise GranularityError(
+                f"compress ratio must be in (0, 1], got {compress_ratio}"
+            )
+        Score.zero().metric(metric)  # validate the metric name early
+        self.policy = policy
+        self.schema = policy.schema
+        self.node_budget = node_budget
+        self.compress_ratio = compress_ratio
+        self.metric = metric
+        root = FlowtreeNode(0, self.policy.project((0,) * len(self.schema), 0))
+        self._nodes: Dict[NodeId, FlowtreeNode] = {root.node_id: root}
+        self._root = root
+        self._compressions = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def root(self) -> FlowtreeNode:
+        """The all-wildcard root node."""
+        return self._root
+
+    @property
+    def node_count(self) -> int:
+        """Number of live nodes (including the root)."""
+        return len(self._nodes)
+
+    @property
+    def compressions(self) -> int:
+        """How many self-compression passes have run."""
+        return self._compressions
+
+    def total(self) -> Score:
+        """Total ingested popularity mass (the root's popularity)."""
+        return self._root.subtree
+
+    def nodes(self) -> Iterator[FlowtreeNode]:
+        """Iterate over all live nodes in unspecified order."""
+        return iter(self._nodes.values())
+
+    def key_of(self, node: FlowtreeNode) -> FlowKey:
+        """Reconstruct the :class:`FlowKey` a node stands for."""
+        return FlowKey(self.schema, node.values, self.policy.levels_at(node.depth))
+
+    def find(self, key: FlowKey) -> Optional[FlowtreeNode]:
+        """Look up the node for an on-chain key, if present."""
+        depth = self.policy.depth_of(key.levels)
+        if depth is None:
+            return None
+        return self._nodes.get((depth, key.values))
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate wire size of the serialized tree.
+
+        Used by the data store and the replication engine for transfer
+        accounting.
+        """
+        per_node = _NODE_BYTES_FIXED + _NODE_BYTES_PER_FEATURE * len(self.schema)
+        return per_node * self.node_count
+
+    # ------------------------------------------------------------------
+    # ingest
+
+    def add(self, key: FlowKey, score: Score) -> None:
+        """Add popularity mass for a key.
+
+        Generalized (on-chain) keys are accepted; mass lands at the key's
+        canonical depth and counts toward every ancestor.
+        """
+        if key.schema.name != self.schema.name:
+            raise SchemaMismatchError(
+                f"key schema {key.schema.name!r} != tree schema "
+                f"{self.schema.name!r}"
+            )
+        depth = self.policy.depth_of(key.levels)
+        if depth is None:
+            raise GranularityError(
+                f"key levels {key.levels} are not on the canonical chain"
+            )
+        node = self._ensure_chain(key.values, depth)
+        node.own = node.own + score
+        self._bubble(node.values, depth, score)
+        self._maybe_self_compress()
+
+    def add_flow(self, record: FlowRecord) -> None:
+        """Ingest one exported flow record."""
+        self.add(record.key, record.score())
+
+    def add_packet(self, record: PacketRecord) -> None:
+        """Ingest one (possibly sampled) packet observation."""
+        self.add(record.key, record.score())
+
+    def ingest(self, records: Iterable[FlowRecord]) -> int:
+        """Ingest many flow records; returns how many were consumed."""
+        count = 0
+        for record in records:
+            self.add_flow(record)
+            count += 1
+        return count
+
+    def _ensure_chain(self, values: Sequence[int], depth: int) -> FlowtreeNode:
+        """Create any missing ancestors and return the node at ``depth``."""
+        parent = self._root
+        for d in range(1, depth + 1):
+            projected = self.policy.project(values, d)
+            node = self._nodes.get((d, projected))
+            if node is None:
+                node = FlowtreeNode(d, projected)
+                self._nodes[node.node_id] = node
+                parent.children[projected] = node
+            parent = node
+        return parent
+
+    def _bubble(self, values: Sequence[int], depth: int, score: Score) -> None:
+        """Add ``score`` to the subtree totals of the node and ancestors."""
+        for d in range(depth + 1):
+            projected = self.policy.project(values, d)
+            self._nodes[(d, projected)].subtree = (
+                self._nodes[(d, projected)].subtree + score
+            )
+
+    # ------------------------------------------------------------------
+    # Compress
+
+    def _maybe_self_compress(self) -> None:
+        if self.node_budget is not None and self.node_count > self.node_budget:
+            self.compress(target_nodes=int(self.node_budget * self.compress_ratio))
+            self._compressions += 1
+
+    def compress(
+        self,
+        target_nodes: Optional[int] = None,
+        ratio: Optional[float] = None,
+        metric: Optional[str] = None,
+    ) -> int:
+        """Fold least-popular leaves into their parents (Table II).
+
+        Exactly one of ``target_nodes``/``ratio`` selects the goal; with
+        neither given the tree compresses to its budget (or halves, if
+        unbudgeted).  Returns the number of nodes removed.  Mass is
+        preserved: a folded leaf's popularity moves into its parent's
+        ``folded`` counter.
+        """
+        if target_nodes is not None and ratio is not None:
+            raise GranularityError("give either target_nodes or ratio, not both")
+        if ratio is not None:
+            if not 0.0 < ratio <= 1.0:
+                raise GranularityError(f"ratio must be in (0, 1], got {ratio}")
+            target_nodes = max(1, int(self.node_count * ratio))
+        if target_nodes is None:
+            target_nodes = (
+                int(self.node_budget * self.compress_ratio)
+                if self.node_budget is not None
+                else max(1, self.node_count // 2)
+            )
+        metric_name = metric or self.metric
+        if self.node_count <= target_nodes:
+            return 0
+
+        counter = itertools.count()
+        heap: List[Tuple[int, int, NodeId]] = []
+        for node in self._nodes.values():
+            if node.depth > 0 and node.is_leaf():
+                heapq.heappush(
+                    heap,
+                    (node.subtree.metric(metric_name), next(counter), node.node_id),
+                )
+        removed = 0
+        while self.node_count > target_nodes and heap:
+            _, _, node_id = heapq.heappop(heap)
+            node = self._nodes.get(node_id)
+            if node is None or not node.is_leaf() or node.depth == 0:
+                continue
+            parent = self._parent_of(node)
+            parent.folded = parent.folded + node.own + node.folded
+            del parent.children[node.values]
+            del self._nodes[node_id]
+            removed += 1
+            if parent.depth > 0 and parent.is_leaf():
+                heapq.heappush(
+                    heap,
+                    (
+                        parent.subtree.metric(metric_name),
+                        next(counter),
+                        parent.node_id,
+                    ),
+                )
+        return removed
+
+    def _parent_of(self, node: FlowtreeNode) -> FlowtreeNode:
+        projected = self.policy.project(node.values, node.depth - 1)
+        return self._nodes[(node.depth - 1, projected)]
+
+    # ------------------------------------------------------------------
+    # Merge / Diff
+
+    def _check_compatible(self, other: "Flowtree") -> None:
+        if not self.policy.compatible_with(other.policy):
+            raise SchemaMismatchError(
+                "cannot combine Flowtrees with incompatible schemas/policies "
+                f"({self.schema.name!r} vs {other.schema.name!r})"
+            )
+
+    def merge(self, other: "Flowtree") -> None:
+        """Fold ``other`` into this tree in place (Table II: Merge).
+
+        The paper requires merged trees to share either the time period
+        or the location; that bookkeeping lives in the summary wrapper
+        (:mod:`repro.core.flowtree`) — the data structure itself only
+        requires compatible schemas.
+        """
+        self._check_compatible(other)
+        if other is self:
+            other = self.copy()
+        for node in sorted(other._nodes.values(), key=lambda n: n.depth):
+            if node.depth == 0:
+                self._root.own = self._root.own + node.own
+                self._root.folded = self._root.folded + node.folded
+                self._root.subtree = self._root.subtree + node.subtree
+                continue
+            mine = self._ensure_chain(node.values, node.depth)
+            mine.own = mine.own + node.own
+            mine.folded = mine.folded + node.folded
+            contribution = node.own + node.folded
+            if not contribution.is_zero():
+                # bubble only up to depth-1: node.subtree at depth 0 was
+                # already added wholesale above.
+                for d in range(1, node.depth + 1):
+                    projected = self.policy.project(node.values, d)
+                    target = self._nodes[(d, projected)]
+                    target.subtree = target.subtree + contribution
+        self._maybe_self_compress()
+
+    @classmethod
+    def merged(cls, first: "Flowtree", second: "Flowtree") -> "Flowtree":
+        """Return ``compress(first ∪ second)`` as a new tree."""
+        result = cls(
+            first.policy,
+            node_budget=first.node_budget,
+            compress_ratio=first.compress_ratio,
+            metric=first.metric,
+        )
+        result.merge(first)
+        result.merge(second)
+        return result
+
+    def diff(self, other: "Flowtree") -> "Flowtree":
+        """Subtract ``other``'s popularity from this tree (Table II: Diff).
+
+        The result is unbudgeted and may contain negative scores — that is
+        the point: a negative node marks traffic that shrank between the
+        two summaries, a positive one traffic that grew.
+        """
+        self._check_compatible(other)
+        result = Flowtree(
+            self.policy, node_budget=None, compress_ratio=1.0, metric=self.metric
+        )
+        for source, sign in ((self, 1), (other, -1)):
+            for node in sorted(source._nodes.values(), key=lambda n: n.depth):
+                own = node.own if sign > 0 else -node.own
+                folded = node.folded if sign > 0 else -node.folded
+                if node.depth == 0:
+                    result._root.own = result._root.own + own
+                    result._root.folded = result._root.folded + folded
+                    result._root.subtree = (
+                        result._root.subtree + own + folded
+                    )
+                    continue
+                mine = result._ensure_chain(node.values, node.depth)
+                mine.own = mine.own + own
+                mine.folded = mine.folded + folded
+                contribution = own + folded
+                if not contribution.is_zero():
+                    result._bubble(node.values, node.depth, contribution)
+        return result
+
+    # ------------------------------------------------------------------
+    # Query / Drilldown / Top-k / Above-x / HHH
+
+    def query(self, key: FlowKey) -> Score:
+        """The popularity score of a single flow (Table II: Query).
+
+        On-chain keys resolve to their node directly.  Off-chain
+        generalized keys are answered by summing the nodes at the
+        shallowest canonical depth specific enough to be masked up to the
+        query — mass already folded above that depth is missed, so
+        off-chain answers are lower bounds (exact on uncompressed trees).
+        """
+        if key.schema.name != self.schema.name:
+            raise SchemaMismatchError(
+                f"key schema {key.schema.name!r} != tree schema "
+                f"{self.schema.name!r}"
+            )
+        node_depth = self.policy.depth_of(key.levels)
+        if node_depth is not None:
+            node = self._nodes.get((node_depth, key.values))
+            return node.subtree if node is not None else Score.zero()
+        depth = self.policy.shallowest_covering_depth(key.levels)
+        total = Score.zero()
+        for node in self._nodes.values():
+            if node.depth != depth:
+                continue
+            if key.contains(self.key_of(node)):
+                total = total + node.subtree
+        return total
+
+    def query_with_bound(self, key: FlowKey) -> Tuple[Score, Score]:
+        """Point query with deterministic error bounds.
+
+        Returns ``(lower, upper)`` such that the true popularity of the
+        (on-chain) key satisfies ``lower <= true <= upper`` whatever
+        compression happened.  The lower bound is the live node's
+        subtree score (0 if the node is gone); the upper bound adds the
+        ``folded`` mass of every live ancestor on the key's path — the
+        only places compression can have parked this key's popularity.
+        (A compressed-away node may later be *recreated* by new inserts,
+        so even a live node's earlier mass can sit in an ancestor's
+        fold; the ancestor sum covers that case soundly.)
+
+        This is the quantitative form of "the Flowtree does not provide
+        exact summaries [but] allows us to distinguish heavy hitters
+        from non-popular flows": bounds are tight exactly where no
+        folding happened on the path, and a vanished key is provably no
+        heavier than the folds above it.
+        """
+        if key.schema.name != self.schema.name:
+            raise SchemaMismatchError(
+                f"key schema {key.schema.name!r} != tree schema "
+                f"{self.schema.name!r}"
+            )
+        depth = self.policy.depth_of(key.levels)
+        if depth is None:
+            raise GranularityError(
+                f"query_with_bound needs an on-chain key, got levels "
+                f"{key.levels}"
+            )
+        node = self._nodes.get((depth, key.values))
+        lower = node.subtree if node is not None else Score.zero()
+        ancestor_fold = self._root.folded
+        for d in range(1, depth):
+            projected = self.policy.project(key.values, d)
+            candidate = self._nodes.get((d, projected))
+            if candidate is None:
+                break
+            ancestor_fold = ancestor_fold + candidate.folded
+        return lower, lower + ancestor_fold
+
+    def drilldown(self, key: FlowKey) -> List[Tuple[FlowKey, Score]]:
+        """Children of a flow with their scores (Table II: Drilldown)."""
+        node = self.find(key)
+        if node is None:
+            return []
+        children = [
+            (self.key_of(child), child.subtree)
+            for child in node.children.values()
+        ]
+        children.sort(
+            key=lambda pair: (-pair[1].metric(self.metric), pair[0].values)
+        )
+        return children
+
+    def top_k(
+        self,
+        k: int,
+        depth: Optional[int] = None,
+        metric: Optional[str] = None,
+    ) -> List[Tuple[FlowKey, Score]]:
+        """The ``k`` most popular flows (Table II: Top-k).
+
+        ``depth`` selects the generalization level to rank (default: the
+        fully-specific leaf level).  Ties break on key values so results
+        are deterministic.
+        """
+        if k <= 0:
+            return []
+        depth = self.policy.depth if depth is None else depth
+        metric_name = metric or self.metric
+        candidates = [
+            node for node in self._nodes.values() if node.depth == depth
+        ]
+        candidates.sort(key=lambda n: (-n.subtree.metric(metric_name), n.values))
+        return [(self.key_of(node), node.subtree) for node in candidates[:k]]
+
+    def above_x(
+        self,
+        x: int,
+        depth: Optional[int] = None,
+        metric: Optional[str] = None,
+        include_root: bool = False,
+    ) -> List[Tuple[FlowKey, Score]]:
+        """All flows with popularity above ``x`` (Table II: Above-x)."""
+        metric_name = metric or self.metric
+        results = []
+        for node in self._nodes.values():
+            if node.depth == 0 and not include_root:
+                continue
+            if depth is not None and node.depth != depth:
+                continue
+            if node.subtree.metric(metric_name) > x:
+                results.append((self.key_of(node), node.subtree))
+        results.sort(
+            key=lambda pair: (-pair[1].metric(metric_name), pair[0].values)
+        )
+        return results
+
+    def aggregate_by_feature(
+        self,
+        feature_name: str,
+        level: int,
+        metric: Optional[str] = None,
+        within: Optional[FlowKey] = None,
+    ) -> List[Tuple[FlowKey, Score]]:
+        """Group popularity by one generalized feature.
+
+        Answers questions like "bytes per source /8" or "traffic per
+        destination port": nodes at the shallowest canonical depth
+        specific enough for ``(feature_name, level)`` are grouped by the
+        feature's masked value (all other features wildcarded in the
+        returned keys).  ``within`` restricts the aggregation to flows
+        under a generalized key — e.g. sources attacking one victim.
+
+        Like off-chain :meth:`query`, results are exact on uncompressed
+        trees and lower bounds after compression.
+        """
+        index = self.schema.index_of(feature_name)
+        feature = self.schema.features[index]
+        wanted = [0] * len(self.schema)
+        wanted[index] = level
+        if within is not None:
+            wanted = [max(w, l) for w, l in zip(wanted, within.levels)]
+        depth = self.policy.shallowest_covering_depth(wanted)
+        groups: Dict[Tuple[int, ...], Score] = {}
+        metric_name = metric or self.metric
+        for node in self._nodes.values():
+            if node.depth != depth:
+                continue
+            if within is not None and not within.contains(self.key_of(node)):
+                continue
+            group_values = [0] * len(self.schema)
+            group_values[index] = feature.mask(node.values[index], level)
+            slot = tuple(group_values)
+            groups[slot] = groups.get(slot, Score.zero()) + node.subtree
+        levels = [0] * len(self.schema)
+        levels[index] = level
+        results = [
+            (FlowKey(self.schema, values, tuple(levels)), score)
+            for values, score in groups.items()
+        ]
+        results.sort(
+            key=lambda pair: (-pair[1].metric(metric_name), pair[0].values)
+        )
+        return results
+
+    def hhh(
+        self,
+        threshold: int,
+        metric: Optional[str] = None,
+    ) -> List[HHHResult]:
+        """Hierarchical heavy hitters (Table II: HHH).
+
+        Standard discounted definition: walking from the deepest nodes
+        upward, a node is an HHH when its popularity *minus the
+        popularity of already-reported HHH descendants* meets the
+        threshold.  The root is included when the leftover, otherwise
+        unattributed, mass is itself substantial.
+        """
+        metric_name = metric or self.metric
+        discounted: Dict[NodeId, int] = {}
+        results: List[HHHResult] = []
+        for node in sorted(
+            self._nodes.values(), key=lambda n: (-n.depth, n.values)
+        ):
+            discount = discounted.pop(node.node_id, 0)
+            residual_value = node.subtree.metric(metric_name) - discount
+            parent_id: Optional[NodeId] = None
+            if node.depth > 0:
+                parent = self._parent_of(node)
+                parent_id = parent.node_id
+            if residual_value >= threshold:
+                residual = Score(
+                    **{
+                        field: residual_value if field == metric_name else 0
+                        for field in ("packets", "bytes", "flows")
+                    }
+                )
+                results.append(
+                    HHHResult(self.key_of(node), node.subtree, residual)
+                )
+                discount += residual_value
+            if parent_id is not None and discount:
+                discounted[parent_id] = discounted.get(parent_id, 0) + discount
+        results.sort(
+            key=lambda r: (-r.residual.metric(metric_name), r.key.values)
+        )
+        return results
+
+    def subtree(self, key: FlowKey) -> "Flowtree":
+        """Extract the summary of one generalized flow as a new tree.
+
+        The result contains the node for ``key`` (projected onto the
+        canonical chain) and all its descendants, re-rooted under the
+        usual all-wildcard root.  This is how a data store ships a
+        *partial* summary in answer to a sub-query — e.g. "give me your
+        view of prefix 10.0.0.0/8" — without exporting the whole tree.
+        """
+        depth = self.policy.depth_of(key.levels)
+        if depth is None:
+            depth = self.policy.nearest_depth_at_or_above(key.levels)
+            key = self.policy.key_at(key, depth)
+        result = Flowtree(
+            self.policy, node_budget=None, compress_ratio=1.0,
+            metric=self.metric,
+        )
+        anchor = self._nodes.get((depth, key.values))
+        if anchor is None:
+            return result
+        frontier = [anchor]
+        while frontier:
+            node = frontier.pop()
+            contribution = node.own + node.folded
+            if not contribution.is_zero():
+                result.add(self.key_of(node), contribution)
+            frontier.extend(node.children.values())
+        return result
+
+    # ------------------------------------------------------------------
+    # copy / serialization
+
+    def copy(self) -> "Flowtree":
+        """A deep, independent copy of the tree."""
+        clone = Flowtree(
+            self.policy,
+            node_budget=self.node_budget,
+            compress_ratio=self.compress_ratio,
+            metric=self.metric,
+        )
+        for node in sorted(self._nodes.values(), key=lambda n: n.depth):
+            target = (
+                clone._ensure_chain(node.values, node.depth)
+                if node.depth
+                else clone._root
+            )
+            target.own = node.own
+            target.folded = node.folded
+            target.subtree = node.subtree
+        return clone
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation, used for export and replication."""
+        return {
+            "schema": self.schema.name,
+            "level_vectors": [list(v) for v in self.policy.level_vectors],
+            "node_budget": self.node_budget,
+            "compress_ratio": self.compress_ratio,
+            "metric": self.metric,
+            "nodes": [
+                {
+                    "depth": node.depth,
+                    "values": list(node.values),
+                    "own": [node.own.packets, node.own.bytes, node.own.flows],
+                    "folded": [
+                        node.folded.packets,
+                        node.folded.bytes,
+                        node.folded.flows,
+                    ],
+                }
+                for node in sorted(
+                    self._nodes.values(), key=lambda n: (n.depth, n.values)
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, policy: GeneralizationPolicy) -> "Flowtree":
+        """Rebuild a tree serialized with :meth:`to_dict`.
+
+        The caller supplies the policy (schemas hold feature objects that
+        do not round-trip through JSON); its shape is validated against
+        the payload.
+        """
+        if payload["schema"] != policy.schema.name:
+            raise SchemaMismatchError(
+                f"payload schema {payload['schema']!r} != policy schema "
+                f"{policy.schema.name!r}"
+            )
+        vectors = [tuple(v) for v in payload["level_vectors"]]
+        if vectors != list(policy.level_vectors):
+            raise SchemaMismatchError(
+                "payload level vectors do not match the supplied policy"
+            )
+        tree = cls(
+            policy,
+            node_budget=payload["node_budget"],
+            compress_ratio=payload["compress_ratio"],
+            metric=payload["metric"],
+        )
+        for entry in sorted(payload["nodes"], key=lambda e: e["depth"]):
+            depth = entry["depth"]
+            values = tuple(entry["values"])
+            own = Score(*entry["own"])
+            folded = Score(*entry["folded"])
+            node = tree._ensure_chain(values, depth) if depth else tree._root
+            node.own = node.own + own
+            node.folded = node.folded + folded
+            contribution = own + folded
+            if not contribution.is_zero():
+                tree._bubble(values, depth, contribution)
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flowtree(schema={self.schema.name!r}, nodes={self.node_count}, "
+            f"total={self.total()})"
+        )

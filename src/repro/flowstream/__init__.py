@@ -1,0 +1,12 @@
+"""Flowstream: the end-to-end Figure 5 system.
+
+Router flow exports enter per-site data stores (1), Flowtree
+aggregators summarize them (2), epoch summaries are exported across the
+(accounted) network into FlowDB (3), which merges and indexes them (4)
+and answers FlowQL queries (5).
+"""
+
+from repro.flowstream.system import Flowstream
+from repro.flowstream.tiered import TieredFlowstream
+
+__all__ = ["Flowstream", "TieredFlowstream"]

@@ -1,0 +1,180 @@
+"""The Flowstream system: wiring routers to FlowQL (Figure 5).
+
+:class:`Flowstream` assembles the full path out of the library's parts:
+
+1. one :class:`~repro.datastore.store.DataStore` per router site, with a
+   Flowtree aggregator (steps 1-2 of the figure);
+2. an export step that ships each epoch's summary over the simulated
+   WAN — transfer volume is accounted, which is how the benchmarks show
+   the summary/raw reduction factor — into
+3. a :class:`~repro.flowdb.db.FlowDB` (step 4), queried through
+4. a :class:`~repro.flowql.executor.FlowQLExecutor` (step 5).
+
+Sites are addressed by their short names (``region1/router1``) in both
+:meth:`ingest` and FlowQL ``AT`` clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.summary import Location, TimeInterval
+from repro.datastore.aggregator import Aggregator
+from repro.datastore.storage import RoundRobinStorage, StorageStrategy
+from repro.datastore.store import DataStore
+from repro.errors import PlacementError
+from repro.flowdb.db import FlowDB
+from repro.flowql.executor import FlowQLExecutor, FlowQLResult
+from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
+from repro.flows.records import FlowRecord
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import Hierarchy, HierarchyNode, LevelSpec
+
+
+@dataclass
+class FlowstreamStats:
+    """Volume accounting across the whole system."""
+
+    raw_bytes_ingested: int = 0
+    raw_records_ingested: int = 0
+    summary_bytes_exported: int = 0
+    epochs_closed: int = 0
+
+    @property
+    def reduction_factor(self) -> float:
+        """Raw traffic volume over exported summary volume."""
+        if self.summary_bytes_exported == 0:
+            return float("inf") if self.raw_bytes_ingested else 1.0
+        return self.raw_bytes_ingested / self.summary_bytes_exported
+
+
+class Flowstream:
+    """Routers → data stores → Flowtrees → FlowDB → FlowQL."""
+
+    AGGREGATOR = "flowtree"
+
+    def __init__(
+        self,
+        sites: List[str],
+        schema: FeatureSchema = FIVE_TUPLE,
+        policy: Optional[GeneralizationPolicy] = None,
+        node_budget: int = 8192,
+        epoch_seconds: float = 60.0,
+        store_budget_bytes: int = 64 * 1024 * 1024,
+        merge_node_budget: int = 65536,
+    ) -> None:
+        if not sites:
+            raise PlacementError("Flowstream needs at least one site")
+        self.sites = list(sites)
+        self.policy = policy or GeneralizationPolicy.default_for(schema)
+        self.node_budget = node_budget
+        self.epoch_seconds = epoch_seconds
+        self.hierarchy = self._build_hierarchy(sites)
+        self.fabric = NetworkFabric(self.hierarchy)
+        self.db = FlowDB(merge_node_budget=merge_node_budget)
+        self.executor = FlowQLExecutor(self.db)
+        self.stats = FlowstreamStats()
+        self.stores: Dict[str, DataStore] = {}
+        self._cloud = self.hierarchy.root.location
+        for site in sites:
+            location = Location(f"cloud/{site}")
+            store = DataStore(
+                location,
+                RoundRobinStorage(store_budget_bytes),
+                fabric=self.fabric,
+            )
+            store.install_aggregator(
+                Aggregator(
+                    self.AGGREGATOR,
+                    FlowtreePrimitive(
+                        location, self.policy, node_budget=node_budget
+                    ),
+                )
+            )
+            self.stores[site] = store
+
+    @staticmethod
+    def _build_hierarchy(sites: List[str]) -> Hierarchy:
+        """Grow a cloud-rooted hierarchy covering every site path."""
+        root = HierarchyNode(Location("cloud"), LevelSpec("cloud", None))
+        hierarchy = Hierarchy(root)
+        for site in sites:
+            node = root
+            for depth, part in enumerate(site.split("/")):
+                existing = next(
+                    (c for c in node.children if c.location.parts[-1] == part),
+                    None,
+                )
+                if existing is None:
+                    level = LevelSpec(f"level{depth + 1}", None)
+                    existing = node.add_child(part, level)
+                node = existing
+        hierarchy.reindex()
+        return hierarchy
+
+    # -- data path ------------------------------------------------------------
+
+    def store_for(self, site: str) -> DataStore:
+        """The data store of one site."""
+        try:
+            return self.stores[site]
+        except KeyError as exc:
+            raise PlacementError(
+                f"unknown site {site!r}; known: {sorted(self.stores)}"
+            ) from exc
+
+    def ingest(self, site: str, records: Iterable[FlowRecord]) -> int:
+        """Feed router flow exports into the site's data store (step 1)."""
+        store = self.store_for(site)
+        count = 0
+        for record in records:
+            store.ingest(
+                "flows", record, record.first_seen, size_bytes=48
+            )
+            self.stats.raw_bytes_ingested += record.bytes
+            count += 1
+        self.stats.raw_records_ingested += count
+        return count
+
+    def close_epoch(self, now: float) -> int:
+        """Cut summaries everywhere and export them to FlowDB (steps 2-4).
+
+        Returns the number of summaries exported.  Export volume is
+        charged to the WAN path from each site to the cloud.
+        """
+        exported = 0
+        for site, store in self.stores.items():
+            partitions = store.close_epoch(now)
+            for partition in partitions:
+                if partition.summary.kind != "flowtree":
+                    continue
+                self.fabric.transfer(
+                    store.location,
+                    self._cloud,
+                    partition.summary.size_bytes,
+                    now,
+                )
+                self.stats.summary_bytes_exported += (
+                    partition.summary.size_bytes
+                )
+                tree = partition.summary.payload
+                self.db.insert(
+                    location=site,
+                    interval=partition.summary.meta.interval,
+                    tree=tree,
+                )
+                exported += 1
+        self.stats.epochs_closed += 1
+        return exported
+
+    # -- query path -------------------------------------------------------------
+
+    def query(self, flowql: str) -> FlowQLResult:
+        """Answer a FlowQL query from FlowDB (step 5)."""
+        return self.executor.execute(flowql)
+
+    def wan_summary_bytes(self) -> int:
+        """Bytes of summaries that crossed into the cloud."""
+        return self.fabric.wan_bytes()

@@ -1,0 +1,30 @@
+"""The physical hierarchy (Figure 1) and the network connecting it.
+
+* :mod:`repro.hierarchy.topology` — trees of locations with per-level
+  decision deadlines (machine < 1 s, production line < 1 min, edge
+  < 1 week, cloud) and builders for both of the paper's settings.
+* :mod:`repro.hierarchy.network` — links with bandwidth and latency,
+  routing along the hierarchy, and byte-level transfer accounting; this
+  is the resource the paper says the raw sensor flood would exhaust and
+  that the replication engine optimizes.
+"""
+
+from repro.hierarchy.topology import (
+    Hierarchy,
+    HierarchyNode,
+    LevelSpec,
+    network_monitoring_hierarchy,
+    smart_factory_hierarchy,
+)
+from repro.hierarchy.network import Link, NetworkFabric, TransferRecord
+
+__all__ = [
+    "HierarchyNode",
+    "Hierarchy",
+    "LevelSpec",
+    "smart_factory_hierarchy",
+    "network_monitoring_hierarchy",
+    "Link",
+    "NetworkFabric",
+    "TransferRecord",
+]

@@ -1,0 +1,180 @@
+"""Links, routing, and transfer accounting over a hierarchy.
+
+The fabric models exactly what the transfer-optimization problem of
+Section VII needs: every byte moved between sites is charged to the
+links it crosses, transfers take ``latency + bytes/bandwidth`` per hop,
+and WAN links (those touching the top levels) are orders of magnitude
+slower than intra-site links — which is why shipping raw mega-datasets
+is infeasible (Table I, challenge 3) and replication decisions matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.summary import Location
+from repro.errors import PlacementError
+from repro.hierarchy.topology import Hierarchy, HierarchyNode
+
+#: Default link capacities by the *upper* endpoint's level name.
+DEFAULT_BANDWIDTH_BPS: Dict[str, float] = {
+    "cloud": 100e6 / 8 * 8,      # WAN uplink: 100 Mbit/s
+    "network": 1e9,              # backbone: 1 Gbit/s
+    "factory": 1e9,
+    "region": 10e9,
+    "line": 10e9,
+}
+_FALLBACK_BANDWIDTH_BPS = 10e9
+
+DEFAULT_LATENCY_S: Dict[str, float] = {
+    "cloud": 0.050,   # WAN round to the cloud
+    "network": 0.020,
+    "factory": 0.020,
+    "region": 0.005,
+    "line": 0.001,
+}
+_FALLBACK_LATENCY_S = 0.0005
+
+
+@dataclass
+class Link:
+    """A bidirectional parent–child link with bandwidth and latency."""
+
+    upper: Location
+    lower: Location
+    bandwidth_bps: float
+    latency_s: float
+    bytes_carried: int = 0
+    transfers: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Canonical (upper, lower) path pair identifying the link."""
+        return (self.upper.path, self.lower.path)
+
+    def charge(self, size_bytes: int) -> float:
+        """Account one transfer; returns the per-hop duration."""
+        self.bytes_carried += size_bytes
+        self.transfers += 1
+        return self.latency_s + size_bytes * 8.0 / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed site-to-site transfer."""
+
+    origin: Location
+    destination: Location
+    size_bytes: int
+    started_at: float
+    duration: float
+    hops: int
+
+    @property
+    def completed_at(self) -> float:
+        """When the last byte arrived."""
+        return self.started_at + self.duration
+
+
+class NetworkFabric:
+    """The network overlaying a hierarchy, with full accounting."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        bandwidth_by_level: Optional[Dict[str, float]] = None,
+        latency_by_level: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        bandwidths = dict(DEFAULT_BANDWIDTH_BPS)
+        if bandwidth_by_level:
+            bandwidths.update(bandwidth_by_level)
+        latencies = dict(DEFAULT_LATENCY_S)
+        if latency_by_level:
+            latencies.update(latency_by_level)
+        self._links: Dict[Tuple[str, str], Link] = {}
+        for node in hierarchy.nodes():
+            for child in node.children:
+                link = Link(
+                    upper=node.location,
+                    lower=child.location,
+                    bandwidth_bps=bandwidths.get(
+                        node.level.name, _FALLBACK_BANDWIDTH_BPS
+                    ),
+                    latency_s=latencies.get(
+                        node.level.name, _FALLBACK_LATENCY_S
+                    ),
+                )
+                self._links[link.key] = link
+        self.transfers: List[TransferRecord] = []
+
+    def link_between(self, a: Location, b: Location) -> Link:
+        """The direct link between a parent and child location."""
+        link = self._links.get((a.path, b.path)) or self._links.get(
+            (b.path, a.path)
+        )
+        if link is None:
+            raise PlacementError(
+                f"no direct link between {a.path!r} and {b.path!r}"
+            )
+        return link
+
+    def links(self) -> List[Link]:
+        """All links in the fabric."""
+        return list(self._links.values())
+
+    def transfer(
+        self,
+        origin: Location,
+        destination: Location,
+        size_bytes: int,
+        at_time: float = 0.0,
+    ) -> TransferRecord:
+        """Move ``size_bytes`` along the hierarchy route and account it.
+
+        Duration is the sum of per-hop latencies plus per-hop
+        serialization delay (store-and-forward).  A zero-hop transfer
+        (origin == destination) is free and instantaneous.
+        """
+        path = self.hierarchy.path_between(origin, destination)
+        duration = 0.0
+        hops = 0
+        for upper, lower in zip(path, path[1:]):
+            link = self.link_between(upper.location, lower.location)
+            duration += link.charge(size_bytes)
+            hops += 1
+        record = TransferRecord(
+            origin=origin,
+            destination=destination,
+            size_bytes=size_bytes if hops else 0,
+            started_at=at_time,
+            duration=duration,
+            hops=hops,
+        )
+        self.transfers.append(record)
+        return record
+
+    def total_bytes(self) -> int:
+        """Bytes carried across all links (each hop counts)."""
+        return sum(link.bytes_carried for link in self._links.values())
+
+    def wan_bytes(self) -> int:
+        """Bytes that crossed a link whose upper endpoint is the root.
+
+        This is the paper's scarce resource: traffic into/out of the
+        cloud over the wide-area network.
+        """
+        root_path = self.hierarchy.root.location.path
+        return sum(
+            link.bytes_carried
+            for link in self._links.values()
+            if link.upper.path == root_path
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        for link in self._links.values():
+            link.bytes_carried = 0
+            link.transfers = 0
+        self.transfers = []

@@ -1,0 +1,60 @@
+"""Transfer optimization via adaptive replication (Section VII, Fig. 6).
+
+The data store can either keep **shipping query results** over the
+network (rent) or **replicate the partition** once (buy).  This package
+frames that as ski rental:
+
+* :mod:`repro.replication.ski_rental` — decision policies: never/always,
+  count/bytes/percent heuristics, the deterministic break-even rule
+  (2-competitive, Karlin et al.), the randomized e/(e−1) rule, and the
+  distribution-aware average-case-optimal threshold (Fujiwara & Iwama).
+* :mod:`repro.replication.predictor` — learns the distribution of
+  per-partition transfer volumes from completed partitions, as the
+  paper proposes ("aggregate result size for older partitions ... can
+  be used to predict future access").
+* :mod:`repro.replication.engine` — applies a policy to live partition
+  accesses, triggers replication between data stores, and accounts the
+  cost of every choice; includes the offline optimum for benchmarking.
+"""
+
+from repro.replication.ski_rental import (
+    AlwaysReplicate,
+    BreakEvenPolicy,
+    ConstrainedSkiRental,
+    CountThresholdPolicy,
+    DistributionAwarePolicy,
+    NeverReplicate,
+    PartitionAccessState,
+    PercentThresholdPolicy,
+    PredictorPolicy,
+    RandomizedSkiRental,
+    ReplicationPolicy,
+)
+from repro.replication.predictor import AccessPredictor
+from repro.replication.engine import (
+    AdaptiveReplicationEngine,
+    ReplicationOutcome,
+    TraceCosts,
+    offline_optimal_cost,
+    simulate_policy_on_trace,
+)
+
+__all__ = [
+    "ReplicationPolicy",
+    "PartitionAccessState",
+    "NeverReplicate",
+    "AlwaysReplicate",
+    "CountThresholdPolicy",
+    "PercentThresholdPolicy",
+    "BreakEvenPolicy",
+    "RandomizedSkiRental",
+    "DistributionAwarePolicy",
+    "PredictorPolicy",
+    "ConstrainedSkiRental",
+    "AccessPredictor",
+    "AdaptiveReplicationEngine",
+    "ReplicationOutcome",
+    "TraceCosts",
+    "simulate_policy_on_trace",
+    "offline_optimal_cost",
+]

@@ -1,0 +1,84 @@
+"""Access prediction from partition history (Figure 6, step 2).
+
+The manager "records, for every partition, the time at which it is
+accessed and the data volume of query results" and uses it to "predict
+further data transfers".  The :class:`AccessPredictor` does exactly
+that: partitions idle longer than ``completion_timeout`` are treated as
+finished, their total transfer volume joins the empirical demand
+distribution, and live partitions get conditional-expectation forecasts
+``E[remaining | demand > spent]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class _LivePartition:
+    spent_bytes: int = 0
+    accesses: int = 0
+    last_access: float = 0.0
+
+
+@dataclass
+class AccessPredictor:
+    """Empirical demand distribution plus per-partition live state."""
+
+    completion_timeout: float = 3600.0
+    completed_demands: List[int] = field(default_factory=list)
+    _live: Dict[str, _LivePartition] = field(default_factory=dict)
+
+    def record_access(
+        self, partition_id: str, result_bytes: int, time: float
+    ) -> None:
+        """Account one remote access of a partition."""
+        state = self._live.setdefault(partition_id, _LivePartition())
+        state.spent_bytes += result_bytes
+        state.accesses += 1
+        state.last_access = time
+
+    def sweep(self, now: float) -> List[str]:
+        """Mark idle partitions completed; returns their ids.
+
+        A completed partition's total demand enters the distribution
+        that forecasts *future* partitions — the paper's "older
+        partitions ... predict future access for partitions created at a
+        later date".
+        """
+        finished = [
+            pid
+            for pid, state in self._live.items()
+            if now - state.last_access >= self.completion_timeout
+        ]
+        for pid in finished:
+            self.completed_demands.append(self._live.pop(pid).spent_bytes)
+        return finished
+
+    def spent(self, partition_id: str) -> int:
+        """Bytes shipped so far for a live partition (0 if unseen)."""
+        state = self._live.get(partition_id)
+        return state.spent_bytes if state else 0
+
+    def expected_remaining(self, partition_id: str) -> Optional[float]:
+        """``E[total - spent | total > spent]`` under the empirical
+        distribution; None before any partition has completed."""
+        if not self.completed_demands:
+            return None
+        spent = self.spent(partition_id)
+        exceeding = [d for d in self.completed_demands if d > spent]
+        if not exceeding:
+            return 0.0
+        return sum(d - spent for d in exceeding) / len(exceeding)
+
+    def exceed_probability(self, partition_id: str, target: float) -> float:
+        """P(total demand > target) for a live partition, conditioned on
+        what it has already spent."""
+        if not self.completed_demands:
+            return 0.0
+        spent = self.spent(partition_id)
+        conditioning = [d for d in self.completed_demands if d > spent]
+        if not conditioning:
+            return 0.0
+        return sum(1 for d in conditioning if d > target) / len(conditioning)

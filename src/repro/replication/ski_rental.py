@@ -1,0 +1,321 @@
+"""Ski-rental policies for the ship-vs-replicate decision.
+
+Terminology mapping (Section VII): *renting* is shipping one query's
+result bytes across the network; *buying* is replicating the whole
+partition (paying its size once, after which queries are free).  The
+number of future queries is unknown — exactly the ski-rental setting.
+
+All policies answer one question after each remote access: *replicate
+now?*  They see the partition's access state (bytes shipped so far,
+access count, partition size) and, for the distribution-aware policy, a
+predictor trained on completed partitions.
+
+Classic results implemented here:
+
+* **Break-even** (Karlin et al. 1988): buy once rent paid equals the
+  purchase price — never worse than twice the offline optimum, and no
+  deterministic policy does better in the worst case.
+* **Randomized** (Karlin et al. 1994): buy at a random fraction of the
+  price drawn from density ``e^x/(e-1)`` on [0,1] — e/(e−1) ≈ 1.58
+  competitive in expectation.
+* **Distribution-aware** (Fujiwara & Iwama 2005; Khanafer et al. 2013):
+  with the demand distribution known (here: estimated from completed
+  partitions), choose the threshold minimizing *expected* total cost.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ReplicationError
+
+
+@dataclass
+class PartitionAccessState:
+    """What a policy knows about one partition when deciding."""
+
+    partition_id: str
+    partition_bytes: int
+    shipped_bytes: int = 0
+    access_count: int = 0
+    replicated: bool = False
+
+    def record(self, result_bytes: int) -> None:
+        """Account one shipped query result."""
+        self.shipped_bytes += result_bytes
+        self.access_count += 1
+
+
+class ReplicationPolicy(abc.ABC):
+    """Decides, after each shipped result, whether to replicate now."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        """True to replicate the partition immediately."""
+
+    def observe_completed(self, total_shipped_bytes: int) -> None:
+        """Feed the final transfer volume of a completed partition.
+
+        Only distribution-aware policies learn from this; the default is
+        a no-op.
+        """
+
+
+class NeverReplicate(ReplicationPolicy):
+    """Baseline: always ship queries (pure rent)."""
+
+    name = "never"
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        return False
+
+
+class AlwaysReplicate(ReplicationPolicy):
+    """Baseline: replicate on first access (pure buy)."""
+
+    name = "always"
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        return True
+
+
+class CountThresholdPolicy(ReplicationPolicy):
+    """Section IV heuristic: replicate after ``n`` remote accesses."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ReplicationError(f"access threshold must be >= 1, got {n}")
+        self.n = n
+        self.name = f"count>={n}"
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        return state.access_count >= self.n
+
+
+class PercentThresholdPolicy(ReplicationPolicy):
+    """Section IV heuristic: replicate when shipped bytes reach ``p``
+    percent of the partition's own size."""
+
+    def __init__(self, percent: float) -> None:
+        if percent <= 0:
+            raise ReplicationError(f"percent must be positive, got {percent}")
+        self.percent = percent
+        self.name = f"volume>={percent:g}%"
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        return (
+            state.shipped_bytes
+            >= state.partition_bytes * self.percent / 100.0
+        )
+
+
+class BreakEvenPolicy(ReplicationPolicy):
+    """Deterministic ski rental: buy when rent paid >= purchase price.
+
+    Guarantees total cost <= 2x the offline optimum for every access
+    sequence (the classic competitive bound).
+    """
+
+    name = "break-even"
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        return state.shipped_bytes >= state.partition_bytes
+
+
+class RandomizedSkiRental(ReplicationPolicy):
+    """Randomized ski rental with the optimal e/(e−1) distribution.
+
+    Each partition draws a threshold fraction ``z`` with density
+    ``e^z / (e - 1)`` on [0, 1] (inverse-CDF sampling) and replicates
+    once shipped bytes reach ``z * partition_bytes``.
+    """
+
+    name = "randomized"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._thresholds: dict = {}
+
+    def _threshold_fraction(self, partition_id: str) -> float:
+        fraction = self._thresholds.get(partition_id)
+        if fraction is None:
+            u = self._rng.random()
+            # inverse CDF of f(z) = e^z/(e-1):  F(z) = (e^z - 1)/(e - 1)
+            fraction = math.log(1.0 + u * (math.e - 1.0))
+            self._thresholds[partition_id] = fraction
+        return fraction
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        fraction = self._threshold_fraction(state.partition_id)
+        return state.shipped_bytes >= fraction * state.partition_bytes
+
+
+@dataclass
+class DistributionAwarePolicy(ReplicationPolicy):
+    """Average-case-optimal threshold from observed transfer volumes.
+
+    Keeps the empirical distribution of per-partition total shipped
+    bytes (fed via :meth:`observe_completed`).  For a replication cost
+    ``C`` and threshold ``t``, a partition with eventual demand ``R``
+    costs ``R`` if ``R < t`` else ``t + C``; the policy picks the ``t``
+    among the observed demands (plus "never") minimizing the empirical
+    expectation — the finite-sample analogue of the Fujiwara–Iwama
+    average-case optimum.  Until ``min_observations`` partitions have
+    completed it falls back to break-even.
+    """
+
+    min_observations: int = 10
+    max_history: int = 10_000
+    name: str = field(default="distribution-aware", init=False)
+    _history: List[int] = field(default_factory=list, init=False)
+    _cached_threshold: Optional[float] = field(default=None, init=False)
+    _cached_cost: Optional[int] = field(default=None, init=False)
+
+    def observe_completed(self, total_shipped_bytes: int) -> None:
+        self._history.append(total_shipped_bytes)
+        if len(self._history) > self.max_history:
+            self._history = self._history[-self.max_history :]
+        self._cached_threshold = None
+
+    def optimal_threshold(self, replication_cost: int) -> float:
+        """The expected-cost-minimizing threshold for cost ``C``.
+
+        Candidates are the observed demands and infinity (never buy);
+        the optimum of the piecewise-linear objective lies on one of
+        them.
+        """
+        if self._cached_threshold is not None and self._cached_cost == replication_cost:
+            return self._cached_threshold
+        demands = sorted(self._history)
+        # the optimum of the piecewise-linear objective lies on 0 (buy at
+        # first access), one of the observed demands, or infinity (never)
+        candidates: List[float] = [0.0] + [float(d) for d in demands] + [
+            math.inf
+        ]
+
+        def expected_cost(threshold: float) -> float:
+            total = 0.0
+            for demand in demands:
+                if demand < threshold:
+                    total += demand
+                else:
+                    total += threshold + replication_cost
+            return total / len(demands)
+
+        best = min(candidates, key=expected_cost)
+        self._cached_threshold = best
+        self._cached_cost = replication_cost
+        return best
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        if len(self._history) < self.min_observations:
+            return state.shipped_bytes >= state.partition_bytes
+        threshold = self.optimal_threshold(state.partition_bytes)
+        return state.shipped_bytes >= threshold
+
+
+@dataclass
+class PredictorPolicy(ReplicationPolicy):
+    """Myopic expected-cost rule over the learned demand distribution.
+
+    Section VII: "More sophisticated strategies can be developed using
+    predictions of future accesses."  After each shipped result this
+    policy compares the *conditional expected remaining demand*
+    ``E[total - spent | total > spent]`` (estimated from completed
+    partitions) against the purchase price, and buys as soon as the
+    expected future rent alone exceeds the price.  Falls back to
+    break-even until ``min_observations`` partitions have completed.
+    """
+
+    min_observations: int = 10
+    max_history: int = 10_000
+    name: str = field(default="predictor", init=False)
+    _history: List[int] = field(default_factory=list, init=False)
+
+    def observe_completed(self, total_shipped_bytes: int) -> None:
+        self._history.append(total_shipped_bytes)
+        if len(self._history) > self.max_history:
+            self._history = self._history[-self.max_history :]
+
+    def expected_remaining(self, spent: int) -> Optional[float]:
+        """``E[total - spent | total > spent]`` over observed demands."""
+        if not self._history:
+            return None
+        exceeding = [d for d in self._history if d > spent]
+        if not exceeding:
+            return 0.0
+        return sum(d - spent for d in exceeding) / len(exceeding)
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        # break-even backstop: the prediction can only make us buy
+        # *earlier* than break-even would, never later — so the
+        # worst-case 2x guarantee survives the learned component being
+        # wrong (e.g. early history is biased toward short-lived
+        # partitions, which complete first)
+        if state.shipped_bytes >= state.partition_bytes:
+            return True
+        if len(self._history) < self.min_observations:
+            return False
+        remaining = self.expected_remaining(state.shipped_bytes)
+        if remaining is None:
+            return False
+        # weight by the probability any future demand exists at all
+        p_more = sum(
+            1 for d in self._history if d > state.shipped_bytes
+        ) / len(self._history)
+        return p_more * remaining > state.partition_bytes
+
+
+class ConstrainedSkiRental(ReplicationPolicy):
+    """A replication-budget wrapper (Khanafer et al., INFOCOM 2013).
+
+    The constrained ski-rental problem caps how much may be spent on
+    buying.  This wrapper delegates to an inner policy but refuses
+    replications once the cumulative purchase cost would exceed
+    ``budget_bytes`` — modeling a store whose replica space or transfer
+    allowance is capped.
+    """
+
+    def __init__(
+        self, inner: ReplicationPolicy, budget_bytes: int
+    ) -> None:
+        if budget_bytes < 0:
+            raise ReplicationError(
+                f"budget must be non-negative, got {budget_bytes}"
+            )
+        self.inner = inner
+        self.budget_bytes = budget_bytes
+        self.spent_bytes = 0
+        self.refused = 0
+        self.name = f"constrained({inner.name})"
+
+    def observe_completed(self, total_shipped_bytes: int) -> None:
+        self.inner.observe_completed(total_shipped_bytes)
+
+    def should_replicate(self, state: PartitionAccessState) -> bool:
+        if not self.inner.should_replicate(state):
+            return False
+        if self.spent_bytes + state.partition_bytes > self.budget_bytes:
+            self.refused += 1
+            return False
+        self.spent_bytes += state.partition_bytes
+        return True
+
+
+def default_policies(seed: int = 0) -> Sequence[ReplicationPolicy]:
+    """The policy lineup compared in the Figure 6 benchmark."""
+    return (
+        NeverReplicate(),
+        AlwaysReplicate(),
+        CountThresholdPolicy(3),
+        PercentThresholdPolicy(50.0),
+        BreakEvenPolicy(),
+        RandomizedSkiRental(seed=seed),
+        DistributionAwarePolicy(),
+    )

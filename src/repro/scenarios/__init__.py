@@ -1,0 +1,22 @@
+"""Prebuilt end-to-end scenarios.
+
+The examples, the CLI, and downstream experiments all need the same
+world-building: a factory with degrading machines wired to stores,
+controllers, and applications; or a multi-site network under
+monitoring with an optional attack.  These scenario classes build the
+worlds once, deterministically, and return structured outcomes —
+the library-level form of the two use cases of Section II.
+"""
+
+from repro.scenarios.factory import FactoryOutcome, FactoryScenario
+from repro.scenarios.network import (
+    NetworkOutcome,
+    NetworkScenario,
+)
+
+__all__ = [
+    "FactoryScenario",
+    "FactoryOutcome",
+    "NetworkScenario",
+    "NetworkOutcome",
+]

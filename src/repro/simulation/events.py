@@ -1,0 +1,132 @@
+"""A minimal discrete-event simulator.
+
+Everything in the library that needs time — sensors emitting readings,
+data stores closing epochs, the manager's adaptation loop, replication
+transfers completing — runs as callbacks scheduled on one
+:class:`Simulator`.  The simulator is single-threaded and deterministic:
+events at equal timestamps fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the queue)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic event loop over simulated seconds."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` after a relative delay (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        until: Optional[float] = None,
+        start_at: Optional[float] = None,
+    ) -> None:
+        """Schedule ``callback`` periodically (first firing at
+        ``start_at``, default ``now + interval``)."""
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        first = start_at if start_at is not None else self._now + interval
+
+        def fire(sim: "Simulator") -> None:
+            callback(sim)
+            next_time = sim.now + interval
+            if until is None or next_time <= until:
+                sim.schedule_at(next_time, fire)
+
+        if until is None or first <= until:
+            self.schedule_at(first, fire)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_fired += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Fire every event scheduled strictly before or at ``time``;
+        the clock ends exactly at ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: {time} < now {self._now}"
+            )
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely an unbounded periodic schedule"
+                )
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,234 @@
+"""Tests for the analytics toolset."""
+
+import pytest
+
+from repro.analytics.inference import (
+    CusumDetector,
+    EwmaAnomalyDetector,
+    LinearTrend,
+    time_to_threshold,
+)
+from repro.analytics.mapreduce import LocalMapReduce
+from repro.analytics.pipeline import Pipeline
+from repro.analytics.transfer import (
+    MessageBus,
+    RequestReplyChannel,
+    ScatterGather,
+)
+from repro.core.summary import LineageLog, Location
+from repro.errors import ReproError
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import smart_factory_hierarchy
+
+
+class TestMessageBus:
+    def test_publish_subscribe(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("alerts", lambda topic, msg: received.append(msg))
+        assert bus.publish("alerts", {"x": 1}) == 1
+        assert bus.publish("other", {"y": 2}) == 0
+        assert received == [{"x": 1}]
+
+    def test_multiple_subscribers(self):
+        bus = MessageBus()
+        a, b = [], []
+        bus.subscribe("t", lambda _t, m: a.append(m))
+        bus.subscribe("t", lambda _t, m: b.append(m))
+        assert bus.publish("t", 1) == 2
+        assert a == b == [1]
+
+    def test_unsubscribe(self):
+        bus = MessageBus()
+        received = []
+
+        def sink(topic, msg):
+            received.append(msg)
+
+        bus.subscribe("t", sink)
+        bus.unsubscribe("t", sink)
+        bus.publish("t", 1)
+        assert received == []
+
+    def test_fabric_accounting(self):
+        hierarchy = smart_factory_hierarchy(factories=1)
+        fabric = NetworkFabric(hierarchy)
+        bus = MessageBus(fabric=fabric)
+        bus.subscribe(
+            "t", lambda _t, m: None, location=Location("hq/factory1")
+        )
+        bus.publish(
+            "t", "payload", size_bytes=1000, origin=Location("hq")
+        )
+        assert fabric.total_bytes() == 1000
+
+
+class TestScatterGather:
+    def test_round_robin_order_preserved(self):
+        sg = ScatterGather([lambda x: x * 2, lambda x: x * 3])
+        assert sg.run([1, 1, 1, 1]) == [2, 3, 2, 3]
+
+    def test_needs_workers(self):
+        with pytest.raises(ReproError):
+            ScatterGather([])
+
+
+class TestRequestReply:
+    def test_roundtrip(self):
+        channel = RequestReplyChannel()
+        channel.register("double", lambda x: x * 2)
+        assert channel.request("double", 21) == 42
+        assert channel.requests == 1
+
+    def test_unknown_handler(self):
+        with pytest.raises(ReproError):
+            RequestReplyChannel().request("nope", 1)
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        engine = LocalMapReduce(partitions=3)
+        records = ["a", "b", "a", "c", "a", "b"]
+        counts = engine.word_count_style(records, key_of=lambda r: r)
+        assert counts == {"a": 3, "b": 2, "c": 1}
+
+    def test_combiner_reduces_shuffle(self):
+        records = ["x"] * 100
+        without = LocalMapReduce(partitions=4)
+        without.run(
+            records,
+            mapper=lambda r: [(r, 1)],
+            reducer=lambda k, vs: sum(vs),
+        )
+        with_combiner = LocalMapReduce(partitions=4)
+        with_combiner.run(
+            records,
+            mapper=lambda r: [(r, 1)],
+            reducer=lambda k, vs: sum(vs),
+            combiner=lambda k, vs: sum(vs),
+        )
+        assert without.last_stats.shuffled_pairs == 100
+        assert with_combiner.last_stats.shuffled_pairs == 4
+
+    def test_multi_key_mapper(self):
+        engine = LocalMapReduce()
+        result = engine.run(
+            [1, 2, 3],
+            mapper=lambda r: [("even", r)] if r % 2 == 0 else [("odd", r)],
+            reducer=lambda k, vs: sum(vs),
+        )
+        assert result == {"odd": 4, "even": 2}
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            LocalMapReduce(partitions=0)
+
+
+class TestPipeline:
+    def test_stages_run_in_order(self):
+        pipeline = (
+            Pipeline("p")
+            .add_stage("double", lambda x: x * 2)
+            .add_stage("inc", lambda x: x + 1)
+        )
+        run = pipeline.run(10)
+        assert run.output == 21
+        assert [t.stage for t in run.timings] == ["double", "inc"]
+        assert run.total_seconds >= 0
+
+    def test_sinks_receive_output(self):
+        outputs = []
+        pipeline = Pipeline("p").add_stage("id", lambda x: x).feed_to(
+            outputs.append
+        )
+        pipeline.run("data")
+        assert outputs == ["data"]
+        assert pipeline.runs == 1
+
+    def test_lineage_recorded(self):
+        lineage = LineageLog()
+        pipeline = Pipeline(
+            "p", lineage=lineage, location=Location("hq")
+        ).add_stage("id", lambda x: x)
+        pipeline.run(1, at_time=5.0)
+        assert len(lineage) == 1
+
+
+class TestInference:
+    def test_ewma_flags_spike(self):
+        detector = EwmaAnomalyDetector(alpha=0.1, z_threshold=4.0, warmup=10)
+        import random
+
+        rng = random.Random(0)
+        for i in range(100):
+            assert not detector.observe(10.0 + rng.gauss(0, 0.5), float(i))
+        assert detector.observe(50.0, 100.0)
+        assert len(detector.anomalies) == 1
+
+    def test_ewma_baseline_not_polluted_by_anomaly(self):
+        detector = EwmaAnomalyDetector(alpha=0.5, z_threshold=3.0, warmup=5)
+        import random
+
+        rng = random.Random(1)
+        for i in range(50):
+            detector.observe(10.0 + rng.gauss(0, 0.1), float(i))
+        mean_before = detector.mean
+        detector.observe(1000.0, 50.0)
+        assert detector.mean == mean_before
+
+    def test_cusum_detects_shift(self):
+        detector = CusumDetector(target=10.0, slack=0.5, threshold=5.0)
+        changes = [detector.observe(10.0, float(i)) for i in range(20)]
+        assert not any(changes)
+        for i in range(20):
+            result = detector.observe(12.0, 20.0 + i)
+            if result == "up":
+                break
+        else:
+            pytest.fail("CUSUM never detected the upward shift")
+
+    def test_cusum_direction(self):
+        detector = CusumDetector(target=10.0, slack=0.1, threshold=3.0)
+        for i in range(30):
+            result = detector.observe(8.0, float(i))
+            if result:
+                assert result == "down"
+                return
+        pytest.fail("no detection")
+
+    def test_cusum_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(0, -1, 1)
+        with pytest.raises(ValueError):
+            CusumDetector(0, 0, 0)
+
+    def test_linear_trend_exact_fit(self):
+        points = [(t, 2.0 * t + 1.0) for t in range(10)]
+        trend = LinearTrend.fit(points)
+        assert trend.slope == pytest.approx(2.0)
+        assert trend.intercept == pytest.approx(1.0)
+        assert trend.r_squared == pytest.approx(1.0)
+        assert trend.value_at(100.0) == pytest.approx(201.0)
+
+    def test_trend_needs_two_points(self):
+        with pytest.raises(ValueError):
+            LinearTrend.fit([(0.0, 1.0)])
+
+    def test_trend_degenerate_time(self):
+        trend = LinearTrend.fit([(1.0, 5.0), (1.0, 7.0)])
+        assert trend.slope == 0.0
+        assert trend.intercept == 6.0
+
+    def test_time_to_threshold(self):
+        trend = LinearTrend(slope=2.0, intercept=0.0, r_squared=1.0)
+        assert time_to_threshold(trend, current_time=0.0, threshold=10.0) == (
+            pytest.approx(5.0)
+        )
+
+    def test_time_to_threshold_already_crossed(self):
+        trend = LinearTrend(slope=1.0, intercept=100.0, r_squared=1.0)
+        assert time_to_threshold(trend, 0.0, 50.0) == 0.0
+
+    def test_time_to_threshold_receding(self):
+        trend = LinearTrend(slope=-1.0, intercept=0.0, r_squared=1.0)
+        assert time_to_threshold(trend, 0.0, 50.0) is None

@@ -1,0 +1,179 @@
+"""Tests for the smart-factory applications."""
+
+import pytest
+
+from repro.apps.predictive_maintenance import (
+    FAILURE_VIBRATION,
+    PredictiveMaintenanceApp,
+)
+from repro.apps.process_mining import ProcessMiningApp
+from repro.apps.supply_chain import SupplyChainApp
+from repro.control.manager import Manager
+from repro.core.summary import LineageLog, Location
+from repro.datastore.storage import RoundRobinStorage
+from repro.datastore.store import DataStore
+from repro.simulation.factory import MachineState, build_factory
+
+
+def drive_factory(workload, manager, app, hours, step_seconds=30.0,
+                  epoch_seconds=600.0):
+    """Feed vibration/temperature readings, closing epochs and running
+    the app at epoch boundaries."""
+    store = manager.stores()[0]
+    t = 0.0
+    end = hours * 3600.0
+    next_epoch = epoch_seconds
+    while t < end:
+        t += step_seconds
+        for machine in workload.machines:
+            for sensor in machine.sensors:
+                reading = sensor.reading_at(t)
+                store.ingest(sensor.sensor_id, reading, t,
+                             size_bytes=reading.size_bytes)
+        if t >= next_epoch:
+            manager.close_epochs(t)
+            app.on_epoch(manager, t)
+            next_epoch += epoch_seconds
+
+
+@pytest.fixture()
+def setup():
+    workload = build_factory(lines=1, machines_per_line=3, seed=11)
+    # accelerate wear so failures land inside a short simulation
+    for index, machine in enumerate(workload.machines):
+        machine.wear_rate_per_hour = 0.25 + 0.05 * index
+    manager = Manager()
+    store = DataStore(workload.root, RoundRobinStorage(10**8))
+    manager.register_store(store)
+    return workload, manager
+
+
+class TestPredictiveMaintenance:
+    def test_without_app_machines_fail(self, setup):
+        workload, manager = setup
+        for machine in workload.machines:
+            machine.wear_at(6 * 3600.0)
+        assert any(
+            machine.state is MachineState.FAILED
+            for machine in workload.machines
+        )
+
+    def test_app_schedules_maintenance_before_failure(self, setup):
+        workload, manager = setup
+        app = PredictiveMaintenanceApp(
+            workload, bin_seconds=60.0, horizon_seconds=2 * 3600.0
+        )
+        app.deploy(manager)
+        drive_factory(workload, manager, app, hours=6)
+        assert app.decisions, "app never scheduled maintenance"
+        # every machine survived: maintenance preempted failure
+        assert all(
+            machine.state is not MachineState.FAILED
+            for machine in workload.machines
+        )
+        assert all(not machine.failures for machine in workload.machines)
+
+    def test_decisions_carry_predictions(self, setup):
+        workload, manager = setup
+        app = PredictiveMaintenanceApp(
+            workload, bin_seconds=60.0, horizon_seconds=2 * 3600.0
+        )
+        app.deploy(manager)
+        drive_factory(workload, manager, app, hours=5)
+        for decision in app.decisions:
+            assert decision.predicted_failure_in <= 2 * 3600.0
+            assert decision.trend_slope > 0
+
+    def test_reports_emitted(self, setup):
+        workload, manager = setup
+        app = PredictiveMaintenanceApp(
+            workload, bin_seconds=60.0, horizon_seconds=2 * 3600.0
+        )
+        app.deploy(manager)
+        drive_factory(workload, manager, app, hours=5)
+        kinds = {report.kind for report in app.reports}
+        assert kinds == {"maintenance-scheduled"}
+
+    def test_failure_vibration_constant(self):
+        # the signature must exceed the healthy baseline
+        assert FAILURE_VIBRATION > 2.0
+
+
+class TestProcessMining:
+    def test_finds_most_worn_machine(self, setup):
+        workload, manager = setup
+        # make machine 3 degrade far faster than the others
+        workload.machines[0].wear_rate_per_hour = 0.01
+        workload.machines[1].wear_rate_per_hour = 0.01
+        workload.machines[2].wear_rate_per_hour = 0.30
+        app = ProcessMiningApp(workload, bin_seconds=300.0)
+        app.deploy(manager)
+        drive_factory(workload, manager, app, hours=3)
+        assert app.line_reports
+        latest = app.line_reports[-1]
+        assert latest.worst_machine == workload.machines[2].machine_id
+        assert latest.spread > 0
+
+    def test_health_in_unit_range(self, setup):
+        workload, manager = setup
+        app = ProcessMiningApp(workload, bin_seconds=300.0)
+        app.deploy(manager)
+        drive_factory(workload, manager, app, hours=2)
+        for snapshot in app.line_reports:
+            assert 0.0 <= snapshot.worst_health <= 1.0
+            assert 0.0 <= snapshot.mean_health <= 1.0
+
+
+class TestProcessMiningEvents:
+    def test_event_log_report(self, setup):
+        from repro.simulation.production import ProductionLineSimulator
+
+        workload, manager = setup
+        machines = workload.lines["line1"]
+        machines[1].wear = 0.9
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, wear_gain=3.0, seed=2
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=30.0)
+        app = ProcessMiningApp(workload)
+        report = app.mine_events("line1", events, now=3600.0)
+        assert report.kind == "line-process-analysis"
+        assert report.body["bottleneck"] == machines[1].machine_id
+        assert report.body["potential_speedup"] > 0.2
+        assert report.body["throughput_per_hour"] > 0
+
+
+class TestSupplyChain:
+    def test_trace_back_and_forward(self):
+        lineage = LineageLog()
+        ingest = lineage.record(
+            "ingest", location=Location("hq/factory1/line1"), timestamp=0.0
+        )
+        aggregate = lineage.record(
+            "aggregate",
+            inputs=[ingest.lineage_id],
+            location=Location("hq/factory1"),
+            timestamp=60.0,
+        )
+        merge = lineage.record(
+            "merge",
+            inputs=[aggregate.lineage_id],
+            location=Location("hq"),
+            timestamp=120.0,
+        )
+        app = SupplyChainApp(lineage)
+        back = app.trace_back(merge.lineage_id, now=130.0)
+        assert {r.lineage_id for r in back.steps} == {
+            ingest.lineage_id, aggregate.lineage_id, merge.lineage_id,
+        }
+        assert back.locations == ["hq", "hq/factory1", "hq/factory1/line1"]
+        forward = app.trace_forward(ingest.lineage_id, now=140.0)
+        assert {r.lineage_id for r in forward.steps} == {
+            aggregate.lineage_id, merge.lineage_id,
+        }
+        assert len(app.reports) == 2
+
+    def test_no_requirements(self):
+        app = SupplyChainApp(LineageLog())
+        assert app.requirements() == []
+        assert app.on_epoch(Manager(), 0.0) == []

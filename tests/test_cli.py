@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFlowQLCommand:
+    def test_demo_queries(self, capsys):
+        code = main(
+            ["flowql", "--epochs", "1", "--flows-per-epoch", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loaded 1 epochs" in out
+        assert "SELECT TOTAL FROM ALL" in out
+        assert "Score(" in out
+
+    def test_explicit_query(self, capsys):
+        code = main(
+            [
+                "flowql",
+                "--epochs", "1",
+                "--flows-per-epoch", "200",
+                "--query", "SELECT TOPK(2) FROM ALL BY bytes",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("five_tuple") == 2
+
+    def test_bad_query_fails(self, capsys):
+        code = main(
+            [
+                "flowql",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT NONSENSE FROM ALL",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_save_flowdb(self, capsys, tmp_path):
+        path = str(tmp_path / "db.json")
+        code = main(
+            [
+                "flowql",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT TOTAL FROM ALL",
+                "--save", path,
+            ]
+        )
+        assert code == 0
+        assert "saved 2 summaries" in capsys.readouterr().out
+        import os
+
+        assert os.path.exists(path)
+
+
+class TestFactoryCommand:
+    def test_with_apps_no_failures(self, capsys):
+        code = main(
+            [
+                "factory",
+                "--hours", "4",
+                "--lines", "1",
+                "--machines-per-line", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failures: 0/2" in out
+        assert "maintenance actions:" in out
+
+    def test_baseline_fails(self, capsys):
+        code = main(
+            [
+                "factory",
+                "--hours", "6",
+                "--lines", "1",
+                "--machines-per-line", "2",
+                "--no-apps",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # baseline exit code is informational
+        assert "without predictive maintenance" in out
+        assert "failures: 2/2" in out
+
+
+class TestReplicationCommand:
+    def test_policy_table(self, capsys):
+        code = main(
+            ["replication", "--partitions", "100", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("never", "always", "break-even", "distribution-aware"):
+            assert name in out
+        assert "offline OPT" in out
+
+    def test_distribution_choice(self, capsys):
+        code = main(
+            [
+                "replication",
+                "--partitions", "50",
+                "--distribution", "geometric",
+            ]
+        )
+        assert code == 0
+        assert "geometric trace" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,162 @@
+"""Failure injection and degraded conditions.
+
+The paper's Section III.C motivates lineage with "faulty or missing
+data"; beyond lineage, the architecture must stay sane when streams
+drop out, arrive out of order, or overload the store.  These tests pin
+the behaviors down.
+"""
+
+import pytest
+
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.primitive import QueryRequest
+from repro.core.sampling import RandomSamplePrimitive
+from repro.core.summary import Location
+from repro.core.timebin import TimeBinStatistics
+from repro.datastore.aggregator import Aggregator, prefix_filter
+from repro.datastore.storage import RoundRobinStorage
+from repro.datastore.store import DataStore
+from repro.errors import StorageError
+from repro.flows.records import FlowRecord
+
+LOC = Location("cloud/region1/router1")
+
+
+@pytest.fixture()
+def store(policy):
+    store = DataStore(LOC, RoundRobinStorage(10**7))
+    store.install_aggregator(
+        Aggregator(
+            "ft",
+            FlowtreePrimitive(LOC, policy),
+            stream_filter=prefix_filter("flows"),
+        )
+    )
+    return store
+
+
+class TestSensorDropout:
+    def test_timebin_gaps_are_visible(self):
+        """A sensor outage leaves holes in the series, not zeros —
+        downstream analytics can distinguish 'no data' from 'zero'."""
+        primitive = TimeBinStatistics(LOC, bin_seconds=10.0)
+        for t in list(range(0, 30)) + list(range(60, 90)):
+            primitive.ingest(1.0, float(t))
+        series = primitive.query(QueryRequest("series", {}))
+        starts = [start for start, _ in series]
+        assert 30.0 not in starts and 40.0 not in starts
+        assert 0.0 in starts and 60.0 in starts
+
+    def test_idle_epoch_produces_no_partition(self, store):
+        assert store.close_epoch(60.0) == []
+        assert len(store.catalog) == 0
+
+    def test_stream_resumes_after_dropout(self, store, random_flows):
+        for record in random_flows(10, epoch=0):
+            store.ingest("flows", record, record.first_seen)
+        store.close_epoch(60.0)
+        store.close_epoch(120.0)  # silent epoch
+        for record in random_flows(10, seed=2, epoch=2):
+            store.ingest("flows", record, record.first_seen)
+        store.close_epoch(180.0)
+        assert len(store.catalog) == 2
+        result = store.query(
+            "ft", QueryRequest("total", {}), start=0.0, end=180.0, now=190.0
+        )
+        assert result.value.flows == 20
+
+
+class TestOutOfOrderData:
+    def test_primitive_interval_tracks_min_max(self):
+        sampler = RandomSamplePrimitive(LOC, rate=1.0)
+        sampler.ingest(1.0, 50.0)
+        sampler.ingest(1.0, 10.0)  # late arrival
+        sampler.ingest(1.0, 70.0)
+        interval = sampler.interval()
+        assert interval.start == 10.0
+        assert interval.end == 70.0
+
+    def test_flowtree_accepts_out_of_order_records(self, policy, make_key):
+        primitive = FlowtreePrimitive(LOC, policy)
+        late = FlowRecord(
+            key=make_key(), packets=1, bytes=100, first_seen=5.0,
+            last_seen=6.0,
+        )
+        early = FlowRecord(
+            key=make_key(src_port=2), packets=1, bytes=100, first_seen=1.0,
+            last_seen=2.0,
+        )
+        primitive.ingest(late, late.first_seen)
+        primitive.ingest(early, early.first_seen)
+        assert primitive.query(QueryRequest("total", {})).flows == 2
+
+
+class TestStorageOverload:
+    def test_sustained_overload_keeps_store_bounded(self, policy,
+                                                    random_flows):
+        store = DataStore(LOC, RoundRobinStorage(100_000))
+        store.install_aggregator(
+            Aggregator("ft", FlowtreePrimitive(LOC, policy,
+                                               node_budget=2048))
+        )
+        for epoch in range(10):
+            for record in random_flows(200, seed=epoch, epoch=epoch):
+                store.ingest("flows", record, record.first_seen)
+            store.close_epoch((epoch + 1) * 60.0)
+        assert store.catalog.total_bytes() <= 100_000
+        assert store.evictions  # old epochs were sacrificed
+
+    def test_query_after_eviction_uses_what_remains(self, policy,
+                                                    random_flows):
+        store = DataStore(LOC, RoundRobinStorage(100_000))
+        store.install_aggregator(
+            Aggregator("ft", FlowtreePrimitive(LOC, policy,
+                                               node_budget=2048))
+        )
+        for epoch in range(10):
+            for record in random_flows(200, seed=epoch, epoch=epoch):
+                store.ingest("flows", record, record.first_seen)
+            store.close_epoch((epoch + 1) * 60.0)
+        result = store.query(
+            "ft", QueryRequest("total", {}), start=0.0, end=600.0, now=610.0
+        )
+        # answers reflect surviving partitions only — fewer than the
+        # 2000 ingested flows, but internally consistent
+        surviving = sum(
+            p.summary.payload.total().flows for p in store.catalog.all()
+        )
+        assert result.value.flows == surviving
+        assert result.value.flows < 2000
+
+
+class TestFederationFailures:
+    def test_no_peers_no_data(self, store):
+        with pytest.raises(StorageError):
+            store.query_federated("ghost", QueryRequest("total", {}))
+
+    def test_peer_without_data_is_skipped(self, store, policy):
+        peer = DataStore(
+            Location("cloud/region2/router1"), RoundRobinStorage(10**7)
+        )
+        store.add_peer(peer)
+        with pytest.raises(StorageError):
+            store.query_federated("ghost", QueryRequest("total", {}))
+
+    def test_unsupported_operator_propagates(self, store, random_flows):
+        for record in random_flows(5):
+            store.ingest("flows", record, record.first_seen)
+        with pytest.raises(ValueError):
+            store.query("ft", QueryRequest("bogus_operator", {}))
+
+
+class TestDiffRobustness:
+    def test_diff_against_empty_baseline(self, policy, random_flows):
+        from repro.flows.tree import Flowtree
+
+        loaded = Flowtree(policy, node_budget=None)
+        loaded.ingest(random_flows(20))
+        empty = Flowtree(policy, node_budget=None)
+        delta = loaded.diff(empty)
+        assert delta.total() == loaded.total()
+        reverse = empty.diff(loaded)
+        assert reverse.total() == -loaded.total()

@@ -1,0 +1,136 @@
+"""Unit tests for flow features (parsing, masking, rendering)."""
+
+import pytest
+
+from repro.errors import GranularityError, SchemaError
+from repro.flows.features import (
+    Feature,
+    IPv4Feature,
+    PortFeature,
+    ProtocolFeature,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestIPv4Parsing:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.5"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_known_value(self):
+        assert parse_ipv4("10.0.0.1") == (10 << 24) | 1
+
+    def test_rejects_short(self):
+        with pytest.raises(SchemaError):
+            parse_ipv4("10.0.0")
+
+    def test_rejects_long(self):
+        with pytest.raises(SchemaError):
+            parse_ipv4("10.0.0.1.2")
+
+    def test_rejects_out_of_range_octet(self):
+        with pytest.raises(SchemaError):
+            parse_ipv4("10.0.0.256")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(SchemaError):
+            parse_ipv4("a.b.c.d")
+
+
+class TestFeatureMasking:
+    def test_full_level_is_identity(self):
+        feature = IPv4Feature("ip")
+        value = parse_ipv4("203.0.113.7")
+        assert feature.mask(value, 32) == value
+
+    def test_level_zero_is_wildcard(self):
+        feature = IPv4Feature("ip")
+        assert feature.mask(parse_ipv4("203.0.113.7"), 0) == 0
+
+    def test_prefix_mask(self):
+        feature = IPv4Feature("ip")
+        assert feature.mask(parse_ipv4("203.0.113.7"), 24) == parse_ipv4(
+            "203.0.113.0"
+        )
+        assert feature.mask(parse_ipv4("203.0.113.7"), 8) == parse_ipv4(
+            "203.0.0.0"
+        )
+
+    def test_mask_is_idempotent(self):
+        feature = IPv4Feature("ip")
+        value = parse_ipv4("198.51.100.99")
+        once = feature.mask(value, 16)
+        assert feature.mask(once, 16) == once
+
+    def test_masks_nest(self):
+        """mask(mask(v, a), b) == mask(v, b) whenever b <= a."""
+        feature = IPv4Feature("ip")
+        value = parse_ipv4("198.51.100.99")
+        for a in (32, 24, 16):
+            for b in (16, 8, 0):
+                if b <= a:
+                    assert feature.mask(feature.mask(value, a), b) == (
+                        feature.mask(value, b)
+                    )
+
+    def test_level_out_of_range(self):
+        feature = PortFeature("port")
+        with pytest.raises(GranularityError):
+            feature.mask(80, 17)
+        with pytest.raises(GranularityError):
+            feature.mask(80, -1)
+
+    def test_port_mask(self):
+        feature = PortFeature("port")
+        # keeping the top 8 of 16 bits zeroes the low byte
+        assert feature.mask(0x1234, 8) == 0x1200
+
+
+class TestValidation:
+    def test_value_out_of_range(self):
+        feature = PortFeature("port")
+        with pytest.raises(SchemaError):
+            feature.validate(1 << 16)
+        with pytest.raises(SchemaError):
+            feature.validate(-1)
+
+    def test_non_int_rejected(self):
+        feature = PortFeature("port")
+        with pytest.raises(SchemaError):
+            feature.validate("80")
+
+    def test_generic_parse(self):
+        feature = Feature("f", bits=8)
+        assert feature.parse("200") == 200
+        with pytest.raises(SchemaError):
+            feature.parse("300")
+        with pytest.raises(SchemaError):
+            feature.parse("abc")
+
+
+class TestRendering:
+    def test_ipv4_render_levels(self):
+        feature = IPv4Feature("ip")
+        value = parse_ipv4("10.1.2.3")
+        assert feature.render(value, 32) == "10.1.2.3"
+        assert feature.render(feature.mask(value, 24), 24) == "10.1.2.0/24"
+        assert feature.render(0, 0) == "*"
+
+    def test_protocol_names(self):
+        feature = ProtocolFeature()
+        assert feature.parse("tcp") == 6
+        assert feature.parse("UDP") == 17
+        assert feature.parse("icmp") == 1
+        assert feature.render(6, 8) == "tcp"
+        assert feature.render(99, 8) == "99"
+        assert feature.render(0, 0) == "*"
+
+    def test_protocol_numeric_parse(self):
+        feature = ProtocolFeature()
+        assert feature.parse("47") == 47
+
+    def test_generic_render(self):
+        feature = PortFeature("port")
+        assert feature.render(443, 16) == "443"
+        assert feature.render(0x1200, 8) == "4608/8"

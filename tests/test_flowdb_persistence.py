@@ -1,0 +1,132 @@
+"""Tests for FlowDB save/load and the FlowQL LIMIT clause."""
+
+import json
+
+import pytest
+
+from repro.core.summary import TimeInterval
+from repro.errors import FlowQLSyntaxError, SchemaMismatchError, StorageError
+from repro.flowdb.db import FlowDB
+from repro.flowdb.persistence import load_flowdb, save_flowdb
+from repro.flowql.executor import FlowQLExecutor
+from repro.flowql.parser import parse
+from repro.flows.flowkey import FIVE_TUPLE, SRC_DST, GeneralizationPolicy
+from repro.flows.records import Score
+from repro.flows.tree import Flowtree
+
+
+@pytest.fixture()
+def loaded_db(policy, make_key):
+    db = FlowDB()
+    for epoch in range(2):
+        for site in ("a/r1", "b/r1"):
+            tree = Flowtree(policy, node_budget=None)
+            for port in (80, 443, 53):
+                tree.add(
+                    make_key(dst_port=port, src_port=1000 + epoch),
+                    Score(1, 100 * port, 1),
+                )
+            db.insert(
+                location=site,
+                interval=TimeInterval(epoch * 60.0, (epoch + 1) * 60.0),
+                tree=tree,
+            )
+    return db
+
+
+class TestPersistence:
+    def test_roundtrip(self, loaded_db, policy, tmp_path):
+        path = str(tmp_path / "flowdb.json")
+        written = save_flowdb(loaded_db, path)
+        assert written == 4
+        restored = load_flowdb(path, policy)
+        assert restored.stats() == loaded_db.stats()
+        assert restored.locations() == loaded_db.locations()
+        original = FlowQLExecutor(loaded_db).execute("SELECT TOTAL FROM ALL")
+        reloaded = FlowQLExecutor(restored).execute("SELECT TOTAL FROM ALL")
+        assert original.scalar == reloaded.scalar
+
+    def test_queries_identical_after_reload(self, loaded_db, policy,
+                                            tmp_path):
+        path = str(tmp_path / "flowdb.json")
+        save_flowdb(loaded_db, path)
+        restored = load_flowdb(path, policy)
+        for text in (
+            "SELECT TOPK(5) FROM ALL BY bytes",
+            "SELECT GROUPBY(dst_port, 16) FROM TIME(0, 60) AT a/r1",
+        ):
+            assert (
+                FlowQLExecutor(loaded_db).execute(text).rows
+                == FlowQLExecutor(restored).execute(text).rows
+            )
+
+    def test_missing_file(self, policy, tmp_path):
+        with pytest.raises(StorageError):
+            load_flowdb(str(tmp_path / "nope.json"), policy)
+
+    def test_corrupt_file(self, policy, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_flowdb(str(path), policy)
+
+    def test_wrong_version(self, loaded_db, policy, tmp_path):
+        path = tmp_path / "flowdb.json"
+        save_flowdb(loaded_db, str(path))
+        document = json.loads(path.read_text())
+        document["format_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(StorageError):
+            load_flowdb(str(path), policy)
+
+    def test_wrong_policy(self, loaded_db, tmp_path):
+        path = str(tmp_path / "flowdb.json")
+        save_flowdb(loaded_db, path)
+        other = GeneralizationPolicy.default_for(SRC_DST)
+        with pytest.raises(SchemaMismatchError):
+            load_flowdb(path, other)
+
+    def test_budget_override(self, loaded_db, policy, tmp_path):
+        path = str(tmp_path / "flowdb.json")
+        save_flowdb(loaded_db, path)
+        restored = load_flowdb(path, policy, merge_node_budget=128)
+        assert restored.merge_node_budget == 128
+
+    def test_empty_db_roundtrip(self, policy, tmp_path):
+        path = str(tmp_path / "empty.json")
+        assert save_flowdb(FlowDB(), path) == 0
+        assert len(load_flowdb(path, policy)) == 0
+
+
+class TestLimitClause:
+    def test_parse_limit(self):
+        query = parse("SELECT TOPK(10) FROM ALL LIMIT 3")
+        assert query.limit == 3
+
+    def test_limit_truncates_rows(self, loaded_db):
+        executor = FlowQLExecutor(loaded_db)
+        unlimited = executor.execute("SELECT GROUPBY(dst_port, 16) FROM ALL")
+        limited = executor.execute(
+            "SELECT GROUPBY(dst_port, 16) FROM ALL LIMIT 1"
+        )
+        assert len(unlimited.rows) == 3
+        assert len(limited.rows) == 1
+        assert limited.rows[0] == unlimited.rows[0]
+
+    def test_limit_after_metric(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOPK(10) FROM ALL BY packets LIMIT 2"
+        )
+        assert len(result.rows) == 2
+
+    def test_invalid_limit(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOPK(10) FROM ALL LIMIT 0")
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOPK(10) FROM ALL LIMIT x")
+
+    def test_limit_on_scalar_is_noop(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOTAL FROM ALL LIMIT 5"
+        )
+        assert result.scalar is not None

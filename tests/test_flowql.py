@@ -1,0 +1,260 @@
+"""Tests for the FlowQL lexer, parser, and executor."""
+
+import pytest
+
+from repro.core.summary import TimeInterval
+from repro.errors import FlowQLPlanningError, FlowQLSyntaxError
+from repro.flowdb.db import FlowDB
+from repro.flowql.ast import TimeSpec
+from repro.flowql.executor import FlowQLExecutor
+from repro.flowql.lexer import tokenize
+from repro.flowql.parser import parse
+from repro.flows.flowkey import FIVE_TUPLE
+from repro.flows.records import Score
+from repro.flows.tree import Flowtree
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_ip_with_mask(self):
+        tokens = tokenize("10.0.0.0/8")
+        assert tokens[0].kind == "IP"
+        assert tokens[0].text == "10.0.0.0/8"
+
+    def test_plain_ip(self):
+        assert tokenize("192.168.1.1")[0].kind == "IP"
+
+    def test_number_vs_ip(self):
+        tokens = tokenize("443 10.5")
+        assert tokens[0].kind == "NUMBER"
+        assert tokens[1].kind == "NUMBER"
+
+    def test_site_path_is_ident(self):
+        token = tokenize("region1/router1")[0]
+        assert token.kind == "IDENT"
+
+    def test_quoted_string(self):
+        token = tokenize("'weird site'")[0]
+        assert token.kind == "IDENT"
+        assert token.text == "weird site"
+
+    def test_unexpected_character(self):
+        with pytest.raises(FlowQLSyntaxError) as exc:
+            tokenize("SELECT @")
+        assert exc.value.position == 7
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestParser:
+    def test_minimal_query(self):
+        query = parse("SELECT TOTAL FROM ALL")
+        assert query.select.name == "total"
+        assert query.time == TimeSpec.all()
+        assert query.metric == "bytes"
+
+    def test_full_query(self):
+        query = parse(
+            "SELECT TOPK(10) FROM TIME(0, 3600) AT region1/router1, "
+            "region2/router1 WHERE src_ip = 10.0.0.0/8 AND dst_port = 443 "
+            "BY packets"
+        )
+        assert query.select.name == "topk"
+        assert query.select.args == [10.0]
+        assert query.time == TimeSpec(0.0, 3600.0)
+        assert query.sites == ["region1/router1", "region2/router1"]
+        assert len(query.where) == 2
+        assert query.where[0].feature == "src_ip"
+        assert query.where[0].mask == 8
+        assert query.where[1].value == "443"
+        assert query.metric == "packets"
+
+    def test_vs_clause(self):
+        query = parse("SELECT TOPK(3) FROM TIME(60,120) VS TIME(0,60)")
+        assert query.vs_time == TimeSpec(0.0, 60.0)
+
+    def test_groupby_args(self):
+        query = parse("SELECT GROUPBY(src_ip, 8) FROM ALL")
+        assert query.select.args == ["src_ip", 8.0]
+
+    def test_unknown_operator(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT FROBNICATE FROM ALL")
+
+    def test_wrong_arity(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOPK FROM ALL")
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOTAL(5) FROM ALL")
+
+    def test_empty_time_window(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOTAL FROM TIME(60, 60)")
+
+    def test_bad_metric(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOTAL FROM ALL BY gigabytes")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FlowQLSyntaxError):
+            parse("SELECT TOTAL FROM ALL EXTRA")
+
+
+@pytest.fixture()
+def loaded_db(policy, make_key):
+    db = FlowDB()
+    for epoch in range(3):
+        for site in ("region1/router1", "region2/router1"):
+            tree = Flowtree(policy, node_budget=None)
+            tree.add(
+                make_key(src_ip="10.0.0.1", dst_port=443),
+                Score(10, 1000 * (epoch + 1), 1),
+            )
+            tree.add(
+                make_key(src_ip="11.0.0.1", dst_port=80),
+                Score(5, 500, 1),
+            )
+            db.insert(
+                location=site,
+                interval=TimeInterval(epoch * 60.0, (epoch + 1) * 60.0),
+                tree=tree,
+            )
+    return db
+
+
+class TestExecutor:
+    def test_total(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute("SELECT TOTAL FROM ALL")
+        # 2 sites x 3 epochs x (1000+2000+3000 + 3x500)
+        assert result.scalar.bytes == 2 * (6000 + 1500)
+
+    def test_total_windowed(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOTAL FROM TIME(0, 60)"
+        )
+        assert result.scalar.bytes == 2 * 1500
+
+    def test_site_filter(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOTAL FROM ALL AT region1/router1"
+        )
+        assert result.scalar.bytes == 7500
+
+    def test_query_with_where(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT QUERY FROM ALL WHERE src_ip = 10.0.0.0/8"
+        )
+        assert result.scalar.bytes == 2 * 6000
+
+    def test_query_requires_where(self, loaded_db):
+        with pytest.raises(FlowQLPlanningError):
+            FlowQLExecutor(loaded_db).execute("SELECT QUERY FROM ALL")
+
+    def test_topk(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOPK(1) FROM ALL BY bytes"
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0][2] == 2 * 6000  # the heavy 443 flow
+
+    def test_topk_with_where(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT TOPK(5) FROM ALL WHERE dst_port = 80"
+        )
+        assert all("dst_port=80" in row[0] for row in result.rows)
+
+    def test_groupby(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT GROUPBY(dst_port, 16) FROM ALL"
+        )
+        by_bytes = {row[0]: row[2] for row in result.rows}
+        assert len(by_bytes) == 2
+
+    def test_above(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT ABOVE(11000) FROM ALL BY bytes"
+        )
+        assert result.rows  # aggregate nodes above 11 kB exist
+        assert all(row[2] > 11000 for row in result.rows)
+
+    def test_hhh_fractional_threshold(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT HHH(0.5) FROM ALL BY bytes"
+        )
+        assert result.rows
+
+    def test_diff_between_epochs(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT QUERY FROM TIME(120, 180) VS TIME(0, 60) "
+            "WHERE src_ip = 10.0.0.1"
+        )
+        # epoch 3 (3000B/site) minus epoch 1 (1000B/site)
+        assert result.scalar.bytes == 2 * 2000
+
+    def test_drilldown(self, loaded_db):
+        result = FlowQLExecutor(loaded_db).execute(
+            "SELECT DRILLDOWN FROM ALL WHERE src_ip = 10.0.0.0/8"
+        )
+        assert result.rows
+
+    def test_unknown_site(self, loaded_db):
+        with pytest.raises(FlowQLPlanningError):
+            FlowQLExecutor(loaded_db).execute(
+                "SELECT TOTAL FROM ALL AT nowhere/router9"
+            )
+
+    def test_empty_window(self, loaded_db):
+        with pytest.raises(FlowQLPlanningError):
+            FlowQLExecutor(loaded_db).execute(
+                "SELECT TOTAL FROM TIME(9000, 9999)"
+            )
+
+    def test_query_counter(self, loaded_db):
+        executor = FlowQLExecutor(loaded_db)
+        executor.execute("SELECT TOTAL FROM ALL")
+        executor.execute("SELECT TOTAL FROM ALL")
+        assert executor.queries_executed == 2
+
+
+class TestFlowDB:
+    def test_insert_and_stats(self, loaded_db):
+        stats = loaded_db.stats()
+        assert stats["entries"] == 6
+        assert stats["locations"] == 2
+        assert len(loaded_db) == 6
+
+    def test_time_span(self, loaded_db):
+        span = loaded_db.time_span()
+        assert span.start == 0.0
+        assert span.end == 180.0
+        assert FlowDB().time_span() is None
+
+    def test_entries_window(self, loaded_db):
+        entries = loaded_db.entries(start=60.0, end=120.0)
+        assert len(entries) == 2
+        assert all(e.interval.start == 60.0 for e in entries)
+
+    def test_incompatible_policy_rejected(self, loaded_db):
+        from repro.errors import SchemaMismatchError
+        from repro.flows.flowkey import SRC_DST, GeneralizationPolicy
+
+        other = Flowtree(GeneralizationPolicy.default_for(SRC_DST))
+        with pytest.raises(SchemaMismatchError):
+            loaded_db.insert("x", TimeInterval(0, 1), other)
+
+    def test_insert_summary_kind_check(self, loaded_db):
+        from repro.core.summary import DataSummary, Location, SummaryMeta
+        from repro.errors import SchemaMismatchError
+
+        bad = DataSummary(
+            kind="sample",
+            meta=SummaryMeta(TimeInterval(0, 1), Location("x")),
+            payload=[],
+            size_bytes=0,
+        )
+        with pytest.raises(SchemaMismatchError):
+            loaded_db.insert_summary(bad)

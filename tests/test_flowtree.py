@@ -1,0 +1,408 @@
+"""Unit tests for the Flowtree data structure (Table II operators)."""
+
+import pytest
+
+from repro.errors import GranularityError, SchemaMismatchError
+from repro.flows.flowkey import FIVE_TUPLE, SRC_DST, GeneralizationPolicy
+from repro.flows.records import FlowRecord, PacketRecord, Score
+from repro.flows.tree import Flowtree
+
+
+def make_tree(policy, budget=None):
+    return Flowtree(policy, node_budget=budget)
+
+
+class TestInsertAndQuery:
+    def test_single_insert_query(self, policy, make_key):
+        tree = make_tree(policy)
+        key = make_key()
+        tree.add(key, Score(5, 500, 1))
+        assert tree.query(key) == Score(5, 500, 1)
+        assert tree.total() == Score(5, 500, 1)
+
+    def test_absent_key_scores_zero(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(), Score(1, 1, 1))
+        other = make_key(src_ip="99.99.99.99")
+        assert tree.query(other) == Score.zero()
+
+    def test_ancestor_chain_created(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(), Score(1, 100, 1))
+        assert tree.node_count == policy.depth + 1
+
+    def test_generalized_query_sums_descendants(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(src_ip="10.1.2.3"), Score(1, 100, 1))
+        tree.add(make_key(src_ip="10.1.9.9"), Score(1, 50, 1))
+        prefix = make_key(src_ip="10.0.0.0").with_levels((0, 8, 0, 0, 0))
+        # (0,8,0,0,0) is on-chain (depth 1)
+        assert policy.depth_of(prefix.levels) is not None
+        assert tree.query(prefix).bytes == 150
+
+    def test_off_chain_query(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(dst_port=443), Score(1, 100, 1))
+        tree.add(make_key(dst_port=80, src_ip="1.1.1.1"), Score(1, 70, 1))
+        pattern = make_key(dst_port=443).with_levels((0, 0, 0, 0, 16))
+        assert policy.depth_of(pattern.levels) is None
+        assert tree.query(pattern).bytes == 100
+
+    def test_add_generalized_key_mass(self, policy, make_key):
+        tree = make_tree(policy)
+        mid = policy.key_at(make_key(), 4)
+        tree.add(mid, Score(1, 10, 0))
+        assert tree.total().bytes == 10
+        assert tree.query(mid).bytes == 10
+        assert tree.node_count == 5  # root + 4 ancestors
+
+    def test_off_chain_add_rejected(self, policy, make_key):
+        tree = make_tree(policy)
+        off = make_key().with_levels((8, 0, 0, 0, 0))
+        with pytest.raises(GranularityError):
+            tree.add(off, Score(1, 1, 1))
+
+    def test_schema_mismatch_rejected(self, policy):
+        tree = make_tree(policy)
+        other = SRC_DST.key(src_ip="1.2.3.4", dst_ip="5.6.7.8")
+        with pytest.raises(SchemaMismatchError):
+            tree.add(other, Score(1, 1, 1))
+        with pytest.raises(SchemaMismatchError):
+            tree.query(other)
+
+    def test_flow_and_packet_ingest(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add_flow(
+            FlowRecord(
+                key=make_key(), packets=3, bytes=300, first_seen=0,
+                last_seen=1,
+            )
+        )
+        tree.add_packet(
+            PacketRecord(key=make_key(), bytes=100, timestamp=0.5)
+        )
+        assert tree.total() == Score(4, 400, 1)
+
+    def test_ingest_many(self, policy, random_flows):
+        tree = make_tree(policy)
+        records = random_flows(50)
+        assert tree.ingest(records) == 50
+        assert tree.total().flows == 50
+
+
+class TestCompress:
+    def test_budget_enforced(self, policy, random_flows):
+        tree = make_tree(policy, budget=200)
+        tree.ingest(random_flows(500))
+        assert tree.node_count <= 200
+        assert tree.compressions > 0
+
+    def test_mass_conserved_under_compression(self, policy, random_flows):
+        records = random_flows(300)
+        expected = Score.zero()
+        for record in records:
+            expected = expected + record.score()
+        tree = make_tree(policy, budget=150)
+        tree.ingest(records)
+        assert tree.total() == expected
+
+    def test_explicit_compress_to_target(self, policy, random_flows):
+        tree = make_tree(policy)
+        tree.ingest(random_flows(200))
+        before = tree.total()
+        removed = tree.compress(target_nodes=50)
+        assert removed > 0
+        assert tree.node_count <= 50
+        assert tree.total() == before
+
+    def test_compress_by_ratio(self, policy, random_flows):
+        tree = make_tree(policy)
+        tree.ingest(random_flows(200))
+        count = tree.node_count
+        tree.compress(ratio=0.5)
+        assert tree.node_count <= max(1, int(count * 0.5))
+
+    def test_compress_arg_validation(self, policy):
+        tree = make_tree(policy)
+        with pytest.raises(GranularityError):
+            tree.compress(target_nodes=5, ratio=0.5)
+        with pytest.raises(GranularityError):
+            tree.compress(ratio=1.5)
+
+    def test_compress_keeps_heavy_keys_queryable(self, policy, make_key,
+                                                 random_flows):
+        tree = make_tree(policy, budget=300)
+        heavy = make_key(src_ip="8.8.8.8")
+        tree.add(heavy, Score(1000, 10_000_000, 100))
+        tree.ingest(random_flows(400))
+        # the heavy flow dominates everything and must survive compression
+        assert tree.query(heavy).bytes >= 10_000_000
+
+    def test_budget_below_chain_length_rejected(self, policy):
+        with pytest.raises(GranularityError):
+            Flowtree(policy, node_budget=policy.depth)
+
+    def test_root_never_removed(self, policy, random_flows):
+        tree = make_tree(policy)
+        tree.ingest(random_flows(100))
+        tree.compress(target_nodes=1)
+        assert tree.root is not None
+        assert tree.node_count >= 1
+
+
+class TestMergeDiff:
+    def test_merge_totals_add(self, policy, random_flows):
+        a = make_tree(policy)
+        b = make_tree(policy)
+        a.ingest(random_flows(100, seed=1))
+        b.ingest(random_flows(100, seed=2))
+        total = a.total() + b.total()
+        a.merge(b)
+        assert a.total() == total
+
+    def test_merged_classmethod(self, policy, random_flows):
+        a = make_tree(policy)
+        b = make_tree(policy)
+        a.ingest(random_flows(80, seed=3))
+        b.ingest(random_flows(80, seed=4))
+        merged = Flowtree.merged(a, b)
+        assert merged.total() == a.total() + b.total()
+        # sources untouched
+        assert a.total().flows == 80
+
+    def test_merge_same_keys_sums(self, policy, make_key):
+        a = make_tree(policy)
+        b = make_tree(policy)
+        key = make_key()
+        a.add(key, Score(1, 100, 1))
+        b.add(key, Score(2, 200, 1))
+        a.merge(b)
+        assert a.query(key) == Score(3, 300, 2)
+
+    def test_merge_self(self, policy, make_key):
+        tree = make_tree(policy)
+        key = make_key()
+        tree.add(key, Score(1, 100, 1))
+        tree.merge(tree)
+        assert tree.query(key) == Score(2, 200, 2)
+
+    def test_merge_incompatible_policy(self, policy, random_flows):
+        tree = make_tree(policy)
+        other = Flowtree(GeneralizationPolicy.default_for(SRC_DST))
+        with pytest.raises(SchemaMismatchError):
+            tree.merge(other)
+
+    def test_diff_self_is_zero(self, policy, random_flows):
+        tree = make_tree(policy)
+        tree.ingest(random_flows(60))
+        delta = tree.diff(tree)
+        assert delta.total().is_zero()
+
+    def test_diff_detects_growth(self, policy, make_key):
+        before = make_tree(policy)
+        after = make_tree(policy)
+        key = make_key()
+        before.add(key, Score(1, 100, 1))
+        after.add(key, Score(5, 900, 3))
+        delta = after.diff(before)
+        assert delta.query(key) == Score(4, 800, 2)
+
+    def test_diff_allows_negative(self, policy, make_key):
+        a = make_tree(policy)
+        b = make_tree(policy)
+        key = make_key()
+        b.add(key, Score(2, 200, 1))
+        delta = a.diff(b)
+        assert delta.query(key) == Score(-2, -200, -1)
+
+
+class TestRankingOperators:
+    def test_top_k_orders_by_metric(self, policy, make_key):
+        tree = make_tree(policy)
+        keys = [make_key(src_port=1000 + i) for i in range(5)]
+        for i, key in enumerate(keys):
+            tree.add(key, Score(1, (i + 1) * 100, 1))
+        top = tree.top_k(3)
+        assert [score.bytes for _, score in top] == [500, 400, 300]
+
+    def test_top_k_zero_or_negative(self, policy):
+        tree = make_tree(policy)
+        assert tree.top_k(0) == []
+        assert tree.top_k(-5) == []
+
+    def test_top_k_at_depth(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(src_ip="10.0.0.1"), Score(1, 100, 1))
+        tree.add(make_key(src_ip="10.0.0.2"), Score(1, 200, 1))
+        top = tree.top_k(1, depth=1)
+        assert len(top) == 1
+        key, score = top[0]
+        assert score.bytes == 300  # aggregated under the shared /8
+
+    def test_above_x(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(src_port=1), Score(1, 50, 1))
+        tree.add(make_key(src_port=2), Score(1, 500, 1))
+        hits = tree.above_x(100, depth=policy.depth)
+        assert len(hits) == 1
+        assert hits[0][1].bytes == 500
+
+    def test_above_x_excludes_root_by_default(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(), Score(1, 500, 1))
+        keys = [key for key, _ in tree.above_x(1)]
+        assert not any(k.is_fully_general() for k in keys)
+        with_root = tree.above_x(1, include_root=True)
+        assert any(k.is_fully_general() for k, _ in with_root)
+
+    def test_drilldown(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(src_ip="10.1.0.1"), Score(1, 100, 1))
+        tree.add(make_key(src_ip="11.1.0.1"), Score(1, 200, 1))
+        children = tree.drilldown(tree.key_of(tree.root))
+        assert len(children) == 2
+        assert children[0][1].bytes == 200  # sorted by metric desc
+
+    def test_drilldown_missing_node(self, policy, make_key):
+        tree = make_tree(policy)
+        assert tree.drilldown(make_key()) == []
+
+
+class TestHHH:
+    def test_hhh_finds_heavy_prefix(self, policy, make_key):
+        tree = make_tree(policy)
+        # many small flows inside one /8, none individually heavy
+        for i in range(20):
+            tree.add(
+                make_key(src_ip=f"10.0.{i}.1", src_port=1000 + i),
+                Score(1, 100, 1),
+            )
+        results = tree.hhh(1500)
+        prefixes = [r.key for r in results]
+        # some generalized node covering 10/8 must be reported
+        assert any(
+            k.feature_level("src_ip") in (8, 16) and not k.is_fully_general()
+            for k in prefixes
+        )
+
+    def test_hhh_discounts_descendants(self, policy, make_key):
+        tree = make_tree(policy)
+        heavy = make_key(src_ip="10.0.0.1")
+        tree.add(heavy, Score(1, 10_000, 1))
+        results = tree.hhh(5_000)
+        # the leaf itself qualifies; its ancestors carry no residual mass
+        reported_levels = {r.key.levels for r in results}
+        assert heavy.levels in reported_levels
+        assert len(results) == 1
+
+    def test_hhh_threshold_filters_all(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(), Score(1, 10, 1))
+        assert tree.hhh(1_000_000) == []
+
+
+class TestQueryWithBound:
+    def test_uncompressed_is_exact(self, policy, make_key):
+        tree = make_tree(policy)
+        key = make_key()
+        tree.add(key, Score(3, 300, 1))
+        lower, upper = tree.query_with_bound(key)
+        assert lower == upper == Score(3, 300, 1)
+
+    def test_missing_key_bracketed_by_zero_and_ancestor_fold(
+        self, policy, random_flows
+    ):
+        records = random_flows(300, seed=5)
+        exact = make_tree(policy)
+        exact.ingest(records)
+        compressed = make_tree(policy, budget=policy.depth + 2)
+        compressed.ingest(records)
+        checked = 0
+        for record in records:
+            truth = exact.query(record.key)
+            lower, upper = compressed.query_with_bound(record.key)
+            assert lower.bytes <= truth.bytes <= upper.bytes
+            assert lower.packets <= truth.packets <= upper.packets
+            checked += 1
+        assert checked == 300
+
+    def test_absent_everywhere_is_zero_to_fold(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(), Score(1, 100, 1))
+        other = make_key(src_ip="99.99.99.99", dst_ip="88.88.88.88")
+        lower, upper = tree.query_with_bound(other)
+        assert lower.is_zero()
+        assert upper.is_zero()  # nothing folded on that path
+
+    def test_off_chain_key_rejected(self, policy, make_key):
+        tree = make_tree(policy)
+        off = make_key().with_levels((8, 0, 0, 0, 0))
+        with pytest.raises(GranularityError):
+            tree.query_with_bound(off)
+
+    def test_heavy_keys_stay_exact_under_compression(
+        self, policy, make_key, random_flows
+    ):
+        tree = make_tree(policy, budget=300)
+        heavy = make_key(src_ip="8.8.8.8")
+        tree.add(heavy, Score(1000, 10**7, 100))
+        tree.ingest(random_flows(400, seed=6))
+        lower, upper = tree.query_with_bound(heavy)
+        assert lower.bytes >= 10**7
+        assert upper.bytes >= lower.bytes
+
+
+class TestGroupBy:
+    def test_group_by_port(self, policy, make_key):
+        tree = make_tree(policy)
+        tree.add(make_key(dst_port=443, src_port=1), Score(1, 100, 1))
+        tree.add(make_key(dst_port=443, src_port=2), Score(1, 50, 1))
+        tree.add(make_key(dst_port=80, src_port=3), Score(1, 60, 1))
+        groups = tree.aggregate_by_feature("dst_port", 16)
+        assert groups[0][0].feature_value("dst_port") == 443
+        assert groups[0][1].bytes == 150
+
+    def test_group_by_within(self, policy, make_key):
+        tree = make_tree(policy)
+        victim = "10.0.0.5"
+        tree.add(make_key(src_ip="1.0.0.1", dst_ip=victim), Score(1, 100, 1))
+        tree.add(make_key(src_ip="2.0.0.1", dst_ip=victim), Score(1, 90, 1))
+        tree.add(
+            make_key(src_ip="1.0.0.1", dst_ip="10.0.0.9"), Score(1, 500, 1)
+        )
+        pattern = make_key(dst_ip=victim).with_levels((0, 0, 32, 0, 0))
+        groups = tree.aggregate_by_feature("src_ip", 8, within=pattern)
+        total = sum(score.bytes for _, score in groups)
+        assert total == 190
+
+
+class TestSerialization:
+    def test_roundtrip(self, policy, random_flows):
+        tree = make_tree(policy, budget=300)
+        tree.ingest(random_flows(200))
+        clone = Flowtree.from_dict(tree.to_dict(), policy)
+        assert clone.total() == tree.total()
+        assert clone.node_count == tree.node_count
+        assert clone.top_k(5) == tree.top_k(5)
+
+    def test_roundtrip_wrong_policy(self, policy, random_flows):
+        tree = make_tree(policy)
+        tree.ingest(random_flows(10))
+        other = GeneralizationPolicy.default_for(SRC_DST)
+        with pytest.raises(SchemaMismatchError):
+            Flowtree.from_dict(tree.to_dict(), other)
+
+    def test_copy_is_independent(self, policy, make_key):
+        tree = make_tree(policy)
+        key = make_key()
+        tree.add(key, Score(1, 100, 1))
+        clone = tree.copy()
+        tree.add(key, Score(1, 100, 1))
+        assert clone.query(key).bytes == 100
+        assert tree.query(key).bytes == 200
+
+    def test_estimated_size_grows_with_nodes(self, policy, random_flows):
+        tree = make_tree(policy)
+        empty = tree.estimated_size_bytes()
+        tree.ingest(random_flows(50))
+        assert tree.estimated_size_bytes() > empty

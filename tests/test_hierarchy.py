@@ -1,0 +1,153 @@
+"""Tests for hierarchy topologies and the network fabric."""
+
+import pytest
+
+from repro.core.summary import Location
+from repro.errors import PlacementError
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import (
+    LINE_DEADLINE,
+    MACHINE_DEADLINE,
+    network_monitoring_hierarchy,
+    smart_factory_hierarchy,
+)
+
+
+@pytest.fixture()
+def factory_hierarchy():
+    return smart_factory_hierarchy(
+        factories=2, lines_per_factory=2, machines_per_line=3
+    )
+
+
+class TestTopology:
+    def test_factory_structure(self, factory_hierarchy):
+        assert len(factory_hierarchy.leaves()) == 2 * 2 * 3
+        levels = [level.name for level in factory_hierarchy.levels()]
+        assert levels == ["cloud", "factory", "line", "machine"]
+
+    def test_network_structure(self):
+        hierarchy = network_monitoring_hierarchy(
+            regions=3, routers_per_region=2
+        )
+        assert len(hierarchy.nodes_at_level("router")) == 6
+        assert len(hierarchy.nodes_at_level("region")) == 3
+
+    def test_deadlines_match_figure_1(self, factory_hierarchy):
+        machine = factory_hierarchy.nodes_at_level("machine")[0]
+        line = factory_hierarchy.nodes_at_level("line")[0]
+        assert machine.level.deadline_seconds == MACHINE_DEADLINE == 1.0
+        assert line.level.deadline_seconds == LINE_DEADLINE == 60.0
+
+    def test_node_lookup(self, factory_hierarchy):
+        loc = Location("hq/factory1/line1/machine1")
+        node = factory_hierarchy.node(loc)
+        assert node.location == loc
+        assert loc in factory_hierarchy
+        with pytest.raises(PlacementError):
+            factory_hierarchy.node(Location("hq/nonexistent"))
+
+    def test_ancestors(self, factory_hierarchy):
+        node = factory_hierarchy.node(Location("hq/factory1/line1/machine1"))
+        paths = [a.location.path for a in node.ancestors()]
+        assert paths == ["hq/factory1/line1", "hq/factory1", "hq"]
+
+    def test_path_up(self, factory_hierarchy):
+        path = factory_hierarchy.path_between(
+            Location("hq/factory1/line1/machine1"), Location("hq")
+        )
+        assert len(path) == 4
+
+    def test_path_across(self, factory_hierarchy):
+        path = factory_hierarchy.path_between(
+            Location("hq/factory1/line1/machine1"),
+            Location("hq/factory2/line2/machine3"),
+        )
+        # up 3 to hq, down 3: 7 nodes
+        assert len(path) == 7
+        assert path[3].location == Location("hq")
+
+    def test_path_within_line(self, factory_hierarchy):
+        path = factory_hierarchy.path_between(
+            Location("hq/factory1/line1/machine1"),
+            Location("hq/factory1/line1/machine2"),
+        )
+        assert len(path) == 3
+        assert path[1].location == Location("hq/factory1/line1")
+
+    def test_path_to_self(self, factory_hierarchy):
+        loc = Location("hq/factory1")
+        path = factory_hierarchy.path_between(loc, loc)
+        assert [n.location for n in path] == [loc]
+
+
+class TestFabric:
+    def test_transfer_accounting(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        record = fabric.transfer(
+            Location("hq/factory1/line1/machine1"), Location("hq"), 10**6
+        )
+        assert record.hops == 3
+        assert record.size_bytes == 10**6
+        assert fabric.total_bytes() == 3 * 10**6  # charged per hop
+        assert fabric.wan_bytes() == 10**6  # only the root link
+
+    def test_duration_includes_serialization(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        small = fabric.transfer(
+            Location("hq/factory1/line1"), Location("hq/factory1"), 1_000
+        )
+        large = fabric.transfer(
+            Location("hq/factory1/line1"), Location("hq/factory1"), 10**8
+        )
+        assert large.duration > small.duration
+
+    def test_wan_slower_than_local(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        local = fabric.transfer(
+            Location("hq/factory1/line1/machine1"),
+            Location("hq/factory1/line1"),
+            10**6,
+        )
+        wan = fabric.transfer(
+            Location("hq/factory1"), Location("hq"), 10**6
+        )
+        assert wan.duration > local.duration
+
+    def test_zero_hop_transfer_free(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        record = fabric.transfer(Location("hq"), Location("hq"), 10**6)
+        assert record.hops == 0
+        assert record.duration == 0.0
+        assert fabric.total_bytes() == 0
+
+    def test_link_between_validates(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        link = fabric.link_between(
+            Location("hq"), Location("hq/factory1")
+        )
+        assert link is fabric.link_between(
+            Location("hq/factory1"), Location("hq")
+        )
+        with pytest.raises(PlacementError):
+            fabric.link_between(
+                Location("hq"), Location("hq/factory1/line1")
+            )
+
+    def test_reset_accounting(self, factory_hierarchy):
+        fabric = NetworkFabric(factory_hierarchy)
+        fabric.transfer(Location("hq/factory1"), Location("hq"), 500)
+        fabric.reset_accounting()
+        assert fabric.total_bytes() == 0
+        assert fabric.transfers == []
+
+    def test_bandwidth_override(self, factory_hierarchy):
+        fast = NetworkFabric(
+            factory_hierarchy, bandwidth_by_level={"cloud": 1e12}
+        )
+        slow = NetworkFabric(
+            factory_hierarchy, bandwidth_by_level={"cloud": 1e6}
+        )
+        fast_t = fast.transfer(Location("hq/factory1"), Location("hq"), 10**7)
+        slow_t = slow.transfer(Location("hq/factory1"), Location("hq"), 10**7)
+        assert slow_t.duration > fast_t.duration

@@ -1,0 +1,62 @@
+"""Package health: every module imports, exports resolve, versions agree."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_module_names():
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _walk_module_names())
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_subpackage_all_exports_resolve():
+    for package_name in (
+        "repro.core",
+        "repro.flows",
+        "repro.datastore",
+        "repro.analytics",
+        "repro.control",
+        "repro.apps",
+        "repro.hierarchy",
+        "repro.flowdb",
+        "repro.flowql",
+        "repro.flowstream",
+        "repro.replication",
+        "repro.simulation",
+        "repro.scenarios",
+    ):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert getattr(package, name, None) is not None, (
+                f"{package_name}.{name}"
+            )
+
+
+def test_version_matches_pyproject():
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+    )
+    assert match is not None
+    assert repro.__version__ == match.group(1)

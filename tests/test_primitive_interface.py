@@ -1,0 +1,172 @@
+"""Tests of the ComputingPrimitive contract and the registry."""
+
+import pytest
+
+from repro.core import default_registry
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.primitive import AdaptationFeedback, QueryRequest
+from repro.core.registry import PrimitiveRegistry
+from repro.core.sampling import RandomSamplePrimitive
+from repro.core.summary import Location
+from repro.errors import GranularityError, PlacementError, SchemaMismatchError
+from repro.flows.records import FlowRecord, Score
+
+LOC_A = Location("hq/factory1/line1")
+LOC_B = Location("hq/factory1/line2")
+LOC_FAR = Location("hq/factory2/line9")
+
+
+class TestRegistry:
+    def test_default_kinds(self):
+        kinds = set(default_registry().kinds())
+        assert kinds == {
+            "sample",
+            "timebin",
+            "heavy_hitter",
+            "count_min",
+            "reservoir",
+            "flowtree",
+            "hhh",
+            "raw",
+            "quantile",
+        }
+
+    def test_create_each_kind(self, policy):
+        registry = default_registry()
+        for kind in registry.kinds():
+            primitive = registry.create(kind, LOC_A, {"policy": policy})
+            assert primitive.kind == kind
+            assert primitive.location == LOC_A
+
+    def test_unknown_kind(self):
+        with pytest.raises(PlacementError):
+            default_registry().create("nope", LOC_A, {})
+
+    def test_custom_registration(self):
+        registry = PrimitiveRegistry()
+        registry.register(
+            "sample",
+            lambda loc, cfg: RandomSamplePrimitive(loc, rate=cfg["rate"]),
+        )
+        primitive = registry.create("sample", LOC_A, {"rate": 0.3})
+        assert primitive.rate == 0.3
+
+    def test_config_flows_through(self):
+        primitive = default_registry().create(
+            "timebin", LOC_A, {"bin_seconds": 30.0}
+        )
+        assert primitive.bin_seconds == 30.0
+
+
+class TestCombinePreconditions:
+    def test_same_location_different_time_ok(self):
+        a = RandomSamplePrimitive(LOC_A, rate=1.0)
+        b = RandomSamplePrimitive(LOC_A, rate=1.0)
+        a.ingest(1.0, 0.0)
+        b.ingest(1.0, 1000.0)  # disjoint time, same location
+        a.combine(b)
+        assert len(a.points) == 2
+
+    def test_shared_time_different_location_ok(self):
+        a = RandomSamplePrimitive(LOC_A, rate=1.0)
+        b = RandomSamplePrimitive(LOC_B, rate=1.0)
+        a.ingest(1.0, 0.0)
+        a.ingest(1.0, 10.0)
+        b.ingest(1.0, 5.0)
+        a.combine(b)
+        # location generalizes to the common ancestor
+        assert a.location == Location("hq/factory1")
+
+    def test_adjacent_intervals_count_as_shared_time(self):
+        a = RandomSamplePrimitive(LOC_A, rate=1.0)
+        b = RandomSamplePrimitive(LOC_FAR, rate=1.0)
+        a.ingest(1.0, 0.0)
+        a.ingest(1.0, 60.0)
+        b.ingest(1.0, 60.0)
+        b.ingest(1.0, 120.0)
+        a.combine(b)
+        assert a.interval().start == 0.0
+        assert a.interval().end == 120.0
+
+    def test_disjoint_everything_rejected(self):
+        a = RandomSamplePrimitive(LOC_A, rate=1.0)
+        b = RandomSamplePrimitive(LOC_FAR, rate=1.0)
+        a.ingest(1.0, 0.0)
+        b.ingest(1.0, 99999.0)
+        with pytest.raises(SchemaMismatchError):
+            a.combine(b)
+
+    def test_empty_side_combines_freely(self):
+        a = RandomSamplePrimitive(LOC_A, rate=1.0)
+        b = RandomSamplePrimitive(LOC_FAR, rate=1.0)
+        b.ingest(1.0, 99999.0)
+        a.combine(b)  # a is empty: adopts b's metadata
+        assert a.location == LOC_FAR
+        assert a.items_ingested == 1
+
+
+class TestFlowtreePrimitive:
+    def test_ingest_and_query(self, policy, make_key):
+        primitive = FlowtreePrimitive(LOC_A, policy, node_budget=256)
+        record = FlowRecord(
+            key=make_key(), packets=2, bytes=200, first_seen=0.0,
+            last_seen=1.0,
+        )
+        primitive.ingest(record, record.first_seen)
+        assert primitive.query(
+            QueryRequest("query", {"key": record.key})
+        ) == Score(2, 200, 1)
+        assert primitive.query(QueryRequest("total", {})).flows == 1
+
+    def test_rejects_foreign_items(self, policy):
+        primitive = FlowtreePrimitive(LOC_A, policy)
+        with pytest.raises(SchemaMismatchError):
+            primitive.ingest("not a flow", 0.0)
+
+    def test_summary_payload_is_snapshot(self, policy, make_key):
+        primitive = FlowtreePrimitive(LOC_A, policy)
+        record = FlowRecord(
+            key=make_key(), packets=1, bytes=100, first_seen=0.0,
+            last_seen=1.0,
+        )
+        primitive.ingest(record, 0.0)
+        snapshot = primitive.summary().payload
+        primitive.ingest(record, 2.0)
+        assert snapshot.total().bytes == 100
+        assert primitive.tree.total().bytes == 200
+
+    def test_set_granularity_compresses(self, policy, random_flows):
+        primitive = FlowtreePrimitive(LOC_A, policy, node_budget=None)
+        for record in random_flows(200):
+            primitive.ingest(record, record.first_seen)
+        primitive.set_granularity(50)
+        assert primitive.tree.node_count <= 50
+
+    def test_set_granularity_minimum(self, policy):
+        primitive = FlowtreePrimitive(LOC_A, policy)
+        with pytest.raises(GranularityError):
+            primitive.set_granularity(2)
+
+    def test_adapt_grows_and_shrinks(self, policy):
+        primitive = FlowtreePrimitive(LOC_A, policy, node_budget=256)
+        primitive.adapt(
+            AdaptationFeedback(query_rate=5.0, storage_pressure=0.0)
+        )
+        assert primitive.node_budget == 512
+        primitive.adapt(AdaptationFeedback(storage_pressure=0.9))
+        assert primitive.node_budget == 256
+
+    def test_query_bound_operator(self, policy, make_key):
+        primitive = FlowtreePrimitive(LOC_A, policy, node_budget=256)
+        record = FlowRecord(
+            key=make_key(), packets=2, bytes=200, first_seen=0.0,
+            last_seen=1.0,
+        )
+        primitive.ingest(record, 0.0)
+        lower, upper = primitive.query(
+            QueryRequest("query_bound", {"key": record.key})
+        )
+        assert lower == upper == Score(2, 200, 1)
+
+    def test_domain_knowledge(self, policy):
+        assert FlowtreePrimitive(LOC_A, policy).uses_domain_knowledge

@@ -1,0 +1,162 @@
+"""Unit and property tests for Space-Saving heavy hitters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heavy_hitters import HeavyHitterPrimitive, SpaceSaving
+from repro.core.primitive import AdaptationFeedback, QueryRequest
+from repro.core.summary import Location
+from repro.errors import GranularityError
+
+LOC = Location("net/region1")
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        sketch = SpaceSaving(capacity=10)
+        for item, count in [("a", 5), ("b", 3), ("c", 2)]:
+            for _ in range(count):
+                sketch.offer(item)
+        assert sketch.estimate("a") == (5.0, 0.0)
+        assert sketch.estimate("b") == (3.0, 0.0)
+        assert sketch.top(2)[0][0] == "a"
+
+    def test_eviction_tracks_error(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.offer("a", 10)
+        sketch.offer("b", 5)
+        sketch.offer("c", 1)  # evicts b? no: evicts the min counter (b=5)
+        count, error = sketch.estimate("c")
+        assert count == 6.0  # victim count + weight
+        assert error == 5.0
+
+    def test_estimate_never_underestimates(self):
+        rng = random.Random(0)
+        truth = {}
+        sketch = SpaceSaving(capacity=20)
+        for _ in range(2000):
+            item = rng.randrange(200)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.offer(item)
+        for item, true_count in truth.items():
+            estimate, _error = sketch.estimate(item)
+            assert estimate >= true_count
+
+    def test_error_bound(self):
+        """max overestimation is bounded by total/capacity."""
+        rng = random.Random(1)
+        sketch = SpaceSaving(capacity=50)
+        for _ in range(5000):
+            sketch.offer(rng.randrange(500))
+        bound = sketch.total_weight / sketch.capacity
+        for _item, _count, error in sketch.top(50):
+            assert error <= bound + 1e-9
+
+    def test_heavy_hitters_guaranteed_mode(self):
+        sketch = SpaceSaving(capacity=10)
+        for _ in range(900):
+            sketch.offer("heavy")
+        for i in range(100):
+            sketch.offer(f"light{i % 30}")
+        guaranteed = sketch.heavy_hitters(0.5, guaranteed_only=True)
+        assert [item for item, _, _ in guaranteed] == ["heavy"]
+
+    def test_heavy_hitters_phi_validation(self):
+        sketch = SpaceSaving(4)
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters(0.0)
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters(1.0)
+
+    def test_merge_preserves_totals_and_bounds(self):
+        rng = random.Random(2)
+        truth = {}
+        a, b = SpaceSaving(30), SpaceSaving(30)
+        for sketch in (a, b):
+            for _ in range(1000):
+                item = rng.randrange(100)
+                truth[item] = truth.get(item, 0) + 1
+                sketch.offer(item)
+        a.merge(b)
+        assert a.total_weight == 2000
+        assert len(a) <= 30
+        for item, _count, _error in a.top(30):
+            estimate, _ = a.estimate(item)
+            assert estimate >= truth.get(item, 0) - a.total_weight / 30
+
+    def test_resize_shrinks(self):
+        sketch = SpaceSaving(10)
+        for i in range(10):
+            sketch.offer(i, weight=i + 1)
+        sketch.resize(3)
+        assert len(sketch) == 3
+        assert sketch.capacity == 3
+        assert {item for item, _, _ in sketch.top(3)} == {9, 8, 7}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GranularityError):
+            SpaceSaving(0)
+        sketch = SpaceSaving(2)
+        with pytest.raises(ValueError):
+            sketch.offer("x", weight=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                   max_size=400),
+    capacity=st.integers(min_value=2, max_value=30),
+)
+def test_space_saving_overestimate_property(items, capacity):
+    """estimate - error <= truth <= estimate, for every tracked item."""
+    truth = {}
+    sketch = SpaceSaving(capacity)
+    for item in items:
+        truth[item] = truth.get(item, 0) + 1
+        sketch.offer(item)
+    for item, count, error in sketch.top(capacity):
+        assert count >= truth[item]
+        assert count - error <= truth[item]
+
+
+class TestPrimitive:
+    def test_query_operators(self):
+        primitive = HeavyHitterPrimitive(LOC, capacity=16)
+        for _ in range(50):
+            primitive.ingest("hot", 0.0)
+        primitive.ingest("cold", 0.0)
+        top = primitive.query(QueryRequest("top_k", {"k": 1}))
+        assert top[0][0] == "hot"
+        count, _ = primitive.query(QueryRequest("count", {"item": "hot"}))
+        assert count == 50
+        hitters = primitive.query(QueryRequest("heavy_hitters", {"phi": 0.5}))
+        assert hitters[0][0] == "hot"
+        assert primitive.query(QueryRequest("total", {})) == 51
+
+    def test_weight_extractor(self):
+        primitive = HeavyHitterPrimitive(
+            LOC, capacity=8, weight_of=lambda pair: pair[1]
+        )
+        primitive.ingest(("flow", 100.0), 0.0)
+        assert primitive.query(QueryRequest("total", {})) == 100.0
+
+    def test_combine(self):
+        a = HeavyHitterPrimitive(LOC, capacity=8)
+        b = HeavyHitterPrimitive(LOC, capacity=8)
+        a.ingest("x", 0.0)
+        b.ingest("x", 0.5)
+        a.combine(b)
+        count, _ = a.query(QueryRequest("count", {"item": "x"}))
+        assert count == 2
+
+    def test_adapt_shrinks_capacity(self):
+        primitive = HeavyHitterPrimitive(LOC, capacity=64)
+        primitive.adapt(AdaptationFeedback(storage_pressure=0.9))
+        assert primitive.sketch.capacity == 32
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            HeavyHitterPrimitive(LOC).query(QueryRequest("nope", {}))

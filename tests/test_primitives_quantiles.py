@@ -1,0 +1,185 @@
+"""Unit and property tests for the KLL quantile sketch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.primitive import AdaptationFeedback, QueryRequest
+from repro.core.quantiles import KLLSketch, QuantilePrimitive
+from repro.core.summary import Location
+from repro.errors import GranularityError
+
+LOC = Location("hq/factory1/line1")
+
+
+class TestKLLSketch:
+    def test_exact_when_small(self):
+        sketch = KLLSketch(k=64)
+        for value in range(1, 11):
+            sketch.add(float(value))
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 10.0
+        assert sketch.quantile(0.5) == pytest.approx(5.0, abs=1.0)
+
+    def test_empty(self):
+        sketch = KLLSketch()
+        assert sketch.quantile(0.5) is None
+        assert sketch.cdf(10.0) == 0.0
+
+    def test_quantile_validation(self):
+        sketch = KLLSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(-0.1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.1)
+        with pytest.raises(GranularityError):
+            KLLSketch(k=4)
+
+    def test_bounded_footprint(self):
+        sketch = KLLSketch(k=128, seed=1)
+        for i in range(100_000):
+            sketch.add(float(i))
+        # sub-linear retention: ~k log(n/k) items, far below the stream
+        assert sketch.retained() < 3000
+        assert sketch.count == 100_000
+
+    def test_rank_error_bounded(self):
+        rng = random.Random(7)
+        n = 50_000
+        values = [rng.random() for _ in range(n)]
+        sketch = KLLSketch(k=256, seed=1)
+        for value in values:
+            sketch.add(value)
+        values.sort()
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = sketch.quantile(q)
+            true_rank = q * n
+            # locate the estimate's true rank
+            import bisect
+
+            estimated_rank = bisect.bisect_right(values, estimate)
+            assert abs(estimated_rank - true_rank) < 0.03 * n, (
+                f"quantile {q}: rank error "
+                f"{abs(estimated_rank - true_rank) / n:.3f}"
+            )
+
+    def test_extremes_exact(self):
+        sketch = KLLSketch(k=64, seed=2)
+        rng = random.Random(3)
+        low, high = -123.5, 987.25
+        sketch.add(low)
+        sketch.add(high)
+        for _ in range(10_000):
+            sketch.add(rng.uniform(0, 100))
+        assert sketch.quantile(0.0) == low
+        assert sketch.quantile(1.0) == high
+
+    def test_merge_equivalent_to_union(self):
+        rng = random.Random(11)
+        a_values = [rng.gauss(0, 1) for _ in range(5000)]
+        b_values = [rng.gauss(5, 1) for _ in range(5000)]
+        a = KLLSketch(k=256, seed=1)
+        b = KLLSketch(k=256, seed=2)
+        union = KLLSketch(k=256, seed=3)
+        for value in a_values:
+            a.add(value)
+            union.add(value)
+        for value in b_values:
+            b.add(value)
+            union.add(value)
+        a.merge(b)
+        assert a.count == 10_000
+        # compare by rank, not value: between the two modes the density
+        # is near zero, so tiny rank errors translate to large value
+        # gaps — rank error is the quantity KLL actually bounds
+        import bisect
+
+        all_values = sorted(a_values + b_values)
+        for q in (0.25, 0.5, 0.75):
+            estimate = a.quantile(q)
+            rank = bisect.bisect_right(all_values, estimate)
+            assert abs(rank - q * 10_000) < 0.05 * 10_000
+
+    def test_cdf_monotone(self):
+        sketch = KLLSketch(k=64, seed=4)
+        rng = random.Random(5)
+        for _ in range(2000):
+            sketch.add(rng.random())
+        previous = 0.0
+        for value in (0.1, 0.3, 0.5, 0.7, 0.9):
+            current = sketch.cdf(value)
+            assert current >= previous
+            previous = current
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    )
+)
+def test_kll_quantiles_within_range_property(values):
+    sketch = KLLSketch(k=32, seed=1)
+    for value in values:
+        sketch.add(value)
+    assert sketch.count == len(values)
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        estimate = sketch.quantile(q)
+        assert min(values) <= estimate <= max(values)
+
+
+class TestQuantilePrimitive:
+    def test_query_operators(self):
+        primitive = QuantilePrimitive(LOC, k=64, seed=1)
+        for i in range(1, 101):
+            primitive.ingest(float(i), float(i))
+        assert primitive.query(QueryRequest("count", {})) == 100
+        median = primitive.query(QueryRequest("median", {}))
+        assert 40 <= median <= 60
+        q90 = primitive.query(QueryRequest("quantile", {"q": 0.9}))
+        assert 80 <= q90 <= 100
+        qs = primitive.query(
+            QueryRequest("quantiles", {"qs": [0.1, 0.5, 0.9]})
+        )
+        assert qs == sorted(qs)
+        assert primitive.query(QueryRequest("cdf", {"value": 50.0})) == (
+            pytest.approx(0.5, abs=0.1)
+        )
+
+    def test_value_extractor(self):
+        primitive = QuantilePrimitive(
+            LOC, k=64, value_of=lambda reading: reading["v"]
+        )
+        primitive.ingest({"v": 42.0}, 0.0)
+        assert primitive.query(QueryRequest("median", {})) == 42.0
+
+    def test_combine(self):
+        a = QuantilePrimitive(LOC, k=64, seed=1)
+        b = QuantilePrimitive(LOC, k=64, seed=2)
+        for i in range(100):
+            a.ingest(float(i), float(i))
+            b.ingest(float(i + 100), float(i))
+        a.combine(b)
+        assert a.sketch.count == 200
+        median = a.query(QueryRequest("median", {}))
+        assert 80 <= median <= 120
+
+    def test_adapt(self):
+        primitive = QuantilePrimitive(LOC, k=128)
+        primitive.adapt(AdaptationFeedback(storage_pressure=0.9))
+        assert primitive.sketch.k == 64
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            QuantilePrimitive(LOC).query(QueryRequest("nope", {}))
+
+    def test_registry(self):
+        from repro.core import default_registry
+
+        primitive = default_registry().create("quantile", LOC, {"k": 32})
+        assert primitive.sketch.k == 32

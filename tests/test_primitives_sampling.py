@@ -1,0 +1,165 @@
+"""Unit tests for the random-sampling toy primitive (Section V.B)."""
+
+import pytest
+
+from repro.core.primitive import AdaptationFeedback, QueryRequest
+from repro.core.sampling import RandomSamplePrimitive
+from repro.core.summary import Location
+from repro.errors import GranularityError, SchemaMismatchError
+
+LOC = Location("factory1/line1/machine1")
+
+
+def make_sampler(rate=0.5, seed=42):
+    return RandomSamplePrimitive(LOC, rate=rate, seed=seed)
+
+
+class TestIngest:
+    def test_rate_one_keeps_everything(self):
+        sampler = make_sampler(rate=1.0)
+        for i in range(100):
+            sampler.ingest(float(i), float(i))
+        assert len(sampler.points) == 100
+
+    def test_sampling_reduces_roughly_by_rate(self):
+        sampler = make_sampler(rate=0.2, seed=1)
+        for i in range(2000):
+            sampler.ingest(1.0, float(i))
+        kept = len(sampler.points)
+        assert 300 < kept < 500  # ~400 expected
+
+    def test_invalid_rate(self):
+        with pytest.raises(GranularityError):
+            make_sampler(rate=0.0)
+        with pytest.raises(GranularityError):
+            make_sampler(rate=1.5)
+
+    def test_interval_tracking(self):
+        sampler = make_sampler(rate=1.0)
+        sampler.ingest(1.0, 5.0)
+        sampler.ingest(2.0, 9.0)
+        assert sampler.interval().start == 5.0
+        assert sampler.interval().end == 9.0
+
+
+class TestQueries:
+    def test_select_window_and_threshold(self):
+        sampler = make_sampler(rate=1.0)
+        for i in range(10):
+            sampler.ingest(float(i), float(i))
+        rows = sampler.query(
+            QueryRequest("select", {"start": 2.0, "end": 8.0, "min_value": 5})
+        )
+        assert [p.value for p in rows] == [5.0, 6.0, 7.0]
+
+    def test_estimate_count_unbiased_scaling(self):
+        sampler = make_sampler(rate=0.5, seed=3)
+        for i in range(1000):
+            sampler.ingest(1.0, float(i))
+        estimate = sampler.query(QueryRequest("estimate_count", {}))
+        assert 800 < estimate < 1200
+
+    def test_estimate_sum(self):
+        sampler = make_sampler(rate=1.0)
+        for i in range(10):
+            sampler.ingest(2.0, float(i))
+        assert sampler.query(QueryRequest("estimate_sum", {})) == 20.0
+
+    def test_mean_empty_window(self):
+        sampler = make_sampler(rate=1.0)
+        assert sampler.query(QueryRequest("mean", {})) is None
+
+    def test_unknown_operator(self):
+        sampler = make_sampler()
+        with pytest.raises(ValueError):
+            sampler.query(QueryRequest("nope", {}))
+
+
+class TestCombine:
+    def test_combine_same_location(self):
+        a = make_sampler(rate=1.0, seed=1)
+        b = make_sampler(rate=1.0, seed=2)
+        for i in range(5):
+            a.ingest(float(i), float(i))
+            b.ingest(float(i), float(i) + 100)
+        a.combine(b)
+        assert len(a.points) == 10
+        times = [p.timestamp for p in a.points]
+        assert times == sorted(times)
+
+    def test_combine_thins_to_coarser_rate(self):
+        a = make_sampler(rate=1.0, seed=1)
+        b = make_sampler(rate=0.25, seed=2)
+        for i in range(1000):
+            a.ingest(1.0, float(i))
+            b.ingest(1.0, float(i))
+        a.combine(b)
+        assert a.rate == 0.25
+        # a's 1000 points thinned to ~250, b holds ~250
+        assert 350 < len(a.points) < 650
+
+    def test_combine_wrong_type(self):
+        from repro.core.timebin import TimeBinStatistics
+
+        a = make_sampler()
+        b = TimeBinStatistics(LOC)
+        with pytest.raises(SchemaMismatchError):
+            a.combine(b)
+
+    def test_combine_disjoint_time_and_location_rejected(self):
+        a = make_sampler(rate=1.0)
+        b = RandomSamplePrimitive(Location("factory2/line9"), rate=1.0)
+        a.ingest(1.0, 0.0)
+        a.ingest(1.0, 10.0)
+        b.ingest(1.0, 500.0)
+        b.ingest(1.0, 600.0)
+        with pytest.raises(SchemaMismatchError):
+            a.combine(b)
+
+    def test_combine_empty_other_is_noop(self):
+        a = make_sampler(rate=1.0)
+        b = make_sampler(rate=1.0)
+        a.ingest(1.0, 0.0)
+        a.combine(b)
+        assert len(a.points) == 1
+
+
+class TestGranularityAndAdaptation:
+    def test_set_granularity_thins_retroactively(self):
+        sampler = make_sampler(rate=1.0, seed=5)
+        for i in range(1000):
+            sampler.ingest(1.0, float(i))
+        sampler.set_granularity(0.1)
+        assert sampler.rate == 0.1
+        assert 40 < len(sampler.points) < 200
+
+    def test_adapt_tracks_requested_granularity(self):
+        sampler = make_sampler(rate=1.0)
+        # stream at 100 items/s; queries only need one point per 10 s
+        sampler.adapt(
+            AdaptationFeedback(ingest_rate=100.0, requested_granularity=10.0)
+        )
+        assert sampler.rate == pytest.approx(0.001)
+
+    def test_adapt_storage_pressure_reduces_rate(self):
+        sampler = make_sampler(rate=0.8)
+        sampler.adapt(AdaptationFeedback(storage_pressure=0.5))
+        assert sampler.rate == pytest.approx(0.4)
+
+    def test_epoch_reset(self):
+        sampler = make_sampler(rate=1.0)
+        sampler.ingest(1.0, 1.0)
+        summary = sampler.reset_epoch()
+        assert summary.kind == "sample"
+        assert len(summary.payload) == 1
+        assert sampler.points == []
+        assert sampler.items_ingested == 0
+
+    def test_no_domain_knowledge(self):
+        assert make_sampler().uses_domain_knowledge is False
+
+    def test_footprint_scales(self):
+        sampler = make_sampler(rate=1.0)
+        assert sampler.footprint_bytes() == 0
+        sampler.ingest(1.0, 1.0)
+        assert sampler.footprint_bytes() == 16

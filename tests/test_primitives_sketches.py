@@ -1,0 +1,181 @@
+"""Unit and property tests for Count-Min sketches and the reservoir."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.primitive import AdaptationFeedback, QueryRequest
+from repro.core.reservoir import ReservoirPrimitive, ReservoirSample
+from repro.core.sketches import CountMinPrimitive, CountMinSketch
+from repro.core.summary import Location
+from repro.errors import GranularityError, SchemaMismatchError
+
+LOC = Location("net/region2")
+
+
+class TestCountMinSketch:
+    def test_exact_for_sparse_input(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        sketch.add("a", 5)
+        sketch.add("b", 3)
+        assert sketch.estimate("a") == 5
+        assert sketch.estimate("b") == 3
+
+    def test_never_underestimates(self):
+        rng = random.Random(0)
+        sketch = CountMinSketch(width=64, depth=4)
+        truth = {}
+        for _ in range(3000):
+            item = rng.randrange(500)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.add(item)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_from_error_dimensions(self):
+        sketch = CountMinSketch.from_error(eps=0.01, delta=0.01)
+        assert sketch.width >= 272
+        assert sketch.depth >= 4
+
+    def test_from_error_validation(self):
+        with pytest.raises(GranularityError):
+            CountMinSketch.from_error(eps=0.0, delta=0.5)
+
+    def test_merge(self):
+        a = CountMinSketch(width=128, depth=3, seed=9)
+        b = CountMinSketch(width=128, depth=3, seed=9)
+        a.add("x", 10)
+        b.add("x", 5)
+        a.merge(b)
+        assert a.estimate("x") >= 15
+        assert a.total == 15
+
+    def test_merge_shape_mismatch(self):
+        a = CountMinSketch(width=128, depth=3, seed=9)
+        b = CountMinSketch(width=64, depth=3, seed=9)
+        with pytest.raises(SchemaMismatchError):
+            a.merge(b)
+        c = CountMinSketch(width=128, depth=3, seed=8)
+        with pytest.raises(SchemaMismatchError):
+            a.merge(c)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(8, 2).add("x", -1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                   max_size=300)
+)
+def test_count_min_one_sided_error_property(items):
+    sketch = CountMinSketch(width=32, depth=4, seed=1)
+    truth = {}
+    for item in items:
+        truth[item] = truth.get(item, 0) + 1
+        sketch.add(item)
+    for item, count in truth.items():
+        assert sketch.estimate(item) >= count
+
+
+class TestCountMinPrimitive:
+    def test_query(self):
+        primitive = CountMinPrimitive(LOC, width=256, depth=3)
+        primitive.ingest("k", 0.0)
+        primitive.ingest("k", 1.0)
+        assert primitive.query(QueryRequest("count", {"item": "k"})) >= 2
+        assert primitive.query(QueryRequest("total", {})) == 2
+
+    def test_granularity_applies_next_epoch(self):
+        primitive = CountMinPrimitive(LOC, width=256, depth=3)
+        primitive.ingest("k", 0.0)
+        primitive.set_granularity(64)
+        assert primitive.sketch.width == 256  # unchanged mid-epoch
+        primitive.reset_epoch()
+        assert primitive.sketch.width == 64
+
+    def test_adapt_under_pressure(self):
+        primitive = CountMinPrimitive(LOC, width=256, depth=3)
+        primitive.adapt(AdaptationFeedback(storage_pressure=0.8))
+        primitive.reset_epoch()
+        assert primitive.sketch.width == 128
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            CountMinPrimitive(LOC).query(QueryRequest("nope", {}))
+
+
+class TestReservoirSample:
+    def test_keeps_all_under_capacity(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        for i in range(5):
+            reservoir.offer(i)
+        assert sorted(reservoir.items) == [0, 1, 2, 3, 4]
+        assert reservoir.seen == 5
+
+    def test_bounded_at_capacity(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        for i in range(1000):
+            reservoir.offer(i)
+        assert len(reservoir.items) == 10
+        assert reservoir.seen == 1000
+
+    def test_uniformity_rough(self):
+        """Every stream position should be roughly equally represented."""
+        hits = [0] * 10
+        for seed in range(300):
+            reservoir = ReservoirSample(capacity=3, seed=seed)
+            for i in range(10):
+                reservoir.offer(i)
+            for item in reservoir.items:
+                hits[item] += 1
+        expected = 300 * 3 / 10
+        assert all(expected * 0.5 < h < expected * 1.5 for h in hits)
+
+    def test_resize(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        for i in range(100):
+            reservoir.offer(i)
+        reservoir.resize(4)
+        assert len(reservoir.items) == 4
+        with pytest.raises(GranularityError):
+            reservoir.resize(0)
+
+    def test_merge_combines_seen(self):
+        a = ReservoirSample(capacity=8, seed=1)
+        b = ReservoirSample(capacity=8, seed=2)
+        for i in range(50):
+            a.offer(("a", i))
+            b.offer(("b", i))
+        a.merge(b)
+        assert a.seen == 100
+        assert len(a.items) == 8
+
+
+class TestReservoirPrimitive:
+    def test_query_operators(self):
+        primitive = ReservoirPrimitive(LOC, capacity=64, seed=1)
+        for i in range(32):
+            primitive.ingest(i, float(i))
+        assert primitive.query(QueryRequest("seen", {})) == 32
+        assert len(primitive.query(QueryRequest("sample", {}))) == 32
+        fraction = primitive.query(
+            QueryRequest(
+                "estimate_fraction", {"predicate": lambda x: x % 2 == 0}
+            )
+        )
+        assert fraction == pytest.approx(0.5)
+
+    def test_estimate_fraction_empty(self):
+        primitive = ReservoirPrimitive(LOC, capacity=4)
+        assert primitive.query(
+            QueryRequest("estimate_fraction", {"predicate": bool})
+        ) == 0.0
+
+    def test_adapt_shrinks(self):
+        primitive = ReservoirPrimitive(LOC, capacity=64)
+        primitive.adapt(AdaptationFeedback(storage_pressure=0.9))
+        assert primitive.reservoir.capacity == 32

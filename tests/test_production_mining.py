@@ -1,0 +1,152 @@
+"""Tests for production-event simulation and event-log process mining."""
+
+import pytest
+
+from repro.analytics.eventlog import (
+    analyze_event_log,
+    efficiency_gain_estimate,
+)
+from repro.core.summary import Location
+from repro.simulation.factory import Machine
+from repro.simulation.production import (
+    ProductionEvent,
+    ProductionLineSimulator,
+)
+
+LINE = Location("hq/factory1/line1")
+
+
+def make_machines(count=3, wear_rates=None):
+    rates = wear_rates or [0.001] * count
+    return [
+        Machine(
+            machine_id=f"m{i + 1}",
+            location=LINE.child(f"machine{i + 1}"),
+            wear_rate_per_hour=rates[i],
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+class TestProductionSimulator:
+    def test_items_traverse_all_machines(self):
+        machines = make_machines(3)
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, seed=1
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=60.0)
+        assert simulator.completed_items > 10
+        by_item = {}
+        for event in events:
+            by_item.setdefault(event.item_id, []).append(event)
+        for item_events in by_item.values():
+            assert [e.machine_id for e in item_events] == ["m1", "m2", "m3"]
+            for upstream, downstream in zip(item_events, item_events[1:]):
+                assert downstream.arrived_at == upstream.finished_at
+
+    def test_events_never_overlap_per_machine(self):
+        machines = make_machines(2)
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=50.0, seed=2
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=20.0)
+        for machine in machines:
+            mine = sorted(
+                (e for e in events if e.machine_id == machine.machine_id),
+                key=lambda e: e.started_at,
+            )
+            for a, b in zip(mine, mine[1:]):
+                assert b.started_at >= a.finished_at
+
+    def test_wear_slows_processing(self):
+        fresh = make_machines(1)[0]
+        worn = make_machines(1)[0]
+        worn.wear = 0.8
+        fresh_sim = ProductionLineSimulator(
+            [fresh], base_processing_seconds=10.0, seed=3
+        )
+        worn_sim = ProductionLineSimulator(
+            [worn], base_processing_seconds=10.0, seed=3
+        )
+        fresh_events = fresh_sim.run(until=600.0, interarrival_seconds=60.0)
+        worn_events = worn_sim.run(until=600.0, interarrival_seconds=60.0)
+        fresh_mean = sum(e.processing_seconds for e in fresh_events) / len(
+            fresh_events
+        )
+        worn_mean = sum(e.processing_seconds for e in worn_events) / len(
+            worn_events
+        )
+        assert worn_mean > 1.5 * fresh_mean
+
+    def test_needs_machines(self):
+        with pytest.raises(ValueError):
+            ProductionLineSimulator([])
+
+
+class TestEventLogMining:
+    def test_empty_log(self):
+        analysis = analyze_event_log([])
+        assert analysis.bottleneck is None
+        assert analysis.throughput_per_hour == 0.0
+
+    def test_bottleneck_detected(self):
+        machines = make_machines(3)
+        machines[1].wear = 0.9  # middle machine is badly worn
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, wear_gain=3.0, seed=4
+        )
+        events = simulator.run(until=2 * 3600.0, interarrival_seconds=30.0)
+        analysis = analyze_event_log(events)
+        assert analysis.bottleneck == "m2"
+        # waiting concentrates at (or right after) the bottleneck
+        m2 = analysis.profile("m2")
+        m1 = analysis.profile("m1")
+        assert m2.utilization > m1.utilization
+
+    def test_flow_time_exceeds_processing_sum_under_load(self):
+        machines = make_machines(2)
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=40.0, seed=5
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=30.0)
+        analysis = analyze_event_log(events)
+        total_processing = sum(
+            p.mean_processing_seconds for p in analysis.machines
+        )
+        # arrivals outpace service: queues form, flow time > work time
+        assert analysis.mean_flow_seconds > total_processing
+
+    def test_throughput_matches_completed_items(self):
+        machines = make_machines(2)
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, seed=6
+        )
+        simulator.run(until=3600.0, interarrival_seconds=60.0)
+        analysis = analyze_event_log(simulator.events)
+        assert analysis.throughput_per_hour == pytest.approx(
+            simulator.completed_items
+            / (max(e.finished_at for e in simulator.events)
+               - min(e.arrived_at for e in simulator.events))
+            * 3600.0
+        )
+
+    def test_efficiency_gain(self):
+        machines = make_machines(3)
+        machines[2].wear = 0.9
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, wear_gain=3.0, seed=7
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=60.0)
+        analysis = analyze_event_log(events)
+        gain = efficiency_gain_estimate(analysis)
+        assert gain["potential_speedup"] > 0.3
+
+    def test_no_gain_when_balanced(self):
+        machines = make_machines(3)
+        simulator = ProductionLineSimulator(
+            machines, base_processing_seconds=10.0, seed=8
+        )
+        events = simulator.run(until=3600.0, interarrival_seconds=60.0)
+        gain = efficiency_gain_estimate(analyze_event_log(events))
+        assert gain["potential_speedup"] < 0.15

@@ -1,0 +1,197 @@
+"""Property-based tests for metadata algebra and storage invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summary import (
+    DataSummary,
+    Location,
+    SummaryMeta,
+    TimeInterval,
+)
+from repro.datastore.partitions import Partition, PartitionCatalog
+from repro.datastore.storage import HierarchicalStorage, RoundRobinStorage
+from repro.replication.engine import (
+    offline_optimal_cost,
+    simulate_policy_on_trace,
+)
+from repro.replication.ski_rental import BreakEvenPolicy, RandomizedSkiRental
+from repro.simulation.querytrace import AccessEvent
+
+# ---------------------------------------------------------------------------
+# intervals
+
+interval_strategy = st.builds(
+    lambda a, b: TimeInterval(min(a, b), max(a, b)),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=interval_strategy, b=interval_strategy)
+def test_interval_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=interval_strategy, b=interval_strategy)
+def test_interval_union_covers_both(a, b):
+    union = a.union(b)
+    assert union.start <= a.start and union.start <= b.start
+    assert union.end >= a.end and union.end >= b.end
+    assert union.duration >= max(a.duration, b.duration)
+
+
+@settings(max_examples=100, deadline=None)
+@given(interval=interval_strategy)
+def test_interval_self_relations(interval):
+    if interval.duration > 0:
+        assert interval.overlaps(interval)
+        assert interval.contains(interval.start)
+    assert not interval.contains(interval.end)
+
+
+# ---------------------------------------------------------------------------
+# locations
+
+segment = st.text(
+    alphabet="abcdefghij0123456789", min_size=1, max_size=4
+)
+path_strategy = st.lists(segment, min_size=1, max_size=5).map(
+    lambda parts: Location("/".join(["root"] + parts))
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=path_strategy, b=path_strategy)
+def test_common_ancestor_properties(a, b):
+    ancestor = a.common_ancestor(b)
+    for location in (a, b):
+        assert (
+            ancestor == location or ancestor.is_ancestor_of(location)
+        )
+    # the common ancestor is the deepest such location: one segment
+    # deeper on either path no longer covers both
+    assert ancestor.level <= min(a.level, b.level)
+
+
+@settings(max_examples=100, deadline=None)
+@given(location=path_strategy)
+def test_parent_chain_terminates_at_root(location):
+    seen = 0
+    probe = location
+    while probe is not None:
+        seen += 1
+        assert seen <= location.level + 1
+        probe = probe.parent
+    assert seen == location.level + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=path_strategy, b=path_strategy)
+def test_meta_combined_is_combinable_superset(a, b):
+    meta_a = SummaryMeta(TimeInterval(0, 10), a)
+    meta_b = SummaryMeta(TimeInterval(5, 15), b)
+    assert meta_a.combinable_with(meta_b)  # shared time
+    combined = meta_a.combined(meta_b)
+    assert combined.interval == TimeInterval(0, 15)
+
+
+# ---------------------------------------------------------------------------
+# storage invariants
+
+sizes_strategy = st.lists(
+    st.integers(min_value=100, max_value=50_000), min_size=1, max_size=40
+)
+
+
+def make_partition(index: int, size: int) -> Partition:
+    created = float(index * 60)
+    return Partition(
+        partition_id=f"p{index}",
+        aggregator="agg",
+        summary=DataSummary(
+            kind="sample",
+            meta=SummaryMeta(
+                TimeInterval(created, created + 60.0), Location("x/y")
+            ),
+            payload=[],
+            size_bytes=size,
+            attrs={"rate": 1.0},
+        ),
+        created_at=created,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=sizes_strategy, budget=st.integers(min_value=1_000,
+                                                max_value=200_000))
+def test_round_robin_never_exceeds_budget_with_multiple_partitions(
+    sizes, budget
+):
+    storage = RoundRobinStorage(budget_bytes=budget)
+    catalog = PartitionCatalog()
+    for index, size in enumerate(sizes):
+        storage.admit(make_partition(index, size), catalog, now=float(index))
+        assert len(catalog) >= 1
+        if len(catalog) > 1:
+            assert catalog.total_bytes() <= budget
+    # retention is a suffix: whatever survives is the newest run
+    retained = [p.created_at for p in catalog.all()]
+    assert retained == sorted(retained)
+    if retained:
+        newest = max(p.created_at for p in catalog.all())
+        assert newest == (len(sizes) - 1) * 60.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=sizes_strategy)
+def test_round_robin_eviction_count_conservation(sizes):
+    storage = RoundRobinStorage(budget_bytes=60_000)
+    catalog = PartitionCatalog()
+    evicted = []
+    for index, size in enumerate(sizes):
+        evicted += storage.admit(
+            make_partition(index, size), catalog, now=float(index)
+        )
+    assert len(evicted) + len(catalog) == len(sizes)
+
+
+# ---------------------------------------------------------------------------
+# replication cost accounting
+
+results_strategy = st.lists(
+    st.integers(min_value=1, max_value=5_000), min_size=1, max_size=60
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(results=results_strategy, cost=st.integers(min_value=500,
+                                                  max_value=20_000))
+def test_trace_cost_accounting_consistent(results, cost):
+    trace = [AccessEvent(float(i), "p", r) for i, r in enumerate(results)]
+    costs = simulate_policy_on_trace(trace, BreakEvenPolicy(), cost)
+    assert costs.total_bytes == costs.shipped_bytes + costs.replication_bytes
+    assert costs.accesses == len(results)
+    assert costs.replications in (0, 1)
+    assert costs.replication_bytes == costs.replications * cost
+    assert (
+        costs.accesses_served_locally == 0
+        or costs.replications == 1
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(results=results_strategy, cost=st.integers(min_value=500,
+                                                  max_value=20_000),
+       seed=st.integers(min_value=0, max_value=100))
+def test_randomized_never_buys_before_shipping(results, cost, seed):
+    trace = [AccessEvent(float(i), "p", r) for i, r in enumerate(results)]
+    costs = simulate_policy_on_trace(
+        trace, RandomizedSkiRental(seed=seed), cost
+    )
+    optimal = offline_optimal_cost(trace, cost)
+    assert costs.total_bytes >= optimal
+    if costs.replications:
+        assert costs.shipped_bytes > 0  # the threshold is never negative

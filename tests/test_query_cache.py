@@ -1,0 +1,145 @@
+"""Tests for the reactive query cache and its federation integration."""
+
+import pytest
+
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.primitive import QueryRequest
+from repro.core.summary import Location
+from repro.datastore.aggregator import Aggregator
+from repro.datastore.cache import QueryCache
+from repro.datastore.storage import RoundRobinStorage
+from repro.datastore.store import DataStore
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import network_monitoring_hierarchy
+
+LOC1 = Location("cloud/network/region1/router1")
+LOC2 = Location("cloud/network/region2/router1")
+
+
+class TestQueryCacheUnit:
+    def test_hit_within_ttl(self):
+        cache = QueryCache(ttl_seconds=10.0)
+        key = cache.key_for("agg", QueryRequest("total", {}), 0.0, 60.0)
+        assert cache.get(key, now=0.0) is None
+        cache.put(key, "result", 42, now=0.0)
+        entry = cache.get(key, now=5.0)
+        assert entry is not None
+        assert entry.value == "result"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_expiry(self):
+        cache = QueryCache(ttl_seconds=10.0)
+        key = cache.key_for("agg", QueryRequest("total", {}), None, None)
+        cache.put(key, "x", 1, now=0.0)
+        assert cache.get(key, now=10.0) is None
+        assert len(cache) == 0
+
+    def test_different_params_different_keys(self):
+        cache = QueryCache()
+        a = cache.key_for("agg", QueryRequest("top_k", {"k": 5}), None, None)
+        b = cache.key_for("agg", QueryRequest("top_k", {"k": 9}), None, None)
+        assert a != b
+
+    def test_uncacheable_params(self):
+        cache = QueryCache()
+        key = cache.key_for(
+            "agg",
+            QueryRequest("estimate_fraction", {"predicate": lambda x: x}),
+            None,
+            None,
+        )
+        assert key is None
+        assert cache.uncacheable == 1
+        # get/put with None keys are safe no-ops
+        assert cache.get(None, now=0.0) is None
+        cache.put(None, "x", 1, now=0.0)
+        assert len(cache) == 0
+
+    def test_capacity_evicts_oldest(self):
+        cache = QueryCache(max_entries=2)
+        keys = [
+            cache.key_for("agg", QueryRequest("top_k", {"k": k}), None, None)
+            for k in range(3)
+        ]
+        for index, key in enumerate(keys):
+            cache.put(key, index, 1, now=float(index))
+        assert cache.get(keys[0], now=2.5) is None  # evicted
+        assert cache.get(keys[2], now=2.5) is not None
+
+    def test_invalidate(self):
+        cache = QueryCache()
+        key = cache.key_for("agg", QueryRequest("total", {}), None, None)
+        cache.put(key, "x", 1, now=0.0)
+        assert cache.invalidate() == 1
+        assert cache.get(key, now=0.1) is None
+
+
+class TestFederatedCaching:
+    @pytest.fixture()
+    def pair(self, policy, random_flows):
+        hierarchy = network_monitoring_hierarchy(
+            regions=2, routers_per_region=1
+        )
+        fabric = NetworkFabric(hierarchy)
+        producer = DataStore(LOC1, RoundRobinStorage(10**8), fabric=fabric)
+        consumer = DataStore(LOC2, RoundRobinStorage(10**8), fabric=fabric)
+        consumer.cache = QueryCache(ttl_seconds=30.0)
+        producer.add_peer(consumer)
+        producer.install_aggregator(
+            Aggregator("ft", FlowtreePrimitive(LOC1, policy))
+        )
+        for record in random_flows(40):
+            producer.ingest("flows", record, record.first_seen)
+        producer.close_epoch(60.0)
+        return producer, consumer, fabric
+
+    def test_repeat_query_served_from_cache(self, pair):
+        producer, consumer, fabric = pair
+        request = QueryRequest("total", {})
+        first = consumer.query_federated(
+            "ft", request, start=0.0, end=60.0, now=70.0
+        )
+        assert first.source == "remote"
+        wan_after_first = fabric.total_bytes()
+        second = consumer.query_federated(
+            "ft", request, start=0.0, end=60.0, now=75.0
+        )
+        assert second.source == "cache"
+        assert second.value == first.value
+        assert fabric.total_bytes() == wan_after_first  # no new WAN traffic
+        assert consumer.cache.hits == 1
+
+    def test_cache_expires_and_refetches(self, pair):
+        producer, consumer, fabric = pair
+        request = QueryRequest("total", {})
+        consumer.query_federated("ft", request, start=0.0, end=60.0, now=70.0)
+        stale = consumer.query_federated(
+            "ft", request, start=0.0, end=60.0, now=70.0 + 31.0
+        )
+        assert stale.source == "remote"
+
+    def test_different_windows_not_conflated(self, pair):
+        producer, consumer, _ = pair
+        request = QueryRequest("total", {})
+        consumer.query_federated("ft", request, start=0.0, end=60.0, now=70.0)
+        other = consumer.query_federated(
+            "ft", request, start=0.0, end=30.0, now=71.0
+        )
+        assert other.source == "remote"  # distinct window, distinct key
+
+    def test_caching_complements_replication(self, pair, policy):
+        """Cache serves repeats of one query; the replica serves *any*
+        query — the paper's reason to prefer replication."""
+        producer, consumer, fabric = pair
+        consumer.query_federated(
+            "ft", QueryRequest("total", {}), start=0.0, end=60.0, now=70.0
+        )
+        partition = producer.catalog.all()[0]
+        producer.replicate_partition(partition.partition_id, consumer,
+                                     now=72.0)
+        fresh = consumer.query_federated(
+            "ft", QueryRequest("top_k", {"k": 3}), start=0.0, end=60.0,
+            now=73.0,
+        )
+        assert fresh.source == "replica"  # never seen before, still local

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda s: fired.append(("b", s.now)))
+        sim.schedule_at(1.0, lambda s: fired.append(("a", s.now)))
+        sim.schedule_at(9.0, lambda s: fired.append(("c", s.now)))
+        sim.run()
+        assert fired == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule_at(1.0, lambda s, n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_after(5.0, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [15.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda s: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first(s):
+            fired.append(s.now)
+            s.schedule_after(2.0, lambda s2: fired.append(s2.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda s: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_at(1.0, lambda s: None)
+        drop = sim.schedule_at(2.0, lambda s: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep is not drop
+
+
+class TestRunUntil:
+    def test_clock_ends_exactly_at_target(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda s: None)
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_future_events_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda s: fired.append(3))
+        sim.schedule_at(30.0, lambda s: fired.append(30))
+        sim.run_until(10.0)
+        assert fired == [3]
+        sim.run_until(40.0)
+        assert fired == [3, 30]
+
+    def test_boundary_event_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, lambda s: fired.append(10))
+        sim.run_until(10.0)
+        assert fired == [10]
+
+    def test_cannot_run_backwards(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda s: fired.append(s.now), until=5.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_every_with_start_at(self):
+        sim = Simulator()
+        fired = []
+        sim.every(2.0, lambda s: fired.append(s.now), until=6.0, start_at=0.5)
+        sim.run()
+        assert fired == [0.5, 2.5, 4.5]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda s: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+        sim.every(1.0, lambda s: None)  # unbounded
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t + 1), lambda s: None)
+        sim.run()
+        assert sim.events_fired == 5

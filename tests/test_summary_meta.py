@@ -1,0 +1,166 @@
+"""Tests for intervals, locations, summary metadata, and lineage."""
+
+import pytest
+
+from repro.core.summary import (
+    DataSummary,
+    LineageLog,
+    Location,
+    SummaryMeta,
+    TimeInterval,
+)
+from repro.errors import LineageError
+
+
+class TestTimeInterval:
+    def test_basic_properties(self):
+        interval = TimeInterval(10.0, 20.0)
+        assert interval.duration == 10.0
+        assert interval.contains(10.0)
+        assert interval.contains(19.999)
+        assert not interval.contains(20.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TimeInterval(5.0, 1.0)
+
+    def test_overlaps(self):
+        a = TimeInterval(0, 10)
+        assert a.overlaps(TimeInterval(5, 15))
+        assert a.overlaps(TimeInterval(-5, 1))
+        assert not a.overlaps(TimeInterval(10, 20))  # half-open
+        assert not a.overlaps(TimeInterval(20, 30))
+
+    def test_adjacent(self):
+        a = TimeInterval(0, 10)
+        assert a.adjacent_to(TimeInterval(10, 20))
+        assert TimeInterval(10, 20).adjacent_to(a)
+        assert not a.adjacent_to(TimeInterval(11, 20))
+
+    def test_union(self):
+        assert TimeInterval(0, 10).union(TimeInterval(20, 30)) == (
+            TimeInterval(0, 30)
+        )
+
+
+class TestLocation:
+    def test_parts_and_level(self):
+        loc = Location("hq/factory1/line2/machine3")
+        assert loc.parts == ("hq", "factory1", "line2", "machine3")
+        assert loc.level == 3
+
+    def test_parent_chain(self):
+        loc = Location("a/b/c")
+        assert loc.parent == Location("a/b")
+        assert loc.parent.parent == Location("a")
+        assert loc.parent.parent.parent is None
+
+    def test_ancestry(self):
+        top = Location("hq/factory1")
+        deep = Location("hq/factory1/line1/machine1")
+        assert top.is_ancestor_of(deep)
+        assert not deep.is_ancestor_of(top)
+        assert not top.is_ancestor_of(top)
+
+    def test_common_ancestor(self):
+        a = Location("hq/factory1/line1")
+        b = Location("hq/factory1/line2/machine5")
+        assert a.common_ancestor(b) == Location("hq/factory1")
+        assert a.common_ancestor(a) == a
+
+    def test_no_common_root(self):
+        with pytest.raises(ValueError):
+            Location("a/b").common_ancestor(Location("c/d"))
+
+    def test_invalid_paths(self):
+        for bad in ("", "/x", "x/"):
+            with pytest.raises(ValueError):
+                Location(bad)
+
+    def test_child(self):
+        assert Location("a").child("b") == Location("a/b")
+
+
+class TestSummaryMeta:
+    def test_combinable_same_location(self):
+        a = SummaryMeta(TimeInterval(0, 10), Location("x/y"))
+        b = SummaryMeta(TimeInterval(100, 110), Location("x/y"))
+        assert a.combinable_with(b)
+
+    def test_combinable_shared_time(self):
+        a = SummaryMeta(TimeInterval(0, 10), Location("x/y"))
+        b = SummaryMeta(TimeInterval(5, 15), Location("x/z"))
+        assert a.combinable_with(b)
+
+    def test_not_combinable(self):
+        a = SummaryMeta(TimeInterval(0, 10), Location("x/y"))
+        b = SummaryMeta(TimeInterval(100, 110), Location("x/z"))
+        assert not a.combinable_with(b)
+
+    def test_combined_meta(self):
+        a = SummaryMeta(TimeInterval(0, 10), Location("x/y/1"))
+        b = SummaryMeta(TimeInterval(5, 15), Location("x/y/2"))
+        merged = a.combined(b)
+        assert merged.interval == TimeInterval(0, 15)
+        assert merged.location == Location("x/y")
+
+
+class TestLineage:
+    def test_record_and_ancestry(self):
+        log = LineageLog()
+        ingest = log.record("ingest", location=Location("a/b"), timestamp=1.0)
+        aggregate = log.record("aggregate", inputs=[ingest.lineage_id])
+        merge = log.record("merge", inputs=[aggregate.lineage_id])
+        ancestry = log.ancestry(merge.lineage_id)
+        ids = {r.lineage_id for r in ancestry}
+        assert ids == {
+            ingest.lineage_id,
+            aggregate.lineage_id,
+            merge.lineage_id,
+        }
+
+    def test_descendants(self):
+        log = LineageLog()
+        root = log.record("ingest")
+        child_a = log.record("aggregate", inputs=[root.lineage_id])
+        child_b = log.record("replicate", inputs=[root.lineage_id])
+        grandchild = log.record("merge", inputs=[child_a.lineage_id])
+        descendants = {
+            r.lineage_id for r in log.descendants(root.lineage_id)
+        }
+        assert descendants == {
+            child_a.lineage_id,
+            child_b.lineage_id,
+            grandchild.lineage_id,
+        }
+
+    def test_unknown_input_rejected(self):
+        log = LineageLog()
+        with pytest.raises(LineageError):
+            log.record("merge", inputs=[999999])
+
+    def test_unknown_lookup(self):
+        log = LineageLog()
+        with pytest.raises(LineageError):
+            log.get(123456789)
+        with pytest.raises(LineageError):
+            log.descendants(123456789)
+
+    def test_ids_globally_unique(self):
+        log_a, log_b = LineageLog(), LineageLog()
+        record_a = log_a.record("ingest")
+        record_b = log_b.record("ingest")
+        assert record_a.lineage_id != record_b.lineage_id
+
+
+class TestDataSummary:
+    def test_envelope(self):
+        summary = DataSummary(
+            kind="sample",
+            meta=SummaryMeta(TimeInterval(0, 1), Location("x")),
+            payload=[1, 2, 3],
+            size_bytes=48,
+            attrs={"rate": 0.5},
+        )
+        assert summary.kind == "sample"
+        assert summary.attrs["rate"] == 0.5

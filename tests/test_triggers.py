@@ -1,0 +1,102 @@
+"""Tests for the trigger engine."""
+
+import pytest
+
+from repro.core.summary import DataSummary, Location, SummaryMeta, TimeInterval
+from repro.datastore.triggers import (
+    RawTrigger,
+    SummaryTrigger,
+    TriggerEngine,
+)
+from repro.errors import TriggerError
+
+LOC = Location("hq/factory1/line1")
+
+
+def make_summary(kind="timebin", value=1.0):
+    return DataSummary(
+        kind=kind,
+        meta=SummaryMeta(TimeInterval(0, 60), LOC),
+        payload=value,
+        size_bytes=8,
+    )
+
+
+class TestRawTriggers:
+    def test_fires_on_match(self):
+        engine = TriggerEngine()
+        engine.install_raw(
+            RawTrigger("hot", predicate=lambda v: v > 100)
+        )
+        assert engine.evaluate_raw("s1", 150, time=1.0) == 1
+        assert engine.evaluate_raw("s1", 50, time=2.0) == 0
+        assert len(engine.firings) == 1
+        assert engine.firings[0].trigger_id == "hot"
+        assert engine.firings[0].payload == 150
+
+    def test_stream_filter(self):
+        engine = TriggerEngine()
+        engine.install_raw(
+            RawTrigger("t", predicate=lambda v: True, stream_id="vibration")
+        )
+        assert engine.evaluate_raw("temperature", 1, time=0.0) == 0
+        assert engine.evaluate_raw("vibration", 1, time=0.0) == 1
+
+    def test_cooldown_suppresses_rapid_firing(self):
+        engine = TriggerEngine()
+        engine.install_raw(
+            RawTrigger(
+                "t", predicate=lambda v: True, cooldown_seconds=10.0
+            )
+        )
+        assert engine.evaluate_raw("s", 1, time=0.0) == 1
+        assert engine.evaluate_raw("s", 1, time=5.0) == 0
+        assert engine.evaluate_raw("s", 1, time=10.0) == 1
+
+    def test_sink_notified(self):
+        engine = TriggerEngine()
+        engine.install_raw(RawTrigger("t", predicate=lambda v: True))
+        received = []
+        engine.subscribe(received.append)
+        engine.evaluate_raw("s", 42, time=1.0)
+        assert len(received) == 1
+        assert received[0].payload == 42
+
+
+class TestSummaryTriggers:
+    def test_fires_on_summary(self):
+        engine = TriggerEngine()
+        engine.install_summary(
+            SummaryTrigger("big", predicate=lambda s: s.payload > 10)
+        )
+        assert engine.evaluate_summary("agg", make_summary(value=20), 60.0) == 1
+        assert engine.evaluate_summary("agg", make_summary(value=5), 120.0) == 0
+
+    def test_aggregator_filter(self):
+        engine = TriggerEngine()
+        engine.install_summary(
+            SummaryTrigger("t", predicate=lambda s: True, aggregator="a")
+        )
+        assert engine.evaluate_summary("b", make_summary(), 0.0) == 0
+        assert engine.evaluate_summary("a", make_summary(), 0.0) == 1
+
+
+class TestManagement:
+    def test_duplicate_ids_rejected_across_flavors(self):
+        engine = TriggerEngine()
+        engine.install_raw(RawTrigger("x", predicate=bool))
+        with pytest.raises(TriggerError):
+            engine.install_raw(RawTrigger("x", predicate=bool))
+        with pytest.raises(TriggerError):
+            engine.install_summary(SummaryTrigger("x", predicate=bool))
+
+    def test_remove(self):
+        engine = TriggerEngine()
+        engine.install_raw(RawTrigger("x", predicate=lambda v: True))
+        engine.install_summary(SummaryTrigger("y", predicate=lambda s: True))
+        assert engine.installed() == ["x", "y"]
+        engine.remove("x")
+        engine.remove("y")
+        assert engine.installed() == []
+        with pytest.raises(TriggerError):
+            engine.remove("x")
