@@ -1,0 +1,413 @@
+"""Flowtree hot-path throughput: optimized ingest vs. the pre-overhaul
+implementation.
+
+Every subsystem's throughput rides on ``Flowtree.add`` — datastore
+aggregators, Flowstream, the tiered hierarchy, and all paper benchmarks
+funnel records through it — so this module is the repo's perf anchor.
+It embeds :class:`BaselineFlowtree`, a faithful copy of the
+pre-overhaul hot path (per-level ``tuple``/``zip`` projection done twice
+per level, frozen :class:`Score` allocation per update, per-record
+budget checks, full heap rebuild per compression pass), ingests the
+same Zipf flow trace through both implementations, and asserts:
+
+* the optimized path is at least ``MIN_SPEEDUP``× faster (records/s);
+* the answers are identical — ``tree.total()`` equals the summed record
+  scores exactly, and ``top_k``/``hhh``/``query`` agree between the two
+  trees on the stable (heavy) part of the distribution.
+
+Run as a script to execute the full 100k-record trace and (re)write the
+committed baseline ``BENCH_flowtree.json`` at the repo root:
+
+```bash
+PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
+```
+
+``benchmarks/check_regression.py`` compares a fresh run against that
+file.  The pytest entry point uses a smaller trace so
+``pytest benchmarks/`` stays quick.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.flows.flowkey import FIVE_TUPLE, FlowKey, GeneralizationPolicy
+from repro.flows.records import FlowRecord, Score
+from repro.flows.tree import Flowtree
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+try:  # script mode runs without pytest on the path
+    from benchmarks.conftest import report
+except ImportError:  # pragma: no cover
+    def report(title, rows, columns=None):
+        print(f"\n=== {title} ===")
+        if columns:
+            print("  " + " | ".join(str(c) for c in columns))
+        for row in rows:
+            print("  " + " | ".join(str(c) for c in row))
+
+#: The committed throughput baseline (repo root).
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_flowtree.json"
+
+TRACE_RECORDS = 100_000
+TRACE_SEED = 2019
+TRACE_SITE = "bench/router1"
+NODE_BUDGET = 4096
+MIN_SPEEDUP = 3.0
+#: depth of the default chain at which both src and dst are /16 — deep
+#: enough to rank real prefixes, shallow enough that the heavy nodes are
+#: orders of magnitude above any compression victim (answer-stable).
+ANSWER_DEPTH = 4
+TOP_K = 10
+
+
+class BaselineFlowtree:
+    """The pre-overhaul Flowtree ingest/compress path, verbatim.
+
+    Kept here (not in :mod:`repro`) so the production tree carries no
+    dead code; the differential tests in
+    ``tests/test_flowtree_fastpath_reference.py`` pin semantics, this
+    class pins the *cost* being compared against.
+    """
+
+    class Node:
+        __slots__ = ("depth", "values", "own", "folded", "subtree", "children")
+
+        def __init__(self, depth: int, values: Tuple[int, ...]) -> None:
+            self.depth = depth
+            self.values = values
+            self.own = Score.zero()
+            self.folded = Score.zero()
+            self.subtree = Score.zero()
+            self.children: Dict[Tuple[int, ...], "BaselineFlowtree.Node"] = {}
+
+        def is_leaf(self) -> bool:
+            return not self.children
+
+    def __init__(
+        self,
+        policy: GeneralizationPolicy,
+        node_budget: Optional[int] = 4096,
+        compress_ratio: float = 0.8,
+        metric: str = "bytes",
+    ) -> None:
+        self.policy = policy
+        self.schema = policy.schema
+        self.node_budget = node_budget
+        self.compress_ratio = compress_ratio
+        self.metric = metric
+        root = self.Node(0, self._project((0,) * len(self.schema), 0))
+        self._nodes: Dict[Tuple[int, Tuple[int, ...]], BaselineFlowtree.Node]
+        self._nodes = {(0, root.values): root}
+        self._root = root
+        self.compressions = 0
+
+    # the pre-overhaul GeneralizationPolicy.project: per-call zip and
+    # bound-method mask dispatch, no precompiled mask tables
+    def _project(self, values: Sequence[int], depth: int) -> Tuple[int, ...]:
+        levels = self.policy.levels_at(depth)
+        return tuple(
+            feature.mask(value, level)
+            for feature, value, level in zip(
+                self.schema.features, values, levels
+            )
+        )
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def total(self) -> Score:
+        return self._root.subtree
+
+    def add(self, key: FlowKey, score: Score) -> None:
+        depth = self.policy.depth_of(key.levels)
+        node = self._ensure_chain(key.values, depth)
+        node.own = node.own + score
+        self._bubble(node.values, depth, score)
+        if self.node_budget is not None and self.node_count > self.node_budget:
+            self.compress(int(self.node_budget * self.compress_ratio))
+            self.compressions += 1
+
+    def ingest(self, records: Iterable[FlowRecord]) -> int:
+        count = 0
+        for record in records:
+            self.add(record.key, record.score())
+            count += 1
+        return count
+
+    def _ensure_chain(self, values: Sequence[int], depth: int) -> "Node":
+        parent = self._root
+        for d in range(1, depth + 1):
+            projected = self._project(values, d)
+            node = self._nodes.get((d, projected))
+            if node is None:
+                node = self.Node(d, projected)
+                self._nodes[(d, projected)] = node
+                parent.children[projected] = node
+            parent = node
+        return parent
+
+    def _bubble(self, values: Sequence[int], depth: int, score: Score) -> None:
+        for d in range(depth + 1):
+            projected = self._project(values, d)
+            self._nodes[(d, projected)].subtree = (
+                self._nodes[(d, projected)].subtree + score
+            )
+
+    def compress(self, target_nodes: int) -> int:
+        metric_name = self.metric
+        if self.node_count <= target_nodes:
+            return 0
+        counter = itertools.count()
+        heap: List[Tuple[int, int, Tuple[int, Tuple[int, ...]]]] = []
+        for node in self._nodes.values():
+            if node.depth > 0 and node.is_leaf():
+                heapq.heappush(
+                    heap,
+                    (
+                        node.subtree.metric(metric_name),
+                        next(counter),
+                        (node.depth, node.values),
+                    ),
+                )
+        removed = 0
+        while self.node_count > target_nodes and heap:
+            _, _, node_id = heapq.heappop(heap)
+            node = self._nodes.get(node_id)
+            if node is None or not node.is_leaf() or node.depth == 0:
+                continue
+            projected = self._project(node.values, node.depth - 1)
+            parent = self._nodes[(node.depth - 1, projected)]
+            parent.folded = parent.folded + node.own + node.folded
+            del parent.children[node.values]
+            del self._nodes[node_id]
+            removed += 1
+            if parent.depth > 0 and parent.is_leaf():
+                heapq.heappush(
+                    heap,
+                    (
+                        parent.subtree.metric(metric_name),
+                        next(counter),
+                        (parent.depth, parent.values),
+                    ),
+                )
+        return removed
+
+    def merge(self, other: "BaselineFlowtree") -> None:
+        for node in sorted(other._nodes.values(), key=lambda n: n.depth):
+            if node.depth == 0:
+                self._root.own = self._root.own + node.own
+                self._root.folded = self._root.folded + node.folded
+                self._root.subtree = self._root.subtree + node.subtree
+                continue
+            mine = self._ensure_chain(node.values, node.depth)
+            mine.own = mine.own + node.own
+            mine.folded = mine.folded + node.folded
+            contribution = node.own + node.folded
+            if not contribution.is_zero():
+                for d in range(1, node.depth + 1):
+                    projected = self._project(node.values, d)
+                    target = self._nodes[(d, projected)]
+                    target.subtree = target.subtree + contribution
+        if self.node_budget is not None and self.node_count > self.node_budget:
+            self.compress(int(self.node_budget * self.compress_ratio))
+            self.compressions += 1
+
+    def top_k(self, k: int, depth: int) -> List[Tuple[Tuple[int, ...], int]]:
+        metric_name = self.metric
+        candidates = [n for n in self._nodes.values() if n.depth == depth]
+        candidates.sort(
+            key=lambda n: (-n.subtree.metric(metric_name), n.values)
+        )
+        return [
+            (n.values, n.subtree.metric(metric_name)) for n in candidates[:k]
+        ]
+
+
+# ----------------------------------------------------------------------
+# trace + measurement
+
+def make_trace(records: int, seed: int = TRACE_SEED) -> List[FlowRecord]:
+    """One epoch of Zipf-popular flow exports from a single router."""
+    generator = TrafficGenerator(
+        TrafficConfig(sites=(TRACE_SITE,), flows_per_epoch=records),
+        seed=seed,
+    )
+    return generator.epoch(TRACE_SITE, 0)
+
+
+def run_fast(
+    records: List[FlowRecord], policy: GeneralizationPolicy
+) -> Tuple[Flowtree, float]:
+    tree = Flowtree(policy, node_budget=NODE_BUDGET)
+    started = time.perf_counter()
+    tree.ingest(records)
+    return tree, time.perf_counter() - started
+
+
+def run_baseline(
+    records: List[FlowRecord], policy: GeneralizationPolicy
+) -> Tuple[BaselineFlowtree, float]:
+    tree = BaselineFlowtree(policy, node_budget=NODE_BUDGET)
+    started = time.perf_counter()
+    tree.ingest(records)
+    return tree, time.perf_counter() - started
+
+
+def check_answers(
+    fast: Flowtree,
+    baseline: BaselineFlowtree,
+    records: List[FlowRecord],
+) -> List[Tuple[Tuple[int, ...], int]]:
+    """Assert both trees answer identically; returns the shared top-k."""
+    expected = Score.zero()
+    for record in records:
+        expected = expected + record.score()
+    assert fast.total() == expected, "fast tree lost mass"
+    assert baseline.total() == expected, "baseline tree lost mass"
+
+    fast_top = [
+        (key.values, score.metric(fast.metric))
+        for key, score in fast.top_k(TOP_K, depth=ANSWER_DEPTH)
+    ]
+    base_top = baseline.top_k(TOP_K, depth=ANSWER_DEPTH)
+    assert fast_top == base_top, "top_k answers diverged"
+
+    threshold = max(1, expected.metric(fast.metric) // 100)  # 1% of mass
+    fast_hhh = [
+        (r.key.values, r.key.levels, r.residual.metric(fast.metric))
+        for r in fast.hhh(threshold)
+    ]
+    base_like = Flowtree(fast.policy, node_budget=None)
+    for node in baseline._nodes.values():
+        contribution = node.own + node.folded
+        if not contribution.is_zero():
+            key = FlowKey(
+                baseline.schema,
+                node.values,
+                baseline.policy.levels_at(node.depth),
+            )
+            base_like.add(key, contribution)
+    base_hhh = [
+        (r.key.values, r.key.levels, r.residual.metric(fast.metric))
+        for r in base_like.hhh(threshold)
+    ]
+    assert fast_hhh == base_hhh, "hhh answers diverged"
+
+    for values, metric_value in fast_top:
+        key = FlowKey(
+            fast.schema, values, fast.policy.levels_at(ANSWER_DEPTH)
+        )
+        fast_answer = fast.query(key).metric(fast.metric)
+        base_node = baseline._nodes[(ANSWER_DEPTH, values)]
+        assert fast_answer == base_node.subtree.metric(fast.metric) == (
+            metric_value
+        ), f"query answer diverged for {values}"
+    return fast_top
+
+
+def run_hotpath(records_count: int = TRACE_RECORDS) -> dict:
+    """Run both implementations over one trace; return the measurements."""
+    policy = GeneralizationPolicy.default_for(FIVE_TUPLE)
+    records = make_trace(records_count)
+    baseline_tree, baseline_seconds = run_baseline(records, policy)
+    fast_tree, fast_seconds = run_fast(records, policy)
+    check_answers(fast_tree, baseline_tree, records)
+
+    # merge cost rides along: two half-trace trees folded together
+    half = len(records) // 2
+    fast_a = Flowtree(policy, node_budget=NODE_BUDGET)
+    fast_a.ingest(records[:half])
+    fast_b = Flowtree(policy, node_budget=NODE_BUDGET)
+    fast_b.ingest(records[half:])
+    started = time.perf_counter()
+    fast_a.merge(fast_b)
+    fast_merge_seconds = time.perf_counter() - started
+
+    base_a = BaselineFlowtree(policy, node_budget=NODE_BUDGET)
+    base_a.ingest(records[:half])
+    base_b = BaselineFlowtree(policy, node_budget=NODE_BUDGET)
+    base_b.ingest(records[half:])
+    started = time.perf_counter()
+    base_a.merge(base_b)
+    base_merge_seconds = time.perf_counter() - started
+
+    count = len(records)
+    return {
+        "benchmark": "flowtree_hotpath",
+        "trace": {
+            "records": count,
+            "seed": TRACE_SEED,
+            "site": TRACE_SITE,
+            "schema": "five_tuple",
+            "node_budget": NODE_BUDGET,
+        },
+        "baseline_records_per_s": round(count / baseline_seconds, 1),
+        "fast_records_per_s": round(count / fast_seconds, 1),
+        "ingest_speedup": round(baseline_seconds / fast_seconds, 2),
+        "baseline_merge_ms": round(base_merge_seconds * 1000, 2),
+        "fast_merge_ms": round(fast_merge_seconds * 1000, 2),
+        "merge_speedup": round(base_merge_seconds / fast_merge_seconds, 2),
+        "fast_compressions": fast_tree.compressions,
+        "baseline_compressions": baseline_tree.compressions,
+        "generated_by": "benchmarks/bench_flowtree_hotpath.py",
+    }
+
+
+def print_results(results: dict) -> None:
+    report(
+        "Flowtree hot path: optimized vs pre-overhaul",
+        [
+            (
+                "ingest",
+                f"{results['baseline_records_per_s']:.0f} rec/s",
+                f"{results['fast_records_per_s']:.0f} rec/s",
+                f"{results['ingest_speedup']:.2f}x",
+            ),
+            (
+                "merge",
+                f"{results['baseline_merge_ms']:.1f} ms",
+                f"{results['fast_merge_ms']:.1f} ms",
+                f"{results['merge_speedup']:.2f}x",
+            ),
+        ],
+        columns=("op", "baseline", "optimized", "speedup"),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (small trace so `pytest benchmarks/` stays quick)
+
+def test_hotpath_speedup_and_answer_identity(benchmark):
+    results = run_hotpath(records_count=20_000)
+    policy = GeneralizationPolicy.default_for(FIVE_TUPLE)
+    records = make_trace(5_000)
+    benchmark.pedantic(
+        lambda: run_fast(records, policy), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(results)
+    print_results(results)
+    # the full-trace gate is MIN_SPEEDUP (script mode / check_regression);
+    # the short trace amortizes less, so the floor here is softer
+    assert results["ingest_speedup"] >= 2.0, results
+
+
+def main() -> None:
+    results = run_hotpath()
+    print_results(results)
+    speedup = results["ingest_speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"ingest speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"
+    )
+    BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Guard the Flowtree hot path against throughput regressions.
+
+Re-runs the optimized ingest (and merge) over the exact trace recorded
+in the committed baseline ``BENCH_flowtree.json`` and fails when fresh
+throughput falls below ``tolerance`` times the committed number.  The
+default tolerance is deliberately generous — CI machines vary a lot —
+so a failure means a real algorithmic regression, not scheduler noise.
+
+```bash
+PYTHONPATH=src python benchmarks/check_regression.py            # default 0.5
+PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.7
+PYTHONPATH=src python benchmarks/check_regression.py --baseline other.json
+```
+
+Exit status: 0 when fresh throughput is within tolerance, 1 on
+regression, 2 when the baseline file is missing/invalid.  Regenerate
+the baseline (e.g. after an intentional perf change) with:
+
+```bash
+PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script-mode convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_flowtree.json"
+DEFAULT_TOLERANCE = 0.5
+
+
+def fresh_measurements(trace: dict) -> dict:
+    """Re-run the optimized hot path over the committed trace config."""
+    from benchmarks.bench_flowtree_hotpath import make_trace, run_fast
+    from repro.flows.flowkey import FIVE_TUPLE, GeneralizationPolicy
+    from repro.flows.tree import Flowtree
+
+    policy = GeneralizationPolicy.default_for(FIVE_TUPLE)
+    records = make_trace(trace["records"], seed=trace["seed"])
+    tree, seconds = run_fast(records, policy)
+    half = len(records) // 2
+    first = Flowtree(policy, node_budget=trace["node_budget"])
+    first.ingest(records[:half])
+    second = Flowtree(policy, node_budget=trace["node_budget"])
+    second.ingest(records[half:])
+    started = time.perf_counter()
+    first.merge(second)
+    merge_seconds = time.perf_counter() - started
+    return {
+        "fast_records_per_s": len(records) / seconds,
+        "fast_merge_ms": merge_seconds * 1000,
+        "nodes": tree.node_count,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "fresh throughput must be >= tolerance * committed throughput "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if not 0.0 < args.tolerance <= 1.0:
+        print(f"tolerance must be in (0, 1], got {args.tolerance}")
+        return 2
+    try:
+        committed = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}")
+        return 2
+    try:
+        committed_rps = float(committed["fast_records_per_s"])
+        trace = committed["trace"]
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"baseline {args.baseline} is malformed: {exc}")
+        return 2
+
+    print(
+        f"re-running hot path: {trace['records']} records, "
+        f"node_budget={trace['node_budget']}, seed={trace['seed']}"
+    )
+    fresh = fresh_measurements(trace)
+    floor = committed_rps * args.tolerance
+    print(
+        f"ingest: committed {committed_rps:.0f} rec/s, "
+        f"fresh {fresh['fast_records_per_s']:.0f} rec/s, "
+        f"floor {floor:.0f} rec/s (tolerance {args.tolerance})"
+    )
+    if "fast_merge_ms" in committed:
+        print(
+            f"merge: committed {committed['fast_merge_ms']:.1f} ms, "
+            f"fresh {fresh['fast_merge_ms']:.1f} ms (informational)"
+        )
+    if fresh["fast_records_per_s"] < floor:
+        print("REGRESSION: ingest throughput fell below the floor")
+        return 1
+    print("OK: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

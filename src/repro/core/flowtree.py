@@ -68,6 +68,38 @@ class FlowtreePrimitive(ComputingPrimitive):
                 f"flowtree primitive cannot ingest {type(item).__name__}"
             )
 
+    def ingest_many(self, timed_items) -> int:
+        """Batched ingest through :meth:`Flowtree.add_many`.
+
+        Epoch bounds and the item count update once for the whole batch,
+        and the tree checks its node budget with bounded overshoot
+        instead of per record.
+        """
+        pairs = []
+        first = last = None
+        for item, timestamp in timed_items:
+            if isinstance(item, FlowRecord):
+                pairs.append((item.key, item.score()))
+            elif isinstance(item, PacketRecord):
+                pairs.append((item.key, item.score()))
+            else:
+                raise SchemaMismatchError(
+                    f"flowtree primitive cannot ingest {type(item).__name__}"
+                )
+            if first is None or timestamp < first:
+                first = timestamp
+            if last is None or timestamp > last:
+                last = timestamp
+        if not pairs:
+            return 0
+        if self._epoch_start is None or first < self._epoch_start:
+            self._epoch_start = first
+        if self._epoch_end is None or last > self._epoch_end:
+            self._epoch_end = last
+        self.items_ingested += len(pairs)
+        self.tree.add_many(pairs)
+        return len(pairs)
+
     def _reset(self) -> None:
         self.tree = Flowtree(
             self.policy, node_budget=self.node_budget, metric=self.metric

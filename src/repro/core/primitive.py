@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.errors import SchemaMismatchError
 from repro.core.summary import DataSummary, Location, SummaryMeta, TimeInterval
@@ -85,6 +85,19 @@ class ComputingPrimitive(abc.ABC):
     @abc.abstractmethod
     def _ingest(self, item: Any, timestamp: float) -> None:
         """Primitive-specific ingest."""
+
+    def ingest_many(self, timed_items: Iterable[Tuple[Any, float]]) -> int:
+        """Feed a batch of ``(item, timestamp)`` pairs; returns the count.
+
+        The default just loops :meth:`ingest`.  Primitives with a cheaper
+        batched path (amortized budget checks, fewer epoch-bound updates)
+        override this — behavior must stay equivalent to the loop.
+        """
+        count = 0
+        for item, timestamp in timed_items:
+            self.ingest(item, timestamp)
+            count += 1
+        return count
 
     # -- summaries -----------------------------------------------------
 

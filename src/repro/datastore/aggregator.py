@@ -66,6 +66,27 @@ class Aggregator:
         self.primitive.ingest(value, timestamp)
         self.items_this_epoch += 1
 
+    def ingest_many(self, timed_items) -> int:
+        """Feed a batch of ``(item, timestamp)`` pairs to the primitive.
+
+        Delegates to the primitive's batched path (which amortizes
+        budget checks); returns how many items were consumed.
+        """
+        if self.item_of:
+            projection = self.item_of
+            timed_items = [
+                (projection(item), timestamp) for item, timestamp in timed_items
+            ]
+        else:
+            timed_items = list(timed_items)
+        if not timed_items:
+            return 0
+        if self.epoch_opened_at is None:
+            self.epoch_opened_at = timed_items[0][1]
+        count = self.primitive.ingest_many(timed_items)
+        self.items_this_epoch += count
+        return count
+
     def note_query(self) -> None:
         """Record one query against this aggregator (for adaptation)."""
         self.queries_this_epoch += 1

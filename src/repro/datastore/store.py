@@ -150,6 +150,34 @@ class DataStore:
             if aggregator.wants(stream_id):
                 aggregator.ingest(item, timestamp)
 
+    def ingest_batch(
+        self,
+        stream_id: str,
+        timed_items: List[Tuple[Any, float]],
+        size_bytes: int = 0,
+    ) -> int:
+        """Push a batch of ``(item, timestamp)`` pairs from one stream.
+
+        Equivalent to calling :meth:`ingest` per item — stats and raw
+        triggers still see every item — but subscribed aggregators get
+        the whole batch at once, letting budgeted primitives amortize
+        their compression checks.  ``size_bytes`` is the per-item size.
+        Returns the number of items ingested.
+        """
+        if not timed_items:
+            return 0
+        for item, timestamp in timed_items:
+            self.ingest_stats.observe(size_bytes)
+            self.triggers.evaluate_raw(stream_id, item, timestamp)
+        subscribed = [
+            aggregator
+            for aggregator in self._aggregators.values()
+            if aggregator.wants(stream_id)
+        ]
+        for aggregator in subscribed:
+            aggregator.ingest_many(timed_items)
+        return len(timed_items)
+
     def storage_pressure(self) -> float:
         """Current storage pressure from the strategy."""
         return self.storage.pressure(self.catalog)

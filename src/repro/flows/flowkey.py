@@ -18,10 +18,24 @@ used directly as node identities and dictionary keys.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import GranularityError, SchemaError, SchemaMismatchError
 from repro.flows.features import Feature, IPv4Feature, PortFeature, ProtocolFeature
+
+#: A projector masks a fully-specific value tuple down to one canonical
+#: depth.  Policies precompute one per depth so the Flowtree hot path
+#: never rebuilds mask ladders per call.
+Projector = Callable[[Sequence[int]], Tuple[int, ...]]
 
 
 @dataclass(frozen=True)
@@ -234,9 +248,78 @@ class GeneralizationPolicy:
         self.level_vectors: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(vector) for vector in level_vectors
         )
+        for vector in self.level_vectors:
+            if len(vector) != len(schema):
+                raise GranularityError(
+                    f"level vector {vector} arity does not match schema "
+                    f"{schema.name!r} arity {len(schema)}"
+                )
+            for feature, level in zip(schema.features, vector):
+                if not 0 <= level <= feature.max_level:
+                    raise GranularityError(
+                        f"level {level} out of range [0, {feature.max_level}] "
+                        f"for feature {feature.name!r}"
+                    )
         self._depth_by_vector: Dict[Tuple[int, ...], int] = {
             vector: depth for depth, vector in enumerate(self.level_vectors)
         }
+        #: one precomputed projector per depth (the ingest hot path
+        #: indexes this tuple directly instead of calling project())
+        self.projectors: Tuple[Projector, ...] = tuple(
+            self._build_projector(vector) for vector in self.level_vectors
+        )
+
+    def _build_projector(self, levels: Tuple[int, ...]) -> Projector:
+        """Compile one depth's mask ladder into a closure.
+
+        Features that use the stock bit masking collapse into a plain
+        per-feature ``value & mask`` table; features with a custom
+        :meth:`~repro.flows.features.Feature.mask` keep their bound
+        method so overridden semantics are preserved.
+        """
+        features = self.schema.features
+        if all(type(f).mask is Feature.mask for f in features):
+            masks = tuple(
+                0
+                if level == 0
+                else (((1 << level) - 1) << (feature.bits - level))
+                for feature, level in zip(features, levels)
+            )
+            # compile an arity-specialized closure (namedtuple-style
+            # codegen): unpack once, mask each slot with a literal, no
+            # per-call zip/generator machinery
+            arity = len(masks)
+            if arity == 0:
+                return lambda values: ()
+            names = [f"v{i}" for i in range(arity)]
+            terms = [
+                "0" if mask == 0 else f"{name} & {mask}"
+                for name, mask in zip(names, masks)
+            ]
+            trailing = "," if arity == 1 else ""
+            source = (
+                f"def project(values):\n"
+                f"    {', '.join(names)}{trailing} = values\n"
+                f"    return ({', '.join(terms)}{trailing})\n"
+            )
+            namespace: Dict[str, Projector] = {}
+            exec(source, namespace)  # noqa: S102 - static, literal-only code
+            project = namespace["project"]
+        else:
+            maskers = tuple(
+                (feature.mask, level)
+                for feature, level in zip(features, levels)
+            )
+
+            def project(
+                values: Sequence[int], _maskers=maskers
+            ) -> Tuple[int, ...]:
+                return tuple(
+                    mask(value, level)
+                    for value, (mask, level) in zip(values, _maskers)
+                )
+
+        return project
 
     @property
     def depth(self) -> int:
@@ -253,15 +336,18 @@ class GeneralizationPolicy:
 
     def depth_of(self, levels: Sequence[int]) -> Optional[int]:
         """The canonical depth for a level vector, or None if off-chain."""
-        return self._depth_by_vector.get(tuple(levels))
+        try:
+            return self._depth_by_vector.get(levels)  # type: ignore[arg-type]
+        except TypeError:  # unhashable (list) input
+            return self._depth_by_vector.get(tuple(levels))
 
     def project(self, values: Sequence[int], depth: int) -> Tuple[int, ...]:
         """Mask a value tuple down to the level vector of ``depth``."""
-        levels = self.levels_at(depth)
-        return tuple(
-            feature.mask(value, level)
-            for feature, value, level in zip(self.schema.features, values, levels)
-        )
+        if not 0 <= depth <= self.depth:
+            raise GranularityError(
+                f"depth {depth} out of range [0, {self.depth}]"
+            )
+        return self.projectors[depth](values)
 
     def key_at(self, key: FlowKey, depth: int) -> FlowKey:
         """Project a flow key onto the canonical chain at ``depth``."""

@@ -16,13 +16,19 @@ from typing import Union
 from repro.flows.flowkey import FlowKey
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Score:
     """The additive popularity vector: packets, bytes, and flow count.
 
     Scores form a commutative group under ``+``/``-`` which is what makes
     Flowtree summaries combinable (Merge) and comparable (Diff) across
     time periods and locations.
+
+    Scores are the *external* currency: the Flowtree hot path
+    accumulates popularity in plain integer counters on its nodes and
+    materializes ``Score`` views only at the API boundary (query
+    results, ``node.own``/``folded``/``subtree`` properties), so the
+    per-record ingest cost carries no ``Score`` allocations.
     """
 
     packets: int = 0
@@ -74,7 +80,7 @@ class Score:
         return Score(0, 0, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowRecord:
     """One exported flow: key plus its packet/byte counters and time span.
 
@@ -104,7 +110,7 @@ class FlowRecord:
         return Score(packets=self.packets, bytes=self.bytes, flows=1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketRecord:
     """One (possibly sampled) packet observation."""
 

@@ -32,12 +32,32 @@ repeatedly folding the least-popular leaf into its parent, down to
 ``compress_ratio * node_budget`` nodes.  Popularity mass is never lost —
 it only loses specificity — so the root's popularity always equals the
 total ingested mass (an invariant the property-based tests pin down).
+
+Hot path.  Ingest is the operation every other subsystem's throughput
+rides on, so it is written allocation-light:
+
+* one projected chain per record (the policy's precompiled per-depth
+  projectors), reused for node creation, ``own`` update and subtree
+  bubbling in a single walk;
+* popularity lives in plain integer counters on ``__slots__`` — the
+  ``own``/``folded``/``subtree`` :class:`Score` views are materialized
+  only at query time;
+* batch ingest (:meth:`Flowtree.ingest` / :meth:`Flowtree.add_many`)
+  defers the budget check to a bounded overshoot instead of testing it
+  per record, and always re-establishes the budget before returning;
+* :meth:`Flowtree.compress` keeps its least-popular-leaf min-heap alive
+  across passes (entries are revalidated lazily on pop) instead of
+  rebuilding it from every node each time.
+
+Fold order is canonicalized to ``(popularity metric, node creation
+order)``: among equally light leaves the oldest node folds first.  The
+lazy heap reproduces this exactly while popularity is non-decreasing
+(always true for flow ingest and merge of non-negative summaries).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,18 +73,70 @@ NodeId = Tuple[int, Tuple[int, ...]]
 _NODE_BYTES_FIXED = 4 + 2 * 3 * 8
 _NODE_BYTES_PER_FEATURE = 4
 
+#: popularity-metric name -> the node attribute holding its subtree counter
+_SUBTREE_ATTR = {
+    "packets": "subtree_packets",
+    "bytes": "subtree_bytes",
+    "flows": "subtree_flows",
+}
+
+
+def _subtree_attr(metric_name: str) -> str:
+    try:
+        return _SUBTREE_ATTR[metric_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown popularity metric {metric_name!r}"
+        ) from None
+
 
 class FlowtreeNode:
-    """One generalized flow inside a :class:`Flowtree`."""
+    """One generalized flow inside a :class:`Flowtree`.
 
-    __slots__ = ("depth", "values", "own", "folded", "subtree", "children")
+    Popularity is stored as nine plain integer counters so the ingest
+    hot path increments in place; the ``own``/``folded``/``subtree``
+    properties expose the same values as immutable :class:`Score` views
+    for query-time consumers.  ``seq`` is the node's creation rank
+    within its tree — the deterministic tie-breaker for compression.
+    """
 
-    def __init__(self, depth: int, values: Tuple[int, ...]) -> None:
+    __slots__ = (
+        "depth",
+        "values",
+        "seq",
+        "parent",
+        "own_packets",
+        "own_bytes",
+        "own_flows",
+        "folded_packets",
+        "folded_bytes",
+        "folded_flows",
+        "subtree_packets",
+        "subtree_bytes",
+        "subtree_flows",
+        "children",
+    )
+
+    def __init__(
+        self,
+        depth: int,
+        values: Tuple[int, ...],
+        seq: int = 0,
+        parent: Optional["FlowtreeNode"] = None,
+    ) -> None:
         self.depth = depth
         self.values = values
-        self.own = Score.zero()
-        self.folded = Score.zero()
-        self.subtree = Score.zero()
+        self.seq = seq
+        self.parent = parent
+        self.own_packets = 0
+        self.own_bytes = 0
+        self.own_flows = 0
+        self.folded_packets = 0
+        self.folded_bytes = 0
+        self.folded_flows = 0
+        self.subtree_packets = 0
+        self.subtree_bytes = 0
+        self.subtree_flows = 0
         self.children: Dict[Tuple[int, ...], "FlowtreeNode"] = {}
 
     @property
@@ -75,6 +147,43 @@ class FlowtreeNode:
     def is_leaf(self) -> bool:
         """True when the node currently has no live children."""
         return not self.children
+
+    # -- Score views ----------------------------------------------------
+
+    @property
+    def own(self) -> Score:
+        """Mass inserted directly at this key, as a :class:`Score`."""
+        return Score(self.own_packets, self.own_bytes, self.own_flows)
+
+    @own.setter
+    def own(self, score: Score) -> None:
+        self.own_packets = score.packets
+        self.own_bytes = score.bytes
+        self.own_flows = score.flows
+
+    @property
+    def folded(self) -> Score:
+        """Mass absorbed from pruned descendants, as a :class:`Score`."""
+        return Score(self.folded_packets, self.folded_bytes, self.folded_flows)
+
+    @folded.setter
+    def folded(self, score: Score) -> None:
+        self.folded_packets = score.packets
+        self.folded_bytes = score.bytes
+        self.folded_flows = score.flows
+
+    @property
+    def subtree(self) -> Score:
+        """The node's popularity score, as a :class:`Score`."""
+        return Score(
+            self.subtree_packets, self.subtree_bytes, self.subtree_flows
+        )
+
+    @subtree.setter
+    def subtree(self, score: Score) -> None:
+        self.subtree_packets = score.packets
+        self.subtree_bytes = score.bytes
+        self.subtree_flows = score.flows
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -130,16 +239,35 @@ class Flowtree:
             raise GranularityError(
                 f"compress ratio must be in (0, 1], got {compress_ratio}"
             )
-        Score.zero().metric(metric)  # validate the metric name early
+        _subtree_attr(metric)  # validate the metric name early
         self.policy = policy
         self.schema = policy.schema
         self.node_budget = node_budget
         self.compress_ratio = compress_ratio
         self.metric = metric
-        root = FlowtreeNode(0, self.policy.project((0,) * len(self.schema), 0))
+        #: per-depth projectors, cached off the policy for the hot loop
+        self._projectors = policy.projectors
+        #: (depth, projector) pairs for depths 1..max — the ingest walk
+        #: iterates this directly instead of indexing per level
+        self._chain = tuple(
+            (d, policy.projectors[d]) for d in range(1, policy.depth + 1)
+        )
+        self._node_bytes = _NODE_BYTES_FIXED + _NODE_BYTES_PER_FEATURE * len(
+            self.schema
+        )
+        self._next_seq = 1
+        root = FlowtreeNode(0, self._projectors[0]((0,) * len(self.schema)))
         self._nodes: Dict[NodeId, FlowtreeNode] = {root.node_id: root}
         self._root = root
         self._compressions = 0
+        #: persistent least-popular-leaf heap; ``None`` until the first
+        #: compression pass builds it (unbudgeted trees never pay for it)
+        self._leaf_heap: Optional[List[Tuple[int, int, NodeId]]] = None
+        self._heap_attr = _SUBTREE_ATTR[metric]
+        #: nodes created since the last compression pass; their heap
+        #: entries are deferred to the next pass so they enter at their
+        #: then-current popularity instead of a guaranteed-stale zero
+        self._heap_pending: List[FlowtreeNode] = []
 
     # ------------------------------------------------------------------
     # introspection
@@ -182,10 +310,10 @@ class Flowtree:
         """Approximate wire size of the serialized tree.
 
         Used by the data store and the replication engine for transfer
-        accounting.
+        accounting.  The per-node cost is fixed by the schema, computed
+        once at construction.
         """
-        per_node = _NODE_BYTES_FIXED + _NODE_BYTES_PER_FEATURE * len(self.schema)
-        return per_node * self.node_count
+        return self._node_bytes * self.node_count
 
     # ------------------------------------------------------------------
     # ingest
@@ -196,19 +324,7 @@ class Flowtree:
         Generalized (on-chain) keys are accepted; mass lands at the key's
         canonical depth and counts toward every ancestor.
         """
-        if key.schema.name != self.schema.name:
-            raise SchemaMismatchError(
-                f"key schema {key.schema.name!r} != tree schema "
-                f"{self.schema.name!r}"
-            )
-        depth = self.policy.depth_of(key.levels)
-        if depth is None:
-            raise GranularityError(
-                f"key levels {key.levels} are not on the canonical chain"
-            )
-        node = self._ensure_chain(key.values, depth)
-        node.own = node.own + score
-        self._bubble(node.values, depth, score)
+        self._add_record(key, score)
         self._maybe_self_compress()
 
     def add_flow(self, record: FlowRecord) -> None:
@@ -220,33 +336,166 @@ class Flowtree:
         self.add(record.key, record.score())
 
     def ingest(self, records: Iterable[FlowRecord]) -> int:
-        """Ingest many flow records; returns how many were consumed."""
+        """Ingest many flow records; returns how many were consumed.
+
+        The node budget is enforced with a bounded overshoot: inside the
+        batch the tree may briefly grow past ``node_budget`` (by at most
+        ``max(64, node_budget // 8)`` nodes) before a compression pass
+        runs, and the budget always holds again when this returns.
+        """
+        return self.add_many((record.key, record.score()) for record in records)
+
+    def add_many(self, items: Iterable[Tuple[FlowKey, Score]]) -> int:
+        """Batched :meth:`add` over ``(key, score)`` pairs.
+
+        Same bounded-overshoot budget behavior as :meth:`ingest`.
+        Returns the number of pairs consumed.
+        """
+        budget = self.node_budget
         count = 0
-        for record in records:
-            self.add_flow(record)
+        # validation inlined from _add_record: one call layer per record
+        # matters at this loop's volume
+        schema_name = self.schema.name
+        depth_of = self.policy.depth_of
+        add_values = self._add_values
+        if budget is None:
+            for key, score in items:
+                if key.schema.name != schema_name:
+                    raise SchemaMismatchError(
+                        f"key schema {key.schema.name!r} != tree schema "
+                        f"{schema_name!r}"
+                    )
+                depth = depth_of(key.levels)
+                if depth is None:
+                    raise GranularityError(
+                        f"key levels {key.levels} are not on the canonical "
+                        f"chain"
+                    )
+                add_values(
+                    key.values, depth, score.packets, score.bytes, score.flows
+                )
+                count += 1
+            return count
+        overshoot = budget + max(64, budget // 8)
+        nodes = self._nodes
+        for key, score in items:
+            if key.schema.name != schema_name:
+                raise SchemaMismatchError(
+                    f"key schema {key.schema.name!r} != tree schema "
+                    f"{schema_name!r}"
+                )
+            depth = depth_of(key.levels)
+            if depth is None:
+                raise GranularityError(
+                    f"key levels {key.levels} are not on the canonical chain"
+                )
+            add_values(
+                key.values, depth, score.packets, score.bytes, score.flows
+            )
             count += 1
+            if len(nodes) > overshoot:
+                self.compress(
+                    target_nodes=int(budget * self.compress_ratio)
+                )
+                self._compressions += 1
+        self._maybe_self_compress()
         return count
+
+    def _add_record(self, key: FlowKey, score: Score) -> None:
+        """Validate and apply one insert, without the budget check."""
+        if key.schema.name != self.schema.name:
+            raise SchemaMismatchError(
+                f"key schema {key.schema.name!r} != tree schema "
+                f"{self.schema.name!r}"
+            )
+        depth = self.policy.depth_of(key.levels)
+        if depth is None:
+            raise GranularityError(
+                f"key levels {key.levels} are not on the canonical chain"
+            )
+        self._add_values(
+            key.values, depth, score.packets, score.bytes, score.flows
+        )
+
+    def _add_values(
+        self,
+        values: Sequence[int],
+        depth: int,
+        packets: int,
+        nbytes: int,
+        flows: int,
+    ) -> None:
+        """The single-pass ingest walk.
+
+        Projects the chain once per level and reuses it for node
+        creation, subtree bubbling, and the final ``own`` update.  The
+        walk descends through child dicts (keyed by projected values)
+        rather than the global node index, so no ``(depth, values)``
+        key tuples are built per level.
+        """
+        chain = self._chain if depth == len(self._chain) else self._chain[:depth]
+        node = self._root
+        node.subtree_packets += packets
+        node.subtree_bytes += nbytes
+        node.subtree_flows += flows
+        for d, project in chain:
+            projected = project(values)
+            child = node.children.get(projected)
+            if child is None:
+                child = self._new_node(d, projected, node)
+            child.subtree_packets += packets
+            child.subtree_bytes += nbytes
+            child.subtree_flows += flows
+            node = child
+        node.own_packets += packets
+        node.own_bytes += nbytes
+        node.own_flows += flows
+
+    def _new_node(
+        self, depth: int, values: Tuple[int, ...], parent: FlowtreeNode
+    ) -> FlowtreeNode:
+        """Create, register and heap-track one node."""
+        node = FlowtreeNode(depth, values, self._next_seq, parent)
+        self._next_seq += 1
+        self._nodes[(depth, values)] = node
+        parent.children[values] = node
+        if self._leaf_heap is not None:
+            self._heap_pending.append(node)
+        return node
 
     def _ensure_chain(self, values: Sequence[int], depth: int) -> FlowtreeNode:
         """Create any missing ancestors and return the node at ``depth``."""
         parent = self._root
+        nodes = self._nodes
+        projectors = self._projectors
         for d in range(1, depth + 1):
-            projected = self.policy.project(values, d)
-            node = self._nodes.get((d, projected))
+            projected = projectors[d](values)
+            node = nodes.get((d, projected))
             if node is None:
-                node = FlowtreeNode(d, projected)
-                self._nodes[node.node_id] = node
-                parent.children[projected] = node
+                node = self._new_node(d, projected, parent)
             parent = node
         return parent
 
-    def _bubble(self, values: Sequence[int], depth: int, score: Score) -> None:
-        """Add ``score`` to the subtree totals of the node and ancestors."""
-        for d in range(depth + 1):
-            projected = self.policy.project(values, d)
-            self._nodes[(d, projected)].subtree = (
-                self._nodes[(d, projected)].subtree + score
-            )
+    def _bubble(
+        self,
+        values: Sequence[int],
+        depth: int,
+        packets: int,
+        nbytes: int,
+        flows: int,
+    ) -> None:
+        """Add mass to the subtree totals of the chain down to ``depth``."""
+        node = self._root
+        node.subtree_packets += packets
+        node.subtree_bytes += nbytes
+        node.subtree_flows += flows
+        nodes = self._nodes
+        projectors = self._projectors
+        for d in range(1, depth + 1):
+            node = nodes[(d, projectors[d](values))]
+            node.subtree_packets += packets
+            node.subtree_bytes += nbytes
+            node.subtree_flows += flows
 
     # ------------------------------------------------------------------
     # Compress
@@ -269,6 +518,12 @@ class Flowtree:
         unbudgeted).  Returns the number of nodes removed.  Mass is
         preserved: a folded leaf's popularity moves into its parent's
         ``folded`` counter.
+
+        Leaves fold in ``(metric, creation order)`` order.  The min-heap
+        backing that order persists across passes: node creation pushes
+        an entry, and entries are revalidated lazily on pop (stale
+        popularity re-pushes, dead or non-leaf nodes are discarded), so
+        a pass costs O(folds log n) instead of O(live nodes).
         """
         if target_nodes is not None and ratio is not None:
             raise GranularityError("give either target_nodes or ratio, not both")
@@ -283,41 +538,73 @@ class Flowtree:
                 else max(1, self.node_count // 2)
             )
         metric_name = metric or self.metric
-        if self.node_count <= target_nodes:
+        attr = _subtree_attr(metric_name)
+        nodes = self._nodes
+        if len(nodes) <= target_nodes:
             return 0
 
-        counter = itertools.count()
-        heap: List[Tuple[int, int, NodeId]] = []
-        for node in self._nodes.values():
-            if node.depth > 0 and node.is_leaf():
-                heapq.heappush(
-                    heap,
-                    (node.subtree.metric(metric_name), next(counter), node.node_id),
-                )
+        heap = self._leaf_heap
+        if (
+            heap is None
+            or attr != self._heap_attr
+            or len(heap) > 4 * len(nodes) + 1024
+        ):
+            # first pass, metric switch, or too much accumulated
+            # staleness: (re)build from the live leaves
+            heap = [
+                (getattr(node, attr), node.seq, (node.depth, node.values))
+                for node in nodes.values()
+                if node.depth > 0 and not node.children
+            ]
+            heapq.heapify(heap)
+            self._leaf_heap = heap
+            self._heap_attr = attr
+            self._heap_pending.clear()
+        elif self._heap_pending:
+            # nodes born since the last pass enter at current popularity
+            for node in self._heap_pending:
+                if not node.children:
+                    heapq.heappush(
+                        heap,
+                        (getattr(node, attr), node.seq, (node.depth, node.values)),
+                    )
+            self._heap_pending.clear()
+
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         removed = 0
-        while self.node_count > target_nodes and heap:
-            _, _, node_id = heapq.heappop(heap)
-            node = self._nodes.get(node_id)
-            if node is None or not node.is_leaf() or node.depth == 0:
+        while len(nodes) > target_nodes and heap:
+            value, seq, node_id = heappop(heap)
+            node = nodes.get(node_id)
+            if (
+                node is None
+                or node.seq != seq
+                or node.children
+                or node.depth == 0
+            ):
                 continue
-            parent = self._parent_of(node)
-            parent.folded = parent.folded + node.own + node.folded
+            current = getattr(node, attr)
+            if current != value:
+                heappush(heap, (current, seq, node_id))
+                continue
+            parent = node.parent
+            parent.folded_packets += node.own_packets + node.folded_packets
+            parent.folded_bytes += node.own_bytes + node.folded_bytes
+            parent.folded_flows += node.own_flows + node.folded_flows
             del parent.children[node.values]
-            del self._nodes[node_id]
+            del nodes[node_id]
             removed += 1
-            if parent.depth > 0 and parent.is_leaf():
-                heapq.heappush(
+            if parent.depth > 0 and not parent.children:
+                heappush(
                     heap,
-                    (
-                        parent.subtree.metric(metric_name),
-                        next(counter),
-                        parent.node_id,
-                    ),
+                    (getattr(parent, attr), parent.seq, (parent.depth, parent.values)),
                 )
         return removed
 
     def _parent_of(self, node: FlowtreeNode) -> FlowtreeNode:
-        projected = self.policy.project(node.values, node.depth - 1)
+        if node.parent is not None:
+            return node.parent
+        projected = self._projectors[node.depth - 1](node.values)
         return self._nodes[(node.depth - 1, projected)]
 
     # ------------------------------------------------------------------
@@ -330,6 +617,34 @@ class Flowtree:
                 f"({self.schema.name!r} vs {other.schema.name!r})"
             )
 
+    def _absorb(self, other: "Flowtree", sign: int) -> None:
+        """Fold ``other`` in with a top-down walk over paired nodes.
+
+        Because both trees share one canonical chain, a node of
+        ``other`` maps onto the node of ``self`` with the same (depth,
+        values) — no re-projection is needed, and each pair's subtree
+        totals transfer wholesale in one visit (every descendant of
+        theirs lands under the paired node of ours).
+        """
+        stack = [(self._root, other._root)]
+        while stack:
+            mine, theirs = stack.pop()
+            mine.own_packets += sign * theirs.own_packets
+            mine.own_bytes += sign * theirs.own_bytes
+            mine.own_flows += sign * theirs.own_flows
+            mine.folded_packets += sign * theirs.folded_packets
+            mine.folded_bytes += sign * theirs.folded_bytes
+            mine.folded_flows += sign * theirs.folded_flows
+            mine.subtree_packets += sign * theirs.subtree_packets
+            mine.subtree_bytes += sign * theirs.subtree_bytes
+            mine.subtree_flows += sign * theirs.subtree_flows
+            children = mine.children
+            for values, their_child in theirs.children.items():
+                my_child = children.get(values)
+                if my_child is None:
+                    my_child = self._new_node(their_child.depth, values, mine)
+                stack.append((my_child, their_child))
+
     def merge(self, other: "Flowtree") -> None:
         """Fold ``other`` into this tree in place (Table II: Merge).
 
@@ -341,23 +656,7 @@ class Flowtree:
         self._check_compatible(other)
         if other is self:
             other = self.copy()
-        for node in sorted(other._nodes.values(), key=lambda n: n.depth):
-            if node.depth == 0:
-                self._root.own = self._root.own + node.own
-                self._root.folded = self._root.folded + node.folded
-                self._root.subtree = self._root.subtree + node.subtree
-                continue
-            mine = self._ensure_chain(node.values, node.depth)
-            mine.own = mine.own + node.own
-            mine.folded = mine.folded + node.folded
-            contribution = node.own + node.folded
-            if not contribution.is_zero():
-                # bubble only up to depth-1: node.subtree at depth 0 was
-                # already added wholesale above.
-                for d in range(1, node.depth + 1):
-                    projected = self.policy.project(node.values, d)
-                    target = self._nodes[(d, projected)]
-                    target.subtree = target.subtree + contribution
+        self._absorb(other, 1)
         self._maybe_self_compress()
 
     @classmethod
@@ -384,23 +683,8 @@ class Flowtree:
         result = Flowtree(
             self.policy, node_budget=None, compress_ratio=1.0, metric=self.metric
         )
-        for source, sign in ((self, 1), (other, -1)):
-            for node in sorted(source._nodes.values(), key=lambda n: n.depth):
-                own = node.own if sign > 0 else -node.own
-                folded = node.folded if sign > 0 else -node.folded
-                if node.depth == 0:
-                    result._root.own = result._root.own + own
-                    result._root.folded = result._root.folded + folded
-                    result._root.subtree = (
-                        result._root.subtree + own + folded
-                    )
-                    continue
-                mine = result._ensure_chain(node.values, node.depth)
-                mine.own = mine.own + own
-                mine.folded = mine.folded + folded
-                contribution = own + folded
-                if not contribution.is_zero():
-                    result._bubble(node.values, node.depth, contribution)
+        result._absorb(self, 1)
+        result._absorb(other, -1)
         return result
 
     # ------------------------------------------------------------------
@@ -425,13 +709,15 @@ class Flowtree:
             node = self._nodes.get((node_depth, key.values))
             return node.subtree if node is not None else Score.zero()
         depth = self.policy.shallowest_covering_depth(key.levels)
-        total = Score.zero()
+        packets = nbytes = flows = 0
         for node in self._nodes.values():
             if node.depth != depth:
                 continue
             if key.contains(self.key_of(node)):
-                total = total + node.subtree
-        return total
+                packets += node.subtree_packets
+                nbytes += node.subtree_bytes
+                flows += node.subtree_flows
+        return Score(packets, nbytes, flows)
 
     def query_with_bound(self, key: FlowKey) -> Tuple[Score, Score]:
         """Point query with deterministic error bounds.
@@ -467,7 +753,7 @@ class Flowtree:
         lower = node.subtree if node is not None else Score.zero()
         ancestor_fold = self._root.folded
         for d in range(1, depth):
-            projected = self.policy.project(key.values, d)
+            projected = self._projectors[d](key.values)
             candidate = self._nodes.get((d, projected))
             if candidate is None:
                 break
@@ -503,11 +789,11 @@ class Flowtree:
         if k <= 0:
             return []
         depth = self.policy.depth if depth is None else depth
-        metric_name = metric or self.metric
+        attr = _subtree_attr(metric or self.metric)
         candidates = [
             node for node in self._nodes.values() if node.depth == depth
         ]
-        candidates.sort(key=lambda n: (-n.subtree.metric(metric_name), n.values))
+        candidates.sort(key=lambda n: (-getattr(n, attr), n.values))
         return [(self.key_of(node), node.subtree) for node in candidates[:k]]
 
     def above_x(
@@ -518,19 +804,17 @@ class Flowtree:
         include_root: bool = False,
     ) -> List[Tuple[FlowKey, Score]]:
         """All flows with popularity above ``x`` (Table II: Above-x)."""
-        metric_name = metric or self.metric
+        attr = _subtree_attr(metric or self.metric)
         results = []
         for node in self._nodes.values():
             if node.depth == 0 and not include_root:
                 continue
             if depth is not None and node.depth != depth:
                 continue
-            if node.subtree.metric(metric_name) > x:
-                results.append((self.key_of(node), node.subtree))
-        results.sort(
-            key=lambda pair: (-pair[1].metric(metric_name), pair[0].values)
-        )
-        return results
+            if getattr(node, attr) > x:
+                results.append((node.values, getattr(node, attr), node))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return [(self.key_of(node), node.subtree) for _, _, node in results]
 
     def aggregate_by_feature(
         self,
@@ -594,13 +878,14 @@ class Flowtree:
         unattributed, mass is itself substantial.
         """
         metric_name = metric or self.metric
+        attr = _subtree_attr(metric_name)
         discounted: Dict[NodeId, int] = {}
         results: List[HHHResult] = []
         for node in sorted(
             self._nodes.values(), key=lambda n: (-n.depth, n.values)
         ):
             discount = discounted.pop(node.node_id, 0)
-            residual_value = node.subtree.metric(metric_name) - discount
+            residual_value = getattr(node, attr) - discount
             parent_id: Optional[NodeId] = None
             if node.depth > 0:
                 parent = self._parent_of(node)
@@ -663,15 +948,7 @@ class Flowtree:
             compress_ratio=self.compress_ratio,
             metric=self.metric,
         )
-        for node in sorted(self._nodes.values(), key=lambda n: n.depth):
-            target = (
-                clone._ensure_chain(node.values, node.depth)
-                if node.depth
-                else clone._root
-            )
-            target.own = node.own
-            target.folded = node.folded
-            target.subtree = node.subtree
+        clone._absorb(self, 1)
         return clone
 
     def to_dict(self) -> dict:
@@ -686,11 +963,11 @@ class Flowtree:
                 {
                     "depth": node.depth,
                     "values": list(node.values),
-                    "own": [node.own.packets, node.own.bytes, node.own.flows],
+                    "own": [node.own_packets, node.own_bytes, node.own_flows],
                     "folded": [
-                        node.folded.packets,
-                        node.folded.bytes,
-                        node.folded.flows,
+                        node.folded_packets,
+                        node.folded_bytes,
+                        node.folded_flows,
                     ],
                 }
                 for node in sorted(
@@ -726,14 +1003,20 @@ class Flowtree:
         for entry in sorted(payload["nodes"], key=lambda e: e["depth"]):
             depth = entry["depth"]
             values = tuple(entry["values"])
-            own = Score(*entry["own"])
-            folded = Score(*entry["folded"])
+            own_packets, own_bytes, own_flows = entry["own"]
+            folded_packets, folded_bytes, folded_flows = entry["folded"]
             node = tree._ensure_chain(values, depth) if depth else tree._root
-            node.own = node.own + own
-            node.folded = node.folded + folded
-            contribution = own + folded
-            if not contribution.is_zero():
-                tree._bubble(values, depth, contribution)
+            node.own_packets += own_packets
+            node.own_bytes += own_bytes
+            node.own_flows += own_flows
+            node.folded_packets += folded_packets
+            node.folded_bytes += folded_bytes
+            node.folded_flows += folded_flows
+            packets = own_packets + folded_packets
+            nbytes = own_bytes + folded_bytes
+            flows = own_flows + folded_flows
+            if packets or nbytes or flows:
+                tree._bubble(values, depth, packets, nbytes, flows)
         return tree
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -128,13 +128,11 @@ class Flowstream:
     def ingest(self, site: str, records: Iterable[FlowRecord]) -> int:
         """Feed router flow exports into the site's data store (step 1)."""
         store = self.store_for(site)
-        count = 0
-        for record in records:
-            store.ingest(
-                "flows", record, record.first_seen, size_bytes=48
-            )
-            self.stats.raw_bytes_ingested += record.bytes
-            count += 1
+        batch = [(record, record.first_seen) for record in records]
+        count = store.ingest_batch("flows", batch, size_bytes=48)
+        self.stats.raw_bytes_ingested += sum(
+            record.bytes for record, _ in batch
+        )
         self.stats.raw_records_ingested += count
         return count
 

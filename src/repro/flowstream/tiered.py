@@ -147,11 +147,9 @@ class TieredFlowstream:
             raise PlacementError(
                 f"unknown site {site!r}; known: {sorted(self.router_stores)}"
             )
-        count = 0
-        for record in records:
-            store.ingest("flows", record, record.first_seen, size_bytes=48)
-            self.stats.raw_bytes += record.bytes
-            count += 1
+        batch = [(record, record.first_seen) for record in records]
+        count = store.ingest_batch("flows", batch, size_bytes=48)
+        self.stats.raw_bytes += sum(record.bytes for record, _ in batch)
         return count
 
     def close_epoch(self, now: float) -> int:

@@ -137,10 +137,11 @@ class NetworkScenario:
                     )
                 else:
                     records = self.generator.epoch(name, epoch)
-                for record in records:
-                    store.ingest(
-                        "flows", record, record.first_seen, size_bytes=48
-                    )
+                store.ingest_batch(
+                    "flows",
+                    [(record, record.first_seen) for record in records],
+                    size_bytes=48,
+                )
             now = (epoch + 1) * self.epoch_seconds
             # live-view apps read before the epoch is cut
             if self.trends_app is not None:
