@@ -52,8 +52,8 @@ def test_ingest_to_export_pipeline(benchmark, generator):
     report(
         "Fig. 5: single-epoch volumes",
         [
-            ("raw bytes observed", system.stats.raw_bytes_ingested),
-            ("summary bytes exported", system.stats.summary_bytes_exported),
+            ("raw bytes observed", system.stats.raw_bytes),
+            ("summary bytes exported", system.stats.exported_bytes),
             ("reduction", f"{system.stats.reduction_factor:.0f}x"),
         ],
     )

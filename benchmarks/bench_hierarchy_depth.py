@@ -1,0 +1,180 @@
+"""WAN volume vs. hierarchy depth through the unified HierarchyRuntime.
+
+The paper's core architectural claim (Figures 1–2) is that pushing
+data stores deeper into the hierarchy shrinks what crosses the WAN:
+every extra merge tier deduplicates generalized nodes shared by its
+children before anything leaves the edge.  This benchmark drives the
+*same* flow trace through the three presets of the unified runtime —
+
+* depth 2: ``flat_runtime`` (router stores → cloud),
+* depth 3: ``tiered_runtime`` (router → region → cloud),
+* depth 4: ``network_4level_runtime`` (router → region → network → cloud)
+
+— with equal per-store node budgets, and records WAN bytes, total
+fabric bytes, and rollup wall-time per depth.
+
+Run as a script to execute the full trace and (re)write the committed
+baseline ``BENCH_hierarchy.json`` at the repo root:
+
+```bash
+PYTHONPATH=src python benchmarks/bench_hierarchy_depth.py
+```
+
+The pytest entry point uses a smaller trace so ``pytest benchmarks/``
+stays quick.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from repro.runtime.presets import (
+    flat_runtime,
+    network_4level_runtime,
+    tiered_runtime,
+)
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+try:  # script mode runs without pytest on the path
+    from benchmarks.conftest import report
+except ImportError:  # pragma: no cover
+    def report(title, rows, columns=None):
+        print(f"\n=== {title} ===")
+        if columns:
+            print("  " + " | ".join(str(c) for c in columns))
+        for row in rows:
+            print("  " + " | ".join(str(cell) for cell in row))
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_hierarchy.json"
+
+SITES = (
+    "region1/router1",
+    "region1/router2",
+    "region2/router1",
+    "region2/router2",
+)
+NODE_BUDGET = 4096
+
+
+def build_runtimes(node_budget: int = NODE_BUDGET):
+    """The three depth presets over the same four routers."""
+    flat = flat_runtime(list(SITES), node_budget=node_budget)
+    tiered = tiered_runtime(
+        list(SITES),
+        router_node_budget=node_budget,
+        region_node_budget=node_budget,
+    )
+    deep = network_4level_runtime(
+        networks=1,
+        regions_per_network=2,
+        routers_per_region=2,
+        router_node_budget=node_budget,
+        region_node_budget=node_budget,
+        network_node_budget=node_budget,
+    )
+    return {
+        2: (flat, lambda site: site),
+        3: (tiered, lambda site: site),
+        4: (deep, lambda site: f"network1/{site}"),
+    }
+
+
+def drive(runtimes, generator, epochs: int) -> dict:
+    """Replay one trace through every depth; collect the claim metrics."""
+    results = {}
+    for depth, (runtime, site_of) in sorted(runtimes.items()):
+        for epoch in range(epochs):
+            for site in SITES:
+                runtime.ingest(site_of(site), generator.epoch(site, epoch))
+            runtime.close_epoch((epoch + 1) * 60.0)
+        stats = runtime.stats
+        results[str(depth)] = {
+            "wan_bytes": runtime.wan_bytes(),
+            "total_network_bytes": runtime.total_network_bytes(),
+            "raw_bytes": stats.raw_bytes,
+            "raw_records": stats.raw_records,
+            "exported_bytes": stats.exported_bytes,
+            "exported_summaries": stats.exported_summaries,
+            "reduction_factor": round(stats.reduction_factor, 1),
+            "rollup_seconds": round(
+                sum(v.rollup_seconds for v in stats.per_level.values()), 6
+            ),
+            "levels": sorted(stats.per_level),
+        }
+    return results
+
+
+def rows_of(results: dict):
+    return [
+        (
+            depth,
+            metrics["wan_bytes"],
+            metrics["total_network_bytes"],
+            f"{metrics['reduction_factor']}x",
+            f"{metrics['rollup_seconds'] * 1000:.1f} ms",
+        )
+        for depth, metrics in sorted(results.items())
+    ]
+
+
+def test_wan_shrinks_with_depth(benchmark):
+    """Each extra merge tier must not inflate the WAN volume."""
+    epochs = 2
+    generator = TrafficGenerator(
+        TrafficConfig(sites=SITES, flows_per_epoch=600), seed=2019
+    )
+
+    def full_run():
+        return drive(build_runtimes(), generator, epochs)
+
+    results = benchmark.pedantic(full_run, rounds=1, iterations=1)
+    report(
+        "Figure 1/2: WAN bytes vs. hierarchy depth",
+        rows_of(results),
+        columns=("depth", "wan B", "fabric B", "reduction", "rollup"),
+    )
+    benchmark.extra_info.update(
+        {f"wan_bytes_depth{d}": m["wan_bytes"] for d, m in results.items()}
+    )
+    wan = {int(depth): m["wan_bytes"] for depth, m in results.items()}
+    assert wan[4] <= wan[3] <= wan[2]
+    assert all(v > 0 for v in wan.values())
+    # the WAN savings are bought with interior fabric hops, so every
+    # depth moves strictly more bytes in total than across the WAN
+    for depth, metrics in results.items():
+        assert metrics["total_network_bytes"] > metrics["wan_bytes"]
+
+
+def main() -> None:
+    generator = TrafficGenerator(
+        TrafficConfig(sites=SITES, flows_per_epoch=3000), seed=2019
+    )
+    epochs = 3
+    results = drive(build_runtimes(), generator, epochs)
+    report(
+        "Figure 1/2: WAN bytes vs. hierarchy depth (full trace)",
+        rows_of(results),
+        columns=("depth", "wan B", "fabric B", "reduction", "rollup"),
+    )
+    baseline = {
+        "trace": {
+            "sites": list(SITES),
+            "flows_per_epoch": 3000,
+            "epochs": epochs,
+            "seed": 2019,
+            "node_budget": NODE_BUDGET,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "depths": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"\nwrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

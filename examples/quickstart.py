@@ -57,8 +57,8 @@ def flowstream_tour() -> None:
             system.ingest(site, generator.epoch(site, epoch))
         system.close_epoch((epoch + 1) * 60.0)
 
-    print(f"  raw traffic observed : {system.stats.raw_bytes_ingested:,} B")
-    print(f"  summaries exported   : {system.stats.summary_bytes_exported:,} B")
+    print(f"  raw traffic observed : {system.stats.raw_bytes:,} B")
+    print(f"  summaries exported   : {system.stats.exported_bytes:,} B")
     print(f"  reduction factor     : {system.stats.reduction_factor:,.0f}x")
     print()
 

@@ -71,6 +71,12 @@ from repro.control import Controller, Manager
 from repro.flowdb import FlowDB
 from repro.flowql import FlowQLExecutor
 from repro.flowstream import Flowstream
+from repro.flowstream.tiered import TieredFlowstream
+from repro.runtime import (
+    HierarchyRuntime,
+    LevelConfig,
+    VolumeStats,
+)
 from repro.replication import (
     AdaptiveReplicationEngine,
     BreakEvenPolicy,
@@ -116,6 +122,10 @@ __all__ = [
     "FlowDB",
     "FlowQLExecutor",
     "Flowstream",
+    "TieredFlowstream",
+    "HierarchyRuntime",
+    "LevelConfig",
+    "VolumeStats",
     "AdaptiveReplicationEngine",
     "BreakEvenPolicy",
     "DistributionAwarePolicy",

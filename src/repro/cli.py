@@ -100,7 +100,7 @@ def _run_flowql(args: argparse.Namespace) -> int:
         system.close_epoch((epoch + 1) * 60.0)
     print(
         f"loaded {args.epochs} epochs x {len(args.sites)} sites "
-        f"({system.stats.raw_records_ingested:,} flows, reduction "
+        f"({system.stats.raw_records:,} flows, reduction "
         f"{system.stats.reduction_factor:.0f}x)"
     )
     queries = args.query or [

@@ -1,14 +1,13 @@
 """The Flowstream system: wiring routers to FlowQL (Figure 5).
 
-:class:`Flowstream` assembles the full path out of the library's parts:
-
-1. one :class:`~repro.datastore.store.DataStore` per router site, with a
-   Flowtree aggregator (steps 1-2 of the figure);
-2. an export step that ships each epoch's summary over the simulated
-   WAN — transfer volume is accounted, which is how the benchmarks show
-   the summary/raw reduction factor — into
-3. a :class:`~repro.flowdb.db.FlowDB` (step 4), queried through
-4. a :class:`~repro.flowql.executor.FlowQLExecutor` (step 5).
+:class:`Flowstream` is the *flat* preset of the generic
+:class:`~repro.runtime.runtime.HierarchyRuntime` — one
+:class:`~repro.datastore.store.DataStore` per router site with a
+Flowtree aggregator (steps 1-2 of the figure), whose epoch summaries
+ship over the simulated WAN — transfer volume is accounted, which is
+how the benchmarks show the summary/raw reduction factor — into a
+:class:`~repro.flowdb.db.FlowDB` (step 4), queried through a
+:class:`~repro.flowql.executor.FlowQLExecutor` (step 5).
 
 Sites are addressed by their short names (``region1/router1``) in both
 :meth:`ingest` and FlowQL ``AT`` clauses.
@@ -16,38 +15,21 @@ Sites are addressed by their short names (``region1/router1``) in both
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.flowtree import FlowtreePrimitive
-from repro.core.summary import Location, TimeInterval
-from repro.datastore.aggregator import Aggregator
-from repro.datastore.storage import RoundRobinStorage, StorageStrategy
 from repro.datastore.store import DataStore
 from repro.errors import PlacementError
-from repro.flowdb.db import FlowDB
-from repro.flowql.executor import FlowQLExecutor, FlowQLResult
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.flows.records import FlowRecord
-from repro.hierarchy.network import NetworkFabric
-from repro.hierarchy.topology import Hierarchy, HierarchyNode, LevelSpec
+from repro.flowql.executor import FlowQLResult
+from repro.runtime.presets import flat_runtime
+from repro.runtime.stats import VolumeStats
 
-
-@dataclass
-class FlowstreamStats:
-    """Volume accounting across the whole system."""
-
-    raw_bytes_ingested: int = 0
-    raw_records_ingested: int = 0
-    summary_bytes_exported: int = 0
-    epochs_closed: int = 0
-
-    @property
-    def reduction_factor(self) -> float:
-        """Raw traffic volume over exported summary volume."""
-        if self.summary_bytes_exported == 0:
-            return float("inf") if self.raw_bytes_ingested else 1.0
-        return self.raw_bytes_ingested / self.summary_bytes_exported
+#: Deprecated alias: volume accounting now lives in the runtime's
+#: :class:`~repro.runtime.stats.VolumeStats`, which keeps the old
+#: ``raw_bytes_ingested``/``summary_bytes_exported`` names as
+#: deprecated properties.
+FlowstreamStats = VolumeStats
 
 
 class Flowstream:
@@ -67,74 +49,37 @@ class Flowstream:
     ) -> None:
         if not sites:
             raise PlacementError("Flowstream needs at least one site")
+        self.runtime = flat_runtime(
+            sites,
+            schema=schema,
+            policy=policy,
+            node_budget=node_budget,
+            epoch_seconds=epoch_seconds,
+            store_budget_bytes=store_budget_bytes,
+            merge_node_budget=merge_node_budget,
+        )
         self.sites = list(sites)
-        self.policy = policy or GeneralizationPolicy.default_for(schema)
+        self.policy = self.runtime.policy
         self.node_budget = node_budget
         self.epoch_seconds = epoch_seconds
-        self.hierarchy = self._build_hierarchy(sites)
-        self.fabric = NetworkFabric(self.hierarchy)
-        self.db = FlowDB(merge_node_budget=merge_node_budget)
-        self.executor = FlowQLExecutor(self.db)
-        self.stats = FlowstreamStats()
-        self.stores: Dict[str, DataStore] = {}
-        self._cloud = self.hierarchy.root.location
-        for site in sites:
-            location = Location(f"cloud/{site}")
-            store = DataStore(
-                location,
-                RoundRobinStorage(store_budget_bytes),
-                fabric=self.fabric,
-            )
-            store.install_aggregator(
-                Aggregator(
-                    self.AGGREGATOR,
-                    FlowtreePrimitive(
-                        location, self.policy, node_budget=node_budget
-                    ),
-                )
-            )
-            self.stores[site] = store
-
-    @staticmethod
-    def _build_hierarchy(sites: List[str]) -> Hierarchy:
-        """Grow a cloud-rooted hierarchy covering every site path."""
-        root = HierarchyNode(Location("cloud"), LevelSpec("cloud", None))
-        hierarchy = Hierarchy(root)
-        for site in sites:
-            node = root
-            for depth, part in enumerate(site.split("/")):
-                existing = next(
-                    (c for c in node.children if c.location.parts[-1] == part),
-                    None,
-                )
-                if existing is None:
-                    level = LevelSpec(f"level{depth + 1}", None)
-                    existing = node.add_child(part, level)
-                node = existing
-        hierarchy.reindex()
-        return hierarchy
+        self.hierarchy = self.runtime.hierarchy
+        self.fabric = self.runtime.fabric
+        self.db = self.runtime.db
+        self.executor = self.runtime.executor
+        self.stats = self.runtime.stats
+        self.stores: Dict[str, DataStore] = {
+            site: self.runtime.store_for(site) for site in dict.fromkeys(sites)
+        }
 
     # -- data path ------------------------------------------------------------
 
-    def store_for(self, site: str) -> DataStore:
+    def store_for(self, site: str):
         """The data store of one site."""
-        try:
-            return self.stores[site]
-        except KeyError as exc:
-            raise PlacementError(
-                f"unknown site {site!r}; known: {sorted(self.stores)}"
-            ) from exc
+        return self.runtime.store_for(site)
 
     def ingest(self, site: str, records: Iterable[FlowRecord]) -> int:
         """Feed router flow exports into the site's data store (step 1)."""
-        store = self.store_for(site)
-        batch = [(record, record.first_seen) for record in records]
-        count = store.ingest_batch("flows", batch, size_bytes=48)
-        self.stats.raw_bytes_ingested += sum(
-            record.bytes for record, _ in batch
-        )
-        self.stats.raw_records_ingested += count
-        return count
+        return self.runtime.ingest(site, records)
 
     def close_epoch(self, now: float) -> int:
         """Cut summaries everywhere and export them to FlowDB (steps 2-4).
@@ -142,37 +87,14 @@ class Flowstream:
         Returns the number of summaries exported.  Export volume is
         charged to the WAN path from each site to the cloud.
         """
-        exported = 0
-        for site, store in self.stores.items():
-            partitions = store.close_epoch(now)
-            for partition in partitions:
-                if partition.summary.kind != "flowtree":
-                    continue
-                self.fabric.transfer(
-                    store.location,
-                    self._cloud,
-                    partition.summary.size_bytes,
-                    now,
-                )
-                self.stats.summary_bytes_exported += (
-                    partition.summary.size_bytes
-                )
-                tree = partition.summary.payload
-                self.db.insert(
-                    location=site,
-                    interval=partition.summary.meta.interval,
-                    tree=tree,
-                )
-                exported += 1
-        self.stats.epochs_closed += 1
-        return exported
+        return self.runtime.close_epoch(now)
 
     # -- query path -------------------------------------------------------------
 
     def query(self, flowql: str) -> FlowQLResult:
         """Answer a FlowQL query from FlowDB (step 5)."""
-        return self.executor.execute(flowql)
+        return self.runtime.query(flowql)
 
     def wan_summary_bytes(self) -> int:
         """Bytes of summaries that crossed into the cloud."""
-        return self.fabric.wan_bytes()
+        return self.runtime.wan_bytes()

@@ -4,9 +4,10 @@ The flat :class:`~repro.flowstream.system.Flowstream` ships router
 summaries straight to the cloud.  The paper's Figure 2b, however, shows
 data stores *between* the edge and the cloud ("further data stores
 exist to merge and aggregate data from multiple mega-datasets").  This
-variant adds a region tier: router trees merge into per-region stores
-first, the region stores compress, and only the compressed regional
-summaries cross the WAN.
+variant — the tiered preset of the generic
+:class:`~repro.runtime.runtime.HierarchyRuntime` — adds a region tier:
+router trees merge into per-region stores first, the region stores
+compress, and only the compressed regional summaries cross the WAN.
 
 The interesting measurable consequence (exercised by tests and the
 Figure 1 benchmark family): WAN volume drops again relative to the flat
@@ -16,30 +17,21 @@ shared by its routers — at the price of the extra aggregation delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.flowtree import FlowtreePrimitive
-from repro.core.summary import Location, TimeInterval
-from repro.datastore.aggregator import Aggregator
-from repro.datastore.storage import RoundRobinStorage
 from repro.datastore.store import DataStore
 from repro.errors import PlacementError
-from repro.flowdb.db import FlowDB
-from repro.flowql.executor import FlowQLExecutor, FlowQLResult
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.flows.records import FlowRecord
-from repro.hierarchy.network import NetworkFabric
-from repro.hierarchy.topology import Hierarchy, HierarchyNode, LevelSpec
+from repro.flowql.executor import FlowQLResult
+from repro.runtime.presets import tiered_runtime
+from repro.runtime.stats import VolumeStats
 
-
-@dataclass
-class TierStats:
-    """Per-tier volume accounting."""
-
-    raw_bytes: int = 0
-    router_summary_bytes: int = 0
-    region_summary_bytes: int = 0
+#: Deprecated alias: per-tier accounting now lives in the runtime's
+#: :class:`~repro.runtime.stats.VolumeStats`, which keeps the old
+#: ``raw_bytes``/``router_summary_bytes``/``region_summary_bytes``
+#: names as deprecated properties.
+TierStats = VolumeStats
 
 
 class TieredFlowstream:
@@ -59,7 +51,7 @@ class TieredFlowstream:
         schema: FeatureSchema = FIVE_TUPLE,
         policy: Optional[GeneralizationPolicy] = None,
         router_node_budget: int = 8192,
-        region_node_budget: int = 8192,
+        region_node_budget: Optional[int] = 8192,
         epoch_seconds: float = 60.0,
         merge_node_budget: int = 65536,
     ) -> None:
@@ -70,133 +62,46 @@ class TieredFlowstream:
                 raise PlacementError(
                     f"site {site!r} must be region/router shaped"
                 )
+        self.runtime = tiered_runtime(
+            sites,
+            schema=schema,
+            policy=policy,
+            router_node_budget=router_node_budget,
+            region_node_budget=region_node_budget,
+            epoch_seconds=epoch_seconds,
+            merge_node_budget=merge_node_budget,
+        )
         self.sites = list(sites)
-        self.policy = policy or GeneralizationPolicy.default_for(schema)
+        self.policy = self.runtime.policy
         self.router_node_budget = router_node_budget
         self.region_node_budget = region_node_budget
         self.epoch_seconds = epoch_seconds
-        self.hierarchy = self._build_hierarchy(sites)
-        self.fabric = NetworkFabric(self.hierarchy)
-        self.db = FlowDB(merge_node_budget=merge_node_budget)
-        self.executor = FlowQLExecutor(self.db)
-        self.stats = TierStats()
-        self._cloud = self.hierarchy.root.location
-        self.router_stores: Dict[str, DataStore] = {}
-        self.region_stores: Dict[str, DataStore] = {}
-        for site in sites:
-            region = site.split("/")[0]
-            if region not in self.region_stores:
-                region_location = Location(f"cloud/{region}")
-                region_store = DataStore(
-                    region_location, RoundRobinStorage(256 * 1024 * 1024),
-                    fabric=self.fabric,
-                )
-                region_store.install_aggregator(
-                    Aggregator(
-                        self.AGGREGATOR,
-                        FlowtreePrimitive(
-                            region_location,
-                            self.policy,
-                            node_budget=region_node_budget,
-                        ),
-                    )
-                )
-                self.region_stores[region] = region_store
-            location = Location(f"cloud/{site}")
-            store = DataStore(
-                location, RoundRobinStorage(256 * 1024 * 1024),
-                fabric=self.fabric,
-            )
-            store.install_aggregator(
-                Aggregator(
-                    self.AGGREGATOR,
-                    FlowtreePrimitive(
-                        location, self.policy,
-                        node_budget=router_node_budget,
-                    ),
-                )
-            )
-            self.router_stores[site] = store
-
-    @staticmethod
-    def _build_hierarchy(sites: List[str]) -> Hierarchy:
-        root = HierarchyNode(Location("cloud"), LevelSpec("cloud", None))
-        hierarchy = Hierarchy(root)
-        for site in sites:
-            node = root
-            for depth, part in enumerate(site.split("/")):
-                existing = next(
-                    (c for c in node.children if c.location.parts[-1] == part),
-                    None,
-                )
-                if existing is None:
-                    level = LevelSpec(
-                        "region" if depth == 0 else "router", None
-                    )
-                    existing = node.add_child(part, level)
-                node = existing
-        hierarchy.reindex()
-        return hierarchy
+        self.hierarchy = self.runtime.hierarchy
+        self.fabric = self.runtime.fabric
+        self.db = self.runtime.db
+        self.executor = self.runtime.executor
+        self.stats = self.runtime.stats
+        self.router_stores: Dict[str, DataStore] = (
+            self.runtime.stores_at_level("router")
+        )
+        self.region_stores: Dict[str, DataStore] = (
+            self.runtime.stores_at_level("region")
+        )
 
     # -- data path ------------------------------------------------------------
 
     def ingest(self, site: str, records: Iterable[FlowRecord]) -> int:
         """Feed router flow exports into the router's store."""
-        store = self.router_stores.get(site)
-        if store is None:
-            raise PlacementError(
-                f"unknown site {site!r}; known: {sorted(self.router_stores)}"
-            )
-        batch = [(record, record.first_seen) for record in records]
-        count = store.ingest_batch("flows", batch, size_bytes=48)
-        self.stats.raw_bytes += sum(record.bytes for record, _ in batch)
-        return count
+        return self.runtime.ingest(site, records)
 
     def close_epoch(self, now: float) -> int:
         """Roll router trees into regions, then regions into FlowDB.
 
         Returns the number of regional summaries exported to the cloud.
+        The WAN hop applies each region store's privacy guard (if any):
+        the cloud only ever sees the policy-degraded view.
         """
-        # tier 1: routers export into their region store (LAN hop)
-        for site, store in self.router_stores.items():
-            region = site.split("/")[0]
-            region_store = self.region_stores[region]
-            aggregator = store.aggregator(self.AGGREGATOR)
-            if aggregator.items_this_epoch == 0:
-                continue
-            self.stats.router_summary_bytes += (
-                aggregator.primitive.footprint_bytes()
-            )
-            store.export_summaries(
-                self.AGGREGATOR, region_store, now=now
-            )
-            aggregator.close_epoch(now, store.storage_pressure())
-        # tier 2: regions compress and export to the cloud (WAN hop)
-        exported = 0
-        for region, region_store in self.region_stores.items():
-            partitions = region_store.close_epoch(now)
-            for partition in partitions:
-                if partition.summary.kind != "flowtree":
-                    continue
-                outgoing = partition.summary
-                if region_store.privacy is not None:
-                    # the WAN hop leaves the region's trust domain: the
-                    # cloud only ever sees the policy-degraded view
-                    outgoing = region_store.privacy.export(
-                        partition.aggregator, outgoing
-                    )
-                self.fabric.transfer(
-                    region_store.location, self._cloud,
-                    outgoing.size_bytes, now,
-                )
-                self.stats.region_summary_bytes += outgoing.size_bytes
-                self.db.insert(
-                    location=region,
-                    interval=outgoing.meta.interval,
-                    tree=outgoing.payload,
-                )
-                exported += 1
-        return exported
+        return self.runtime.close_epoch(now)
 
     # -- query path -------------------------------------------------------------
 
@@ -206,8 +111,8 @@ class TieredFlowstream:
         Note the locations indexed in FlowDB are *regions*, matching
         what crossed the WAN.
         """
-        return self.executor.execute(flowql)
+        return self.runtime.query(flowql)
 
     def wan_bytes(self) -> int:
         """Bytes that crossed into the cloud."""
-        return self.fabric.wan_bytes()
+        return self.runtime.wan_bytes()

@@ -113,6 +113,63 @@ class Hierarchy:
         """All nodes whose level has the given name."""
         return [n for n in self.root.walk() if n.level.name == level_name]
 
+    @classmethod
+    def from_site_paths(
+        cls,
+        sites: Sequence[str],
+        root: str = "cloud",
+        root_level: str = "cloud",
+        level_names: Optional[Sequence[str]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+    ) -> "Hierarchy":
+        """Grow a root-anchored hierarchy covering every site path.
+
+        ``sites`` are ``/``-separated paths below the root
+        (``region1/router1``); shared prefixes share nodes.  Depth ``d``
+        (0-based below the root) is labeled ``level_names[d]`` when
+        provided — with per-level decision ``deadlines`` parallel to it
+        — and ``level{d+1}`` otherwise.  This is the one site-path
+        parser behind every Flowstream/runtime topology.
+        """
+        if not sites:
+            raise PlacementError("from_site_paths needs at least one site")
+        root_node = HierarchyNode(Location(root), LevelSpec(root_level, None))
+        hierarchy = cls(root_node)
+        for site in sites:
+            parts = [part for part in site.split("/") if part]
+            if not parts:
+                raise PlacementError(f"empty site path {site!r}")
+            if level_names is not None and len(parts) > len(level_names):
+                raise PlacementError(
+                    f"site {site!r} is {len(parts)} levels deep but only "
+                    f"{list(level_names)} are named"
+                )
+            node = root_node
+            for depth, part in enumerate(parts):
+                existing = next(
+                    (
+                        child
+                        for child in node.children
+                        if child.location.parts[-1] == part
+                    ),
+                    None,
+                )
+                if existing is None:
+                    name = (
+                        level_names[depth]
+                        if level_names is not None
+                        else f"level{depth + 1}"
+                    )
+                    deadline = (
+                        deadlines[depth]
+                        if deadlines is not None and depth < len(deadlines)
+                        else None
+                    )
+                    existing = node.add_child(part, LevelSpec(name, deadline))
+                node = existing
+        hierarchy.reindex()
+        return hierarchy
+
     def path_between(
         self, origin: Location, destination: Location
     ) -> List[HierarchyNode]:

@@ -1,0 +1,33 @@
+"""The unified hierarchy runtime: one data plane for every depth.
+
+:class:`HierarchyRuntime` provisions data stores over any
+:class:`~repro.hierarchy.topology.Hierarchy` from per-level
+:class:`LevelConfig` tables and runs the generic epoch rollup (edge →
+interior merge → WAN export into FlowDB) with per-hop fabric accounting
+in :class:`VolumeStats`.  The flat/tiered Flowstream systems and the
+scenario harnesses are facades over it; the :mod:`presets
+<repro.runtime.presets>` module has the paper's 4-level topologies.
+"""
+
+from repro.runtime.config import EXPORT_AUTO, EXPORT_NONE, LevelConfig
+from repro.runtime.presets import (
+    factory_4level_runtime,
+    flat_runtime,
+    network_4level_runtime,
+    tiered_runtime,
+)
+from repro.runtime.runtime import HierarchyRuntime
+from repro.runtime.stats import LevelVolume, VolumeStats
+
+__all__ = [
+    "EXPORT_AUTO",
+    "EXPORT_NONE",
+    "LevelConfig",
+    "LevelVolume",
+    "VolumeStats",
+    "HierarchyRuntime",
+    "flat_runtime",
+    "tiered_runtime",
+    "network_4level_runtime",
+    "factory_4level_runtime",
+]

@@ -1,0 +1,351 @@
+"""The generic arbitrary-depth data plane (Figures 1–3, unified).
+
+The paper describes one recursive structure: data stores at *every*
+level of a hierarchy (machine → line → factory → cloud; router → region
+→ network → cloud), each aggregating its children's summaries and
+shipping its own summary one level up, with only the root's exports
+crossing the WAN.  Historically this repository had three divergent
+hand-rolled copies of that data plane (the flat ``Flowstream``, the
+3-level ``TieredFlowstream``, and the scenario harnesses wiring flat
+stores through ``Manager.close_epochs``).  :class:`HierarchyRuntime`
+replaces all of them:
+
+* **Provisioning** — one :class:`~repro.datastore.store.DataStore` per
+  hierarchy node whose level has a :class:`~repro.runtime.config.LevelConfig`,
+  each with its level's aggregator, storage strategy, and privacy guard,
+  all registered with a :class:`~repro.control.manager.Manager`.
+* **Rollup** — a single generic level-by-level epoch close: edge stores
+  export their live summaries into the nearest ancestor store (a
+  fabric-accounted hop), interior stores merge + compress, and stores
+  with no ancestor store export their epoch partitions into
+  :class:`~repro.flowdb.db.FlowDB` across the WAN.
+* **Query and control** — a :class:`~repro.flowql.executor.FlowQLExecutor`
+  over the root FlowDB, and controller registration per node, over the
+  same store set.
+
+Per-hop volume and latency land in :class:`~repro.runtime.stats.VolumeStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.control.controller import Controller
+from repro.control.manager import Manager
+from repro.core.flowtree import FlowtreePrimitive
+from repro.core.registry import PrimitiveRegistry, default_registry
+from repro.core.summary import Location
+from repro.datastore.aggregator import Aggregator
+from repro.datastore.store import DataStore
+from repro.errors import PlacementError
+from repro.flowdb.db import FlowDB
+from repro.flowql.executor import FlowQLExecutor, FlowQLResult
+from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.runtime.config import EXPORT_AUTO, EXPORT_NONE, LevelConfig
+from repro.runtime.stats import VolumeStats
+
+
+class HierarchyRuntime:
+    """Data stores at every configured level of an arbitrary hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        levels: Mapping[str, LevelConfig],
+        schema: FeatureSchema = FIVE_TUPLE,
+        policy: Optional[GeneralizationPolicy] = None,
+        epoch_seconds: float = 60.0,
+        merge_node_budget: Optional[int] = 65536,
+        fabric: Optional[NetworkFabric] = None,
+        manager: Optional[Manager] = None,
+        db: Optional[FlowDB] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+        raw_record_bytes: int = 48,
+    ) -> None:
+        if not levels:
+            raise PlacementError(
+                "HierarchyRuntime needs at least one configured level"
+            )
+        known_levels = {spec.name for spec in hierarchy.levels()}
+        unknown = sorted(set(levels) - known_levels)
+        if unknown:
+            raise PlacementError(
+                f"levels {unknown} do not exist in the hierarchy; "
+                f"known: {sorted(known_levels)}"
+            )
+        self.hierarchy = hierarchy
+        self.levels: Dict[str, LevelConfig] = dict(levels)
+        self.policy = policy or GeneralizationPolicy.default_for(schema)
+        self.epoch_seconds = epoch_seconds
+        self.raw_record_bytes = raw_record_bytes
+        self.fabric = fabric or NetworkFabric(hierarchy)
+        self.manager = manager or Manager(
+            hierarchy=hierarchy, fabric=self.fabric
+        )
+        self.db = db or FlowDB(merge_node_budget=merge_node_budget)
+        self.executor = FlowQLExecutor(self.db)
+        self.registry = registry or default_registry()
+        self.controllers: Dict[str, Controller] = {}
+        self._root = hierarchy.root.location
+        # provision one store per configured node, hierarchy order
+        self._plan: List[Tuple[HierarchyNode, LevelConfig, DataStore]] = []
+        self._stores: Dict[str, DataStore] = {}  # by location path
+        self._labels: Dict[str, str] = {}  # location path -> site label
+        self._by_label: Dict[str, DataStore] = {}  # site label -> store
+        for node in hierarchy.nodes():
+            config = self.levels.get(node.level.name)
+            if config is None:
+                continue
+            store = DataStore(
+                node.location,
+                config.make_storage(),
+                fabric=self.fabric,
+                privacy=config.privacy,
+            )
+            if config.aggregator is not None:
+                store.install_aggregator(
+                    Aggregator(
+                        config.resolved_aggregator_name,
+                        self._make_primitive(config, node.location),
+                    )
+                )
+            self.manager.register_store(store)
+            self._plan.append((node, config, store))
+            self._stores[node.location.path] = store
+            self._labels[node.location.path] = self._label_of(node)
+            self._by_label[self._labels[node.location.path]] = store
+        self.stats = VolumeStats(
+            [node.level.name for node, _, _ in self._plan]
+        )
+        # rollup bottom-up: deepest stores first; DFS order breaks ties,
+        # so siblings close in provisioning order (deterministic)
+        self._rollup_order = sorted(
+            self._plan, key=lambda entry: -len(entry[0].ancestors())
+        )
+        # data enters at the edge: store-bearing nodes with no
+        # store-bearing descendant are the ingest targets
+        self._ingestible: Dict[str, DataStore] = {}
+        for node, _, store in self._plan:
+            if not any(
+                child.location.path in self._stores
+                for child in node.walk()
+                if child is not node
+            ):
+                self._ingestible[self._labels[node.location.path]] = store
+
+    # -- provisioning helpers ----------------------------------------------
+
+    def _make_primitive(self, config: LevelConfig, location: Location):
+        if config.aggregator == "flowtree":
+            # built directly so every level shares the runtime's policy
+            return FlowtreePrimitive(
+                location, self.policy, node_budget=config.node_budget,
+                **config.config,
+            )
+        return self.registry.create(
+            config.aggregator, location, dict(config.config)
+        )
+
+    def _label_of(self, node: HierarchyNode) -> str:
+        """A node's site label: its path relative to the hierarchy root."""
+        path = node.location.path
+        prefix = self._root.path + "/"
+        return path[len(prefix):] if path.startswith(prefix) else path
+
+    def _parent_store(
+        self, node: HierarchyNode
+    ) -> Optional[DataStore]:
+        """The nearest ancestor node that carries a store."""
+        probe = node.parent
+        while probe is not None:
+            store = self._stores.get(probe.location.path)
+            if store is not None:
+                return store
+            probe = probe.parent
+        return None
+
+    # -- store access --------------------------------------------------------
+
+    def stores(self) -> List[DataStore]:
+        """Every provisioned store, hierarchy (DFS) order."""
+        return [store for _, _, store in self._plan]
+
+    def store_at(self, location: Location) -> DataStore:
+        """The store at exactly this hierarchy location."""
+        try:
+            return self._stores[location.path]
+        except KeyError as exc:
+            raise PlacementError(
+                f"no store provisioned at {location.path!r}"
+            ) from exc
+
+    def store_for(self, site: str) -> DataStore:
+        """The store addressed by a root-relative site label."""
+        store = self._by_label.get(site)
+        if store is None:
+            raise PlacementError(
+                f"unknown site {site!r}; known: {sorted(self._by_label)}"
+            )
+        return store
+
+    def stores_at_level(self, level_name: str) -> Dict[str, DataStore]:
+        """Site label → store for every store at one level."""
+        return {
+            self._labels[node.location.path]: store
+            for node, _, store in self._plan
+            if node.level.name == level_name
+        }
+
+    def ingest_sites(self) -> List[str]:
+        """Labels of the stores that accept raw ingest (the edge)."""
+        return list(self._ingestible)
+
+    # -- control plane -------------------------------------------------------
+
+    def attach_controller(
+        self, location: Location, controller: Optional[Controller] = None
+    ) -> Controller:
+        """Register (or create) the controller governing one node."""
+        self.hierarchy.node(location)  # raises PlacementError if absent
+        controller = controller or Controller(location)
+        self.controllers[location.path] = controller
+        return controller
+
+    # -- data path -----------------------------------------------------------
+
+    def ingest(
+        self,
+        site: str,
+        records: Iterable,
+        stream_id: str = "flows",
+        size_bytes: Optional[int] = None,
+    ) -> int:
+        """Feed raw records into an edge site's data store.
+
+        Records need a ``first_seen`` timestamp (flow/packet records);
+        raw volume is accounted against the site's level using each
+        record's ``bytes`` attribute when present.
+        """
+        store = self._ingestible.get(site)
+        if store is None:
+            raise PlacementError(
+                f"unknown site {site!r}; known: {sorted(self._ingestible)}"
+            )
+        size = self.raw_record_bytes if size_bytes is None else size_bytes
+        batch = [(record, record.first_seen) for record in records]
+        count = store.ingest_batch(stream_id, batch, size_bytes=size)
+        node = self.hierarchy.node(store.location)
+        volume = self.stats.level(node.level.name)
+        volume.raw_items += count
+        volume.raw_bytes += sum(
+            getattr(record, "bytes", size) for record, _ in batch
+        )
+        return count
+
+    def close_epoch(self, now: float) -> int:
+        """One generic level-by-level rollup (deepest stores first).
+
+        Every store with an ancestor store forwards its live summary to
+        it over the fabric (the interior merge); stores with no ancestor
+        store cut their epoch partitions and export the Flowtree ones
+        into FlowDB across the WAN (privacy-degraded when the level has
+        a guard).  Returns the number of summaries exported to FlowDB.
+        """
+        exported = 0
+        for node, config, store in self._rollup_order:
+            started = time.perf_counter()
+            volume = self.stats.level(node.level.name)
+            parent_store = (
+                self._parent_store(node)
+                if config.export == EXPORT_AUTO
+                else None
+            )
+            if config.export == EXPORT_NONE:
+                store.close_epoch(now)
+            elif parent_store is not None:
+                self._forward(node, config, store, parent_store, now)
+            else:
+                exported += self._export_to_db(node, store, now)
+            volume.rollup_seconds += time.perf_counter() - started
+        self.stats.epochs_closed += 1
+        return exported
+
+    def _forward(
+        self,
+        node: HierarchyNode,
+        config: LevelConfig,
+        store: DataStore,
+        parent_store: DataStore,
+        now: float,
+    ) -> None:
+        """Ship one store's live summary into its parent store."""
+        name = config.resolved_aggregator_name
+        aggregator = (
+            store.aggregator(name) if config.aggregator is not None else None
+        )
+        if aggregator is None or aggregator.items_this_epoch == 0:
+            if config.retain_partitions:
+                store.close_epoch(now)
+            return
+        summary_bytes = aggregator.primitive.footprint_bytes()
+        store.export_summaries(name, parent_store, now=now)
+        volume = self.stats.level(node.level.name)
+        volume.summary_bytes_out += summary_bytes
+        volume.exports += 1
+        parent_node = self.hierarchy.node(parent_store.location)
+        self.stats.level(parent_node.level.name).summary_bytes_in += (
+            summary_bytes
+        )
+        if config.retain_partitions:
+            store.close_epoch(now)
+        else:
+            aggregator.close_epoch(now, store.storage_pressure())
+
+    def _export_to_db(
+        self, node: HierarchyNode, store: DataStore, now: float
+    ) -> int:
+        """Cut a top store's epoch and export its Flowtrees to FlowDB."""
+        volume = self.stats.level(node.level.name)
+        exported = 0
+        for partition in store.close_epoch(now):
+            if partition.summary.kind != "flowtree":
+                continue
+            outgoing = partition.summary
+            if store.privacy is not None:
+                # the WAN hop leaves this level's trust domain: the
+                # cloud only ever sees the policy-degraded view
+                outgoing = store.privacy.export(
+                    partition.aggregator, outgoing
+                )
+            if store.location.path != self._root.path:
+                self.fabric.transfer(
+                    store.location, self._root, outgoing.size_bytes, now
+                )
+            volume.summary_bytes_out += outgoing.size_bytes
+            volume.exports += 1
+            self.stats.exported_bytes += outgoing.size_bytes
+            self.stats.exported_summaries += 1
+            self.db.insert(
+                location=self._labels[store.location.path],
+                interval=outgoing.meta.interval,
+                tree=outgoing.payload,
+            )
+            exported += 1
+        return exported
+
+    # -- query path ------------------------------------------------------------
+
+    def query(self, flowql: str) -> FlowQLResult:
+        """Answer a FlowQL query from the root FlowDB."""
+        return self.executor.execute(flowql)
+
+    def wan_bytes(self) -> int:
+        """Bytes that crossed a link into the hierarchy root."""
+        return self.fabric.wan_bytes()
+
+    def total_network_bytes(self) -> int:
+        """Bytes carried across every fabric link (each hop counts)."""
+        return self.fabric.total_bytes()

@@ -1,0 +1,146 @@
+"""Unified per-level volume and latency accounting.
+
+:class:`VolumeStats` replaces the two hand-rolled counters the legacy
+data planes grew independently (``FlowstreamStats`` with
+``raw_bytes_ingested``/``summary_bytes_exported`` and ``TierStats`` with
+``raw_bytes``/``router_summary_bytes``/``region_summary_bytes``): one
+structure tracks, for every level of an arbitrary-depth hierarchy, the
+raw volume entering it, the summary volume flowing through it, and the
+wall-clock the rollup spent there.
+
+The legacy attribute names survive as deprecated aliases so existing
+callers and tests keep working:
+
+* ``raw_bytes_ingested`` → :attr:`VolumeStats.raw_bytes`
+* ``raw_records_ingested`` → :attr:`VolumeStats.raw_records`
+* ``summary_bytes_exported`` → :attr:`VolumeStats.exported_bytes`
+* ``<level>_summary_bytes`` (e.g. ``router_summary_bytes``,
+  ``region_summary_bytes``) → that level's ``summary_bytes_out``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class LevelVolume:
+    """Byte/latency accounting for one hierarchy level."""
+
+    level: str
+    raw_bytes: int = 0
+    raw_items: int = 0
+    #: summary bytes received from child stores during rollup
+    summary_bytes_in: int = 0
+    #: summary bytes this level shipped upward (or into FlowDB)
+    summary_bytes_out: int = 0
+    #: number of summaries this level exported
+    exports: int = 0
+    #: wall-clock seconds the epoch rollup spent at this level
+    rollup_seconds: float = 0.0
+
+
+class VolumeStats:
+    """Volume accounting across a whole hierarchy runtime."""
+
+    def __init__(self, levels: Optional[Iterable[str]] = None) -> None:
+        self.per_level: Dict[str, LevelVolume] = {}
+        for name in levels or ():
+            self.per_level[name] = LevelVolume(name)
+        self.epochs_closed = 0
+        #: summaries delivered into FlowDB at the root, and their bytes
+        self.exported_summaries = 0
+        self.exported_bytes = 0
+
+    # -- structured access --------------------------------------------------
+
+    def level(self, name: str) -> LevelVolume:
+        """The accounting bucket for one level (created on first use)."""
+        bucket = self.per_level.get(name)
+        if bucket is None:
+            bucket = self.per_level[name] = LevelVolume(name)
+        return bucket
+
+    def levels(self) -> List[LevelVolume]:
+        """All level buckets, in registration order."""
+        return list(self.per_level.values())
+
+    @property
+    def raw_bytes(self) -> int:
+        """Raw bytes ingested across every level."""
+        return sum(v.raw_bytes for v in self.per_level.values())
+
+    @property
+    def raw_records(self) -> int:
+        """Raw items ingested across every level."""
+        return sum(v.raw_items for v in self.per_level.values())
+
+    @property
+    def reduction_factor(self) -> float:
+        """Raw traffic volume over root-exported summary volume."""
+        if self.exported_bytes == 0:
+            return float("inf") if self.raw_bytes else 1.0
+        return self.raw_bytes / self.exported_bytes
+
+    # -- deprecated legacy aliases -------------------------------------------
+
+    @property
+    def raw_bytes_ingested(self) -> int:
+        """Deprecated: use :attr:`raw_bytes`."""
+        warnings.warn(
+            "raw_bytes_ingested is deprecated; use VolumeStats.raw_bytes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.raw_bytes
+
+    @property
+    def raw_records_ingested(self) -> int:
+        """Deprecated: use :attr:`raw_records`."""
+        warnings.warn(
+            "raw_records_ingested is deprecated; use VolumeStats.raw_records",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.raw_records
+
+    @property
+    def summary_bytes_exported(self) -> int:
+        """Deprecated: use :attr:`exported_bytes`."""
+        warnings.warn(
+            "summary_bytes_exported is deprecated; use "
+            "VolumeStats.exported_bytes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.exported_bytes
+
+    def __getattr__(self, name: str):
+        # legacy per-level aliases: router_summary_bytes, region_summary_bytes,
+        # and their arbitrary-depth siblings (<level>_summary_bytes)
+        if name.endswith("_summary_bytes"):
+            level = name[: -len("_summary_bytes")]
+            bucket = self.__dict__.get("per_level", {}).get(level)
+            if bucket is not None:
+                warnings.warn(
+                    f"{name} is deprecated; use "
+                    f"VolumeStats.level({level!r}).summary_bytes_out",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return bucket.summary_bytes_out
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        levels = ", ".join(
+            f"{v.level}: raw={v.raw_bytes} out={v.summary_bytes_out}"
+            for v in self.per_level.values()
+        )
+        return (
+            f"VolumeStats(epochs={self.epochs_closed}, "
+            f"exported={self.exported_bytes}B, {levels})"
+        )

@@ -18,11 +18,12 @@ from repro.apps.predictive_maintenance import (
 )
 from repro.apps.process_mining import LineEfficiency, ProcessMiningApp
 from repro.control.controller import Controller
-from repro.control.manager import Manager
 from repro.control.rules import ControlRule
 from repro.datastore.storage import HierarchicalStorage
-from repro.datastore.store import DataStore
 from repro.datastore.triggers import RawTrigger
+from repro.hierarchy.topology import Hierarchy
+from repro.runtime.config import EXPORT_NONE, LevelConfig
+from repro.runtime.runtime import HierarchyRuntime
 from repro.simulation.factory import (
     FactoryWorkload,
     MachineState,
@@ -79,11 +80,35 @@ class FactoryScenario:
             machine.wear_rate_per_hour = (
                 wear_base_per_hour + wear_step_per_machine * index
             )
-        self.manager = Manager()
-        self.store = DataStore(
-            self.workload.root, HierarchicalStorage(storage_budget_bytes)
+        # the factory is a HierarchyRuntime over the plant topology with
+        # one store at the factory root (hierarchical re-aggregation);
+        # applications install aggregators through the Manager and the
+        # per-machine control cycle reads the store directly
+        root = self.workload.root
+        machine_paths = [
+            machine.location.path[len(root.path) + 1:]
+            for machine in self.workload.machines
+        ]
+        self.runtime = HierarchyRuntime(
+            Hierarchy.from_site_paths(
+                machine_paths,
+                root=root.path,
+                root_level="factory",
+                level_names=["line", "machine"],
+            ),
+            levels={
+                "factory": LevelConfig(
+                    aggregator=None,
+                    storage=lambda: HierarchicalStorage(
+                        storage_budget_bytes
+                    ),
+                    export=EXPORT_NONE,
+                )
+            },
+            epoch_seconds=epoch_seconds,
         )
-        self.manager.register_store(self.store)
+        self.manager = self.runtime.manager
+        self.store = self.runtime.store_at(root)
         self.controllers: Dict[str, Tuple[Controller, Actuator]] = {}
         self._wire_safety_net(safety_vibration_threshold)
         self.apps = []
@@ -106,7 +131,7 @@ class FactoryScenario:
     def _wire_safety_net(self, threshold: float) -> None:
         """The Figure 3a control cycle for every machine."""
         for machine in self.workload.machines:
-            controller = Controller(machine.location)
+            controller = self.runtime.attach_controller(machine.location)
             actuator = Actuator(
                 f"{machine.machine_id}/drive", machine.location
             )
@@ -148,7 +173,7 @@ class FactoryScenario:
                         size_bytes=reading.size_bytes,
                     )
             if t >= next_epoch:
-                self.manager.close_epochs(t)
+                self.runtime.close_epoch(t)
                 for app in self.apps:
                     app.on_epoch(self.manager, t)
                 next_epoch += self.epoch_seconds

@@ -16,12 +16,10 @@ from repro.apps.ddos import DDoSFinding, DDoSInvestigationApp
 from repro.apps.traffic_matrix import TrafficMatrixApp
 from repro.apps.trends import NetworkTrendsApp, TrendReport
 from repro.control.controller import Controller
-from repro.control.manager import Manager
 from repro.core.summary import Location
-from repro.datastore.storage import RoundRobinStorage
-from repro.datastore.store import DataStore
-from repro.hierarchy.network import NetworkFabric
 from repro.hierarchy.topology import network_monitoring_hierarchy
+from repro.runtime.config import EXPORT_NONE, LevelConfig
+from repro.runtime.runtime import HierarchyRuntime
 from repro.simulation.sensors import Actuator
 from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
@@ -65,24 +63,33 @@ class NetworkScenario:
             for r in range(regions)
             for i in range(routers_per_region)
         ]
-        self.hierarchy = network_monitoring_hierarchy(
-            regions=regions, routers_per_region=routers_per_region
+        # the monitoring world is a HierarchyRuntime with bare router
+        # stores: applications install their own aggregators through the
+        # Manager, and epoch partitions stay local (no WAN export)
+        self.runtime = HierarchyRuntime(
+            network_monitoring_hierarchy(
+                regions=regions, routers_per_region=routers_per_region
+            ),
+            levels={
+                "router": LevelConfig(
+                    aggregator=None,
+                    storage_bytes=10**8,
+                    export=EXPORT_NONE,
+                )
+            },
+            epoch_seconds=epoch_seconds,
         )
-        self.fabric = NetworkFabric(self.hierarchy)
-        self.manager = Manager(hierarchy=self.hierarchy, fabric=self.fabric)
+        self.hierarchy = self.runtime.hierarchy
+        self.fabric = self.runtime.fabric
+        self.manager = self.runtime.manager
         self.sites: List[Location] = []
-        self.controllers: Dict[str, Controller] = {}
+        self.controllers: Dict[str, Controller] = self.runtime.controllers
         for name in self.site_names:
             location = Location(f"cloud/network/{name}")
-            store = DataStore(
-                location, RoundRobinStorage(10**8), fabric=self.fabric
-            )
-            self.manager.register_store(store)
-            controller = Controller(location)
+            controller = self.runtime.attach_controller(location)
             controller.register_actuator(
                 Actuator(f"{location.path}/filter", location)
             )
-            self.controllers[location.path] = controller
             self.sites.append(location)
         self.generator = TrafficGenerator(
             TrafficConfig(
@@ -148,7 +155,7 @@ class NetworkScenario:
                 self.trends_app.on_epoch(self.manager, now)
             if self.matrix_app is not None:
                 self.matrix_app.on_epoch(self.manager, now)
-            self.manager.close_epochs(now)
+            self.runtime.close_epoch(now)
             if self.ddos_app is not None:
                 self.ddos_app.on_epoch(self.manager, now)
         return NetworkOutcome(
