@@ -1,0 +1,194 @@
+"""Cloud vs. federated vs. cached query cost through the planner.
+
+Section VII motivates both reactive caching and proactive replication
+with the cost of repeated federated queries.  This benchmark drives the
+same 4-level network preset (interior partitions retained so the
+planner can drill below the export tier) through three phases:
+
+* **cloud** — queries the root FlowDB covers (route ``cloud``),
+* **federated-first** — per-router drilldowns on a cold cache: partial
+  summaries are shipped across the fabric (route ``federated``),
+* **cached-repeat** — the identical drilldowns again within the epoch:
+  answered from the planner's :class:`QueryCache`, zero bytes moved.
+
+Per phase it records wall time and the fabric-byte delta; the claim is
+that cached repeats are strictly cheaper than federated firsts on both
+axes.
+
+Run as a script to execute the full trace and (re)write the committed
+baseline ``BENCH_query.json`` at the repo root:
+
+```bash
+PYTHONPATH=src python benchmarks/bench_query_planner.py
+```
+
+The pytest entry point uses a smaller trace so ``pytest benchmarks/``
+stays quick; ``check_regression.py`` replays the committed trace and
+fails when the cached phase stops being cheaper.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.runtime.presets import network_4level_runtime
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+try:  # script mode runs without pytest on the path
+    from benchmarks.conftest import report
+except ImportError:  # pragma: no cover
+    def report(title, rows, columns=None):
+        print(f"\n=== {title} ===")
+        if columns:
+            print("  " + " | ".join(str(c) for c in columns))
+        for row in rows:
+            print("  " + " | ".join(str(cell) for cell in row))
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+NODE_BUDGET = 4096
+EPOCH_SECONDS = 60.0
+
+
+def build_runtime(flows_per_epoch: int, epochs: int, seed: int):
+    """A loaded 4-level runtime with drillable interior partitions."""
+    runtime = network_4level_runtime(
+        networks=1,
+        regions_per_network=2,
+        routers_per_region=2,
+        router_node_budget=NODE_BUDGET,
+        region_node_budget=NODE_BUDGET,
+        network_node_budget=NODE_BUDGET,
+        retain_partitions=True,
+    )
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(runtime.ingest_sites()),
+            flows_per_epoch=flows_per_epoch,
+        ),
+        seed=seed,
+    )
+    for epoch in range(epochs):
+        for site in runtime.ingest_sites():
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * EPOCH_SECONDS)
+    return runtime
+
+
+def _timed_phase(runtime, queries):
+    fabric_before = runtime.total_network_bytes()
+    started = time.perf_counter()
+    for text in queries:
+        runtime.query(text)
+    seconds = time.perf_counter() - started
+    return {
+        "queries": len(queries),
+        "seconds": round(seconds, 6),
+        "bytes_moved": runtime.total_network_bytes() - fabric_before,
+    }
+
+
+def run_phases(runtime) -> dict:
+    """Cloud, federated-first, and cached-repeat over one loaded runtime."""
+    cloud_queries = [
+        "SELECT TOTAL FROM ALL",
+        "SELECT TOPK(5) FROM ALL BY bytes",
+        "SELECT GROUPBY(dst_port, 16) FROM ALL BY bytes LIMIT 5",
+    ]
+    edge_queries = [
+        f"SELECT TOPK(5) FROM ALL AT {site} BY bytes"
+        for site in runtime.ingest_sites()
+    ]
+    runtime.planner.invalidate_cache()
+    phases = {
+        "cloud": _timed_phase(runtime, cloud_queries),
+        "federated_first": _timed_phase(runtime, edge_queries),
+        "cached_repeat": _timed_phase(runtime, edge_queries),
+    }
+    stats = runtime.stats
+    phases["routing"] = {
+        "cloud": stats.queries_cloud,
+        "federated": stats.queries_federated,
+        "cached": stats.queries_cached,
+    }
+    return phases
+
+
+def rows_of(phases: dict):
+    return [
+        (
+            name,
+            metrics["queries"],
+            f"{metrics['seconds'] * 1000:.1f} ms",
+            metrics["bytes_moved"],
+        )
+        for name, metrics in phases.items()
+        if name != "routing"
+    ]
+
+
+def check_claims(phases: dict) -> None:
+    """The paper's Section VII claim: cached repeats are cheaper."""
+    federated = phases["federated_first"]
+    cached = phases["cached_repeat"]
+    assert federated["bytes_moved"] > 0
+    assert cached["bytes_moved"] == 0
+    assert cached["seconds"] < federated["seconds"]
+    assert phases["routing"]["cached"] >= cached["queries"]
+    assert phases["routing"]["federated"] >= federated["queries"]
+
+
+def test_cached_repeats_cheaper_than_federated_firsts(benchmark):
+    runtime = build_runtime(flows_per_epoch=600, epochs=2, seed=2019)
+
+    def full_run():
+        return run_phases(runtime)
+
+    phases = benchmark.pedantic(full_run, rounds=1, iterations=1)
+    report(
+        "Section VII: query routing cost (planner)",
+        rows_of(phases),
+        columns=("phase", "queries", "wall", "bytes moved"),
+    )
+    benchmark.extra_info.update(
+        {
+            f"{name}_bytes_moved": metrics["bytes_moved"]
+            for name, metrics in phases.items()
+            if name != "routing"
+        }
+    )
+    check_claims(phases)
+
+
+def main() -> None:
+    flows_per_epoch, epochs, seed = 3000, 3, 2019
+    runtime = build_runtime(flows_per_epoch, epochs, seed)
+    phases = run_phases(runtime)
+    report(
+        "Section VII: query routing cost (full trace)",
+        rows_of(phases),
+        columns=("phase", "queries", "wall", "bytes moved"),
+    )
+    check_claims(phases)
+    baseline = {
+        "trace": {
+            "flows_per_epoch": flows_per_epoch,
+            "epochs": epochs,
+            "seed": seed,
+            "node_budget": NODE_BUDGET,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "phases": phases,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"\nwrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Guard the Flowtree hot path against throughput regressions.
+"""Guard the perf-sensitive paths against regressions.
 
-Re-runs the optimized ingest (and merge) over the exact trace recorded
-in the committed baseline ``BENCH_flowtree.json`` and fails when fresh
-throughput falls below ``tolerance`` times the committed number.  The
-default tolerance is deliberately generous — CI machines vary a lot —
-so a failure means a real algorithmic regression, not scheduler noise.
+Two committed baselines are checked:
+
+* ``BENCH_flowtree.json`` — re-runs the optimized Flowtree ingest (and
+  merge) over the exact recorded trace and fails when fresh throughput
+  falls below ``tolerance`` times the committed number.
+* ``BENCH_query.json`` — replays the committed query-planner trace and
+  fails when cached repeat queries stop being strictly cheaper than
+  federated first queries (bytes moved and wall time).
+
+The default tolerance is deliberately generous — CI machines vary a
+lot — so a failure means a real algorithmic regression, not scheduler
+noise.
 
 ```bash
 PYTHONPATH=src python benchmarks/check_regression.py            # default 0.5
@@ -13,12 +20,13 @@ PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.7
 PYTHONPATH=src python benchmarks/check_regression.py --baseline other.json
 ```
 
-Exit status: 0 when fresh throughput is within tolerance, 1 on
-regression, 2 when the baseline file is missing/invalid.  Regenerate
-the baseline (e.g. after an intentional perf change) with:
+Exit status: 0 when everything is within tolerance, 1 on regression, 2
+when a baseline file is missing/invalid.  Regenerate the baselines
+(e.g. after an intentional perf change) with:
 
 ```bash
 PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
+PYTHONPATH=src python benchmarks/bench_query_planner.py
 ```
 """
 
@@ -37,6 +45,7 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_flowtree.json"
+DEFAULT_QUERY_BASELINE = REPO_ROOT / "BENCH_query.json"
 DEFAULT_TOLERANCE = 0.5
 
 
@@ -64,6 +73,51 @@ def fresh_measurements(trace: dict) -> dict:
     }
 
 
+def check_query_planner(baseline_path: Path) -> int:
+    """Replay the committed planner trace; cached must stay cheaper.
+
+    The invariants are structural, not timing-sensitive: a federated
+    first pass must move bytes, the cached repeat must move none and
+    finish faster.  Returns an exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        trace = committed["trace"]
+        committed_phases = committed["phases"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read query baseline {baseline_path}: {exc}")
+        return 2
+
+    from benchmarks.bench_query_planner import (
+        build_runtime,
+        check_claims,
+        run_phases,
+    )
+
+    print(
+        f"\nre-running query planner: {trace['flows_per_epoch']} "
+        f"flows/epoch x {trace['epochs']} epochs, seed={trace['seed']}"
+    )
+    runtime = build_runtime(
+        trace["flows_per_epoch"], trace["epochs"], trace["seed"]
+    )
+    fresh = run_phases(runtime)
+    for name in ("federated_first", "cached_repeat"):
+        print(
+            f"{name}: committed {committed_phases[name]['bytes_moved']} B / "
+            f"{committed_phases[name]['seconds'] * 1000:.1f} ms, "
+            f"fresh {fresh[name]['bytes_moved']} B / "
+            f"{fresh[name]['seconds'] * 1000:.1f} ms"
+        )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: cached repeats no longer cheaper ({exc!r})")
+        return 1
+    print("OK: cached repeats cheaper than federated firsts")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -71,6 +125,15 @@ def main(argv=None) -> int:
         type=Path,
         default=DEFAULT_BASELINE,
         help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--query-baseline",
+        type=Path,
+        default=DEFAULT_QUERY_BASELINE,
+        help=(
+            "committed query-planner baseline JSON "
+            f"(default: {DEFAULT_QUERY_BASELINE})"
+        ),
     )
     parser.add_argument(
         "--tolerance",
@@ -117,8 +180,8 @@ def main(argv=None) -> int:
     if fresh["fast_records_per_s"] < floor:
         print("REGRESSION: ingest throughput fell below the floor")
         return 1
-    print("OK: no regression")
-    return 0
+    print("OK: no hot-path regression")
+    return check_query_planner(args.query_baseline)
 
 
 if __name__ == "__main__":

@@ -71,6 +71,7 @@ class DDoSInvestigationApp(Application):
         min_surge_bytes: int = 1_000_000,
         node_budget: int = 8192,
         controllers: Optional[Dict[str, Controller]] = None,
+        planner=None,
     ) -> None:
         super().__init__("ddos-investigation")
         self.sites = sites
@@ -79,6 +80,11 @@ class DDoSInvestigationApp(Application):
         self.min_surge_bytes = min_surge_bytes
         self.node_budget = node_budget
         self.controllers = controllers or {}
+        #: optional federated query planner
+        #: (:class:`~repro.query.planner.FederatedQueryPlanner`) — when
+        #: wired, drilldowns go through the unified query plane, which
+        #: serves replicas locally and feeds the replication engine
+        self.planner = planner
         self.policy = victim_first_policy()
         self.findings: List[DDoSFinding] = []
         self._mitigations: int = 0
@@ -104,6 +110,12 @@ class DDoSInvestigationApp(Application):
         self, manager: Manager, site: Location, start: float, end: float,
         now: float,
     ) -> Optional[Flowtree]:
+        if self.planner is not None:
+            return self.planner.window_tree(
+                site, start, end,
+                aggregator=self.aggregator_name(site), now=now,
+            )
+        # standalone fallback (no query plane): read the covering store
         store = manager.covering_store(site)
         summary, _ = store.window_summary(
             self.aggregator_name(site), start, end, record_access=True,

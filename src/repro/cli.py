@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Three subcommands mirror the example scripts in scriptable form::
+Four subcommands mirror the example scripts in scriptable form::
 
     repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
+    repro query --preset network --query "SELECT TOTAL FROM ALL"
     repro factory --hours 6 --no-apps
     repro replication --partitions 400 --distribution pareto
 
@@ -60,6 +61,32 @@ def _build_parser() -> argparse.ArgumentParser:
     factory.add_argument(
         "--no-apps", action="store_true",
         help="disable predictive maintenance (baseline run)",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="route FlowQL through the federated query planner"
+    )
+    query.add_argument(
+        "--preset", choices=("network", "factory"), default="network",
+        help="4-level hierarchy preset to build",
+    )
+    query.add_argument("--epochs", type=int, default=2)
+    query.add_argument("--flows-per-epoch", type=int, default=800)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument(
+        "--query", action="append", default=None,
+        help=(
+            "FlowQL text (repeatable); default demos cloud routing and "
+            "an edge drilldown"
+        ),
+    )
+    query.add_argument(
+        "--repeat", type=int, default=2,
+        help="times each query is issued (repeats show cache hits)",
+    )
+    query.add_argument(
+        "--no-retain", action="store_true",
+        help="drop interior epoch partitions (disables edge drilldown)",
     )
 
     replication = subparsers.add_parser(
@@ -125,6 +152,74 @@ def _run_flowql(args: argparse.Namespace) -> int:
 
         written = save_flowdb(system.db, args.save)
         print(f"\nsaved {written} summaries to {args.save}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# query (federated planner)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.replication.engine import AdaptiveReplicationEngine
+    from repro.replication.ski_rental import BreakEvenPolicy
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    retain = not args.no_retain
+    if args.preset == "network":
+        runtime = network_4level_runtime(retain_partitions=retain)
+    else:
+        runtime = factory_4level_runtime(retain_partitions=retain)
+    runtime.manager.enable_adaptive_replication(
+        AdaptiveReplicationEngine(BreakEvenPolicy())
+    )
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(sites), flows_per_epoch=args.flows_per_epoch
+        ),
+        seed=args.seed,
+    )
+    for epoch in range(args.epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * 60.0)
+    print(
+        f"{args.preset} preset: {args.epochs} epochs x {len(sites)} edge "
+        f"sites, FlowDB locations: {', '.join(runtime.db.locations())}"
+    )
+    queries = args.query or [
+        "SELECT TOTAL FROM ALL",
+        f"SELECT TOPK(3) FROM ALL AT {sites[0]} BY bytes",
+    ]
+    for text in queries:
+        print(f"\nflowql> {text}")
+        result = None
+        for _ in range(max(1, args.repeat)):
+            try:
+                result = runtime.query(text)
+            except ReproError as error:
+                print(f"  error: {error}")
+                return 1
+            print(f"  plan: {runtime.planner.last_plan.describe()}")
+        if result.scalar is not None:
+            print(f"  {result.scalar}")
+        else:
+            for row in result.rows[:10]:
+                print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+    stats = runtime.stats
+    cache = runtime.planner.cache
+    engine = runtime.manager.replication_engine
+    print(
+        f"\nrouting: cloud={stats.queries_cloud} "
+        f"federated={stats.queries_federated} "
+        f"cached={stats.queries_cached} | cache hits={cache.hits} "
+        f"misses={cache.misses} | replications={len(engine.outcomes)} | "
+        f"wan={runtime.wan_bytes():,} B"
+    )
     return 0
 
 
@@ -204,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "flowql":
         return _run_flowql(args)
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "factory":
         return _run_factory(args)
     if args.command == "replication":

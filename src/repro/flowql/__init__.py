@@ -25,7 +25,12 @@ as a fraction of total traffic.  Example::
 from repro.flowql.lexer import Token, tokenize
 from repro.flowql.ast import FlowQLQuery, OpCall, Restriction, TimeSpec
 from repro.flowql.parser import parse
-from repro.flowql.executor import FlowQLExecutor, FlowQLResult
+from repro.flowql.executor import (
+    FlowQLExecutor,
+    FlowQLResult,
+    apply_operator,
+    compile_pattern,
+)
 
 __all__ = [
     "tokenize",
@@ -37,4 +42,6 @@ __all__ = [
     "Restriction",
     "FlowQLExecutor",
     "FlowQLResult",
+    "apply_operator",
+    "compile_pattern",
 ]

@@ -1,9 +1,19 @@
-"""FlowQL planner/executor against a FlowDB.
+"""FlowQL planning/execution split.
 
-Planning is thin by design: the FROM/AT clauses select FlowDB entries,
-Merge + Compress collapses them into one tree (Diff for ``VS``), the
-WHERE clause compiles to a generalized :class:`FlowKey` pattern, and the
-SELECT operator maps onto the corresponding Table II tree operator.
+Execution is factored into two layers so that *any* component able to
+assemble a Flowtree for a query window can answer FlowQL:
+
+* :func:`compile_pattern` / :func:`apply_operator` — the pure
+  "plan tail": compile the WHERE clause into a generalized
+  :class:`FlowKey` pattern and map the SELECT operator onto the
+  corresponding Table II tree operator (including the LIMIT clause).
+* :class:`FlowQLExecutor` — the cloud-only front: the FROM/AT clauses
+  select FlowDB entries, Merge + Compress collapses them into one tree
+  (Diff for ``VS``), then the plan tail runs.
+
+The federated planner (:mod:`repro.query`) reuses the same plan tail
+over trees assembled from hierarchy stores, which is what keeps
+planner-routed answers node-for-node identical to the cloud path.
 """
 
 from __future__ import annotations
@@ -37,6 +47,132 @@ class FlowQLResult:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def copy(self) -> "FlowQLResult":
+        """An independent copy (cached results hand out copies so a
+        caller mutating ``rows`` cannot poison the cache)."""
+        return FlowQLResult(
+            operator=self.operator,
+            columns=self.columns,
+            rows=list(self.rows),
+            scalar=self.scalar,
+        )
+
+
+def compile_pattern(
+    tree: Flowtree, restrictions: List[Restriction]
+) -> Optional[FlowKey]:
+    """Compile WHERE restrictions into a generalized key pattern."""
+    if not restrictions:
+        return None
+    schema = tree.schema
+    values = [0] * len(schema)
+    levels = [0] * len(schema)
+    for restriction in restrictions:
+        index = schema.index_of(restriction.feature)
+        feature = schema.features[index]
+        value = feature.parse(restriction.value)
+        level = (
+            restriction.mask
+            if restriction.mask is not None
+            else feature.max_level
+        )
+        values[index] = feature.mask(value, level)
+        levels[index] = level
+    return FlowKey(schema, tuple(values), tuple(levels))
+
+
+def _rows(
+    operator: str, pairs: List[Tuple[FlowKey, Score]]
+) -> FlowQLResult:
+    return FlowQLResult(
+        operator=operator,
+        rows=[
+            (str(key), score.packets, score.bytes, score.flows)
+            for key, score in pairs
+        ],
+    )
+
+
+def apply_operator(tree: Flowtree, query: FlowQLQuery) -> FlowQLResult:
+    """Run a parsed query's SELECT operator against an assembled tree.
+
+    This is the source-independent tail of FlowQL execution: the caller
+    has already merged (and, for ``VS``, diffed) the relevant summaries
+    into ``tree``; this function applies the WHERE pattern, the Table II
+    operator, and the LIMIT clause.
+    """
+    pattern = compile_pattern(tree, query.where)
+    operator = query.select.name
+    metric = query.metric
+    args = query.select.args
+    result: Optional[FlowQLResult] = None
+
+    if operator == "total":
+        result = FlowQLResult(operator=operator, scalar=tree.total())
+
+    elif operator == "query":
+        if pattern is None:
+            raise FlowQLPlanningError(
+                "QUERY needs a WHERE clause naming the flow"
+            )
+        result = FlowQLResult(operator=operator, scalar=tree.query(pattern))
+
+    elif operator == "drilldown":
+        if pattern is None:
+            raise FlowQLPlanningError(
+                "DRILLDOWN needs a WHERE clause naming the flow"
+            )
+        depth = tree.policy.nearest_depth_at_or_above(pattern.levels)
+        node_key = tree.policy.key_at(pattern, depth)
+        pairs = tree.drilldown(node_key)
+        result = _rows(operator, pairs)
+
+    elif operator == "topk":
+        pairs = tree.top_k(int(args[0]), metric=metric)
+        if pattern is not None:
+            pairs = [
+                (key, score)
+                for key, score in tree.top_k(
+                    max(int(args[0]) * 16, 128), metric=metric
+                )
+                if pattern.contains(key)
+            ][: int(args[0])]
+        result = _rows(operator, pairs)
+
+    elif operator == "above":
+        pairs = tree.above_x(int(args[0]), metric=metric)
+        if pattern is not None:
+            pairs = [
+                (key, score) for key, score in pairs if pattern.contains(key)
+            ]
+        result = _rows(operator, pairs)
+
+    elif operator == "hhh":
+        threshold = float(args[0])
+        if threshold < 1.0:
+            threshold = threshold * max(1, tree.total().metric(metric))
+        results = tree.hhh(int(threshold), metric=metric)
+        pairs = [(r.key, r.score) for r in results]
+        if pattern is not None:
+            pairs = [
+                (key, score) for key, score in pairs if pattern.contains(key)
+            ]
+        result = _rows(operator, pairs)
+
+    elif operator == "groupby":
+        feature = str(args[0])
+        level = int(float(args[1]))
+        pairs = tree.aggregate_by_feature(
+            feature, level, metric=metric, within=pattern
+        )
+        result = _rows(operator, pairs)
+
+    if result is None:
+        raise FlowQLPlanningError(f"unhandled operator {operator!r}")
+    if query.limit is not None and result.rows:
+        result.rows = result.rows[: query.limit]
+    return result
+
 
 class FlowQLExecutor:
     """Executes FlowQL text against one FlowDB instance."""
@@ -51,23 +187,7 @@ class FlowQLExecutor:
         self, tree: Flowtree, restrictions: List[Restriction]
     ) -> Optional[FlowKey]:
         """Compile WHERE restrictions into a generalized key pattern."""
-        if not restrictions:
-            return None
-        schema = tree.schema
-        values = [0] * len(schema)
-        levels = [0] * len(schema)
-        for restriction in restrictions:
-            index = schema.index_of(restriction.feature)
-            feature = schema.features[index]
-            value = feature.parse(restriction.value)
-            level = (
-                restriction.mask
-                if restriction.mask is not None
-                else feature.max_level
-            )
-            values[index] = feature.mask(value, level)
-            levels[index] = level
-        return FlowKey(schema, tuple(values), tuple(levels))
+        return compile_pattern(tree, restrictions)
 
     def _merged(
         self, query: FlowQLQuery, spec: TimeSpec
@@ -86,91 +206,14 @@ class FlowQLExecutor:
 
     def execute_query(self, query: FlowQLQuery) -> FlowQLResult:
         """Run a parsed FlowQL query."""
-        result = self._execute(query)
-        if query.limit is not None and result.rows:
-            result.rows = result.rows[: query.limit]
-        return result
-
-    def _execute(self, query: FlowQLQuery) -> FlowQLResult:
         self.queries_executed += 1
         tree = self._merged(query, query.time)
         if query.vs_time is not None:
             tree = tree.diff(self._merged(query, query.vs_time))
-        pattern = self._pattern(tree, query.where)
-        operator = query.select.name
-        metric = query.metric
-        args = query.select.args
-
-        if operator == "total":
-            return FlowQLResult(operator=operator, scalar=tree.total())
-
-        if operator == "query":
-            if pattern is None:
-                raise FlowQLPlanningError(
-                    "QUERY needs a WHERE clause naming the flow"
-                )
-            return FlowQLResult(operator=operator, scalar=tree.query(pattern))
-
-        if operator == "drilldown":
-            if pattern is None:
-                raise FlowQLPlanningError(
-                    "DRILLDOWN needs a WHERE clause naming the flow"
-                )
-            depth = tree.policy.nearest_depth_at_or_above(pattern.levels)
-            node_key = tree.policy.key_at(pattern, depth)
-            pairs = tree.drilldown(node_key)
-            return self._rows(operator, pairs)
-
-        if operator == "topk":
-            pairs = tree.top_k(int(args[0]), metric=metric)
-            if pattern is not None:
-                pairs = [
-                    (key, score)
-                    for key, score in tree.top_k(
-                        max(int(args[0]) * 16, 128), metric=metric
-                    )
-                    if pattern.contains(key)
-                ][: int(args[0])]
-            return self._rows(operator, pairs)
-
-        if operator == "above":
-            pairs = tree.above_x(int(args[0]), metric=metric)
-            if pattern is not None:
-                pairs = [
-                    (key, score) for key, score in pairs if pattern.contains(key)
-                ]
-            return self._rows(operator, pairs)
-
-        if operator == "hhh":
-            threshold = float(args[0])
-            if threshold < 1.0:
-                threshold = threshold * max(1, tree.total().metric(metric))
-            results = tree.hhh(int(threshold), metric=metric)
-            pairs = [(r.key, r.score) for r in results]
-            if pattern is not None:
-                pairs = [
-                    (key, score) for key, score in pairs if pattern.contains(key)
-                ]
-            return self._rows(operator, pairs)
-
-        if operator == "groupby":
-            feature = str(args[0])
-            level = int(float(args[1]))
-            pairs = tree.aggregate_by_feature(
-                feature, level, metric=metric, within=pattern
-            )
-            return self._rows(operator, pairs)
-
-        raise FlowQLPlanningError(f"unhandled operator {operator!r}")
+        return apply_operator(tree, query)
 
     @staticmethod
     def _rows(
         operator: str, pairs: List[Tuple[FlowKey, Score]]
     ) -> FlowQLResult:
-        return FlowQLResult(
-            operator=operator,
-            rows=[
-                (str(key), score.packets, score.bytes, score.flows)
-                for key, score in pairs
-            ],
-        )
+        return _rows(operator, pairs)

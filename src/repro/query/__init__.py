@@ -1,0 +1,23 @@
+"""The federated query plane.
+
+One planner unifies the repository's query paths: FlowQL over the root
+FlowDB when the rollup covers the request, fan-out over hierarchy
+stores otherwise, a reactive result cache in front of both, and the
+live remote-access feed that drives adaptive replication (Fig. 6).
+"""
+
+from repro.query.plan import (
+    ROUTE_CLOUD,
+    ROUTE_FEDERATED,
+    QueryPlan,
+    SiteRead,
+)
+from repro.query.planner import FederatedQueryPlanner
+
+__all__ = [
+    "ROUTE_CLOUD",
+    "ROUTE_FEDERATED",
+    "QueryPlan",
+    "SiteRead",
+    "FederatedQueryPlanner",
+]

@@ -1,0 +1,77 @@
+"""Plan nodes for the federated FlowQL planner.
+
+A :class:`QueryPlan` records one routing decision: *where* a FlowQL
+query executes (the root FlowDB, or a fan-out over one hierarchy
+level's stores), which stores and partitions it touched, and whether
+the result came out of the reactive cache.  Plans are what the CLI
+prints (``repro query``) and what the planner benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+#: Routing outcomes.
+ROUTE_CLOUD = "cloud"
+ROUTE_FEDERATED = "federated"
+
+
+@dataclass
+class SiteRead:
+    """One store's contribution to a federated plan."""
+
+    site: str
+    level: str
+    #: partitions read from the producer's catalog (shipped or local)
+    partitions: List[str] = field(default_factory=list)
+    #: the subset served from root-side replicas (no WAN traffic)
+    replica_partitions: List[str] = field(default_factory=list)
+    #: partial-summary bytes shipped across the fabric for this read
+    shipped_bytes: int = 0
+
+    @property
+    def served_locally(self) -> bool:
+        """Whether every partition came from a local replica."""
+        return bool(self.partitions) and not self.shipped_bytes
+
+
+@dataclass
+class QueryPlan:
+    """Where one FlowQL query executed and what it cost."""
+
+    route: str
+    window: Tuple[Optional[float], Optional[float]]
+    #: store-bearing level fanned out to (federated plans only)
+    level: Optional[str] = None
+    #: site labels read (FlowDB locations for cloud plans)
+    sites: List[str] = field(default_factory=list)
+    reads: List[SiteRead] = field(default_factory=list)
+    cache_hit: bool = False
+    cache_key: Optional[Hashable] = None
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Partial-result bytes the plan moved across the fabric."""
+        return sum(read.shipped_bytes for read in self.reads)
+
+    @property
+    def partitions_read(self) -> int:
+        """Total partitions the plan touched."""
+        return sum(len(read.partitions) for read in self.reads)
+
+    def describe(self) -> str:
+        """One-line, human-readable routing summary."""
+        if self.cache_hit:
+            origin = f"cache ({self.route})"
+        elif self.route == ROUTE_CLOUD:
+            origin = "cloud FlowDB"
+        else:
+            origin = f"level {self.level!r}"
+        sites = ", ".join(self.sites) if self.sites else "<all>"
+        parts = []
+        if self.route == ROUTE_FEDERATED and not self.cache_hit:
+            parts.append(f"{self.partitions_read} partitions")
+            parts.append(f"{self.shipped_bytes} B shipped")
+        detail = f" ({', '.join(parts)})" if parts else ""
+        return f"{origin} @ [{sites}]{detail}"

@@ -1,0 +1,403 @@
+"""The federated FlowQL planner: one hierarchy-aware query plane.
+
+The paper's central loop (Figs. 3-6) is query-driven: drilldown routes
+work *down* the hierarchy, repeated access triggers caching and
+ski-rental replication.  :class:`FederatedQueryPlanner` is where those
+pieces meet:
+
+* **Routing** — a query whose sites/window the root FlowDB covers runs
+  on the cloud executor unchanged; otherwise the planner fans out to
+  the shallowest store-bearing level whose stores cover the requested
+  sites, rehydrates their partition summaries, recombines the partial
+  trees with Merge (and Diff for ``VS``), and applies the same Table II
+  operator tail as the cloud path.
+* **Caching** — results are memoized in a :class:`QueryCache` keyed on
+  (plan, window); :meth:`on_epoch_closed` drops the cache so an epoch
+  boundary never serves stale answers.
+* **Replication feed** — every remote partition read is recorded
+  through :meth:`Manager.record_remote_access`, so real FlowQL traffic
+  (not a synthetic trace) drives the Fig. 6 adaptive-replication cycle.
+  Partitions the engine has replicated to the planner's root-side
+  replica store are served locally on later queries — no WAN traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.primitive import QueryRequest
+from repro.core.summary import Location
+from repro.datastore.cache import QueryCache
+from repro.datastore.partitions import Partition
+from repro.datastore.recombine import combine_summaries
+from repro.datastore.storage import RoundRobinStorage
+from repro.datastore.store import DataStore
+from repro.datastore.summary_query import approx_result_bytes, rehydrate
+from repro.errors import FlowQLPlanningError
+from repro.flowql.ast import FlowQLQuery, TimeSpec
+from repro.flowql.executor import FlowQLResult, apply_operator
+from repro.flowql.parser import parse
+from repro.flows.tree import Flowtree
+from repro.query.plan import (
+    ROUTE_CLOUD,
+    ROUTE_FEDERATED,
+    QueryPlan,
+    SiteRead,
+)
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runtime import HierarchyRuntime
+
+
+def _covers(label: str, site: str) -> bool:
+    """Whether a store labeled ``label`` holds exactly ``site``'s data.
+
+    A store covers a requested site when it *is* that site or sits
+    strictly below it — an ancestor store's merged tree would overcount
+    (it folds in the site's siblings), so it never covers.
+    """
+    return label == site or label.startswith(site + "/")
+
+
+class FederatedQueryPlanner:
+    """Routes FlowQL across a :class:`HierarchyRuntime`'s stores."""
+
+    def __init__(
+        self,
+        runtime: "HierarchyRuntime",
+        cache: Optional[QueryCache] = None,
+        replica_budget_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.runtime = runtime
+        #: reactive result cache; set to None to disable caching
+        self.cache = cache if cache is not None else QueryCache()
+        # the landing zone for shipped partials and bought replicas: a
+        # root-located store that is *not* registered with the runtime
+        # (registering it would make the root part of the rollup)
+        self.replica_store = DataStore(
+            runtime.hierarchy.root.location,
+            RoundRobinStorage(replica_budget_bytes),
+            fabric=runtime.fabric,
+        )
+        #: the planner's notion of "now" (advanced by epoch closes)
+        self.clock = 0.0
+        #: the routing decision of the most recent execute()
+        self.last_plan: Optional[QueryPlan] = None
+
+    # -- plan selection ------------------------------------------------------
+
+    def plan(self, query: FlowQLQuery) -> QueryPlan:
+        """Decide where one parsed query executes (no side effects)."""
+        window = (query.time.start, query.time.end)
+        if self._cloud_covers(query):
+            return QueryPlan(
+                route=ROUTE_CLOUD, window=window, sites=list(query.sites)
+            )
+        level, labels = self._federated_target(query)
+        return QueryPlan(
+            route=ROUTE_FEDERATED, window=window, level=level, sites=labels
+        )
+
+    def _windows(self, query: FlowQLQuery) -> List[TimeSpec]:
+        specs = [query.time]
+        if query.vs_time is not None:
+            specs.append(query.vs_time)
+        return specs
+
+    def _cloud_covers(self, query: FlowQLQuery) -> bool:
+        """Whether the root FlowDB holds data for every site and window."""
+        db = self.runtime.db
+        sites = query.sites or None
+        try:
+            return all(
+                db.entries(sites, spec.start, spec.end)
+                for spec in self._windows(query)
+            )
+        except FlowQLPlanningError:
+            # sites not indexed at the root: drill into the hierarchy
+            return False
+
+    def _federated_target(
+        self, query: FlowQLQuery
+    ) -> Tuple[str, List[str]]:
+        """The shallowest store-bearing level covering the query."""
+        for level in self.runtime.store_levels():
+            labels = self._covering_labels(level, query)
+            if labels is not None:
+                return level, labels
+        raise FlowQLPlanningError(
+            "no level's stores cover the requested sites/window "
+            f"(sites={query.sites or None}, "
+            f"start={query.time.start}, end={query.time.end})"
+        )
+
+    def _covering_labels(
+        self, level: str, query: FlowQLQuery
+    ) -> Optional[List[str]]:
+        """Site labels participating at one level, or None if the level
+        cannot cover every requested site in every query window."""
+        stores = self.runtime.stores_at_level(level)
+        participating: set = set()
+        for spec in self._windows(query):
+            active = {
+                label
+                for label, store in stores.items()
+                if self._window_partitions(store, spec.start, spec.end)
+            }
+            if query.sites:
+                active = {
+                    label
+                    for label in active
+                    if any(_covers(label, site) for site in query.sites)
+                }
+                for site in query.sites:
+                    if not any(_covers(label, site) for label in active):
+                        return None
+            elif not active:
+                return None
+            participating |= active
+        return sorted(participating)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, flowql: Union[str, FlowQLQuery], now: Optional[float] = None
+    ) -> FlowQLResult:
+        """Plan and run one FlowQL query (text or parsed)."""
+        query = parse(flowql) if isinstance(flowql, str) else flowql
+        now = self.clock if now is None else now
+        plan = self.plan(query)
+        stats = self.runtime.stats
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(
+                "flowql",
+                self._cache_request(query, plan),
+                query.time.start,
+                query.time.end,
+            )
+            plan.cache_key = key
+            entry = self.cache.get(key, now)
+            if entry is not None:
+                plan.cache_hit = True
+                stats.queries_cached += 1
+                self.last_plan = plan
+                return entry.value.copy()
+        if plan.route == ROUTE_CLOUD:
+            result = self.runtime.executor.execute_query(query)
+            stats.queries_cloud += 1
+        else:
+            result = self._execute_federated(plan, query, now)
+            stats.queries_federated += 1
+        if self.cache is not None:
+            self.cache.put(
+                key,
+                result.copy(),
+                approx_result_bytes((result.scalar, result.rows)),
+                now,
+            )
+        self.last_plan = plan
+        return result
+
+    def _cache_request(
+        self, query: FlowQLQuery, plan: QueryPlan
+    ) -> QueryRequest:
+        """The (plan, query) fingerprint the cache keys on."""
+        return QueryRequest(
+            operator=query.select.name,
+            params={
+                "args": tuple(query.select.args),
+                "route": plan.route,
+                "level": plan.level,
+                "sites": tuple(query.sites),
+                "where": tuple(
+                    (r.feature, r.value, r.mask) for r in query.where
+                ),
+                "metric": query.metric,
+                "limit": query.limit,
+                "vs": (
+                    (query.vs_time.start, query.vs_time.end)
+                    if query.vs_time is not None
+                    else None
+                ),
+            },
+        )
+
+    def _execute_federated(
+        self, plan: QueryPlan, query: FlowQLQuery, now: float
+    ) -> FlowQLResult:
+        tree = self._assemble(plan, query, query.time, now)
+        if query.vs_time is not None:
+            tree = tree.diff(self._assemble(plan, query, query.vs_time, now))
+        volume = self.runtime.stats.level(plan.level)
+        volume.queries_served += 1
+        volume.query_bytes_out += plan.shipped_bytes
+        return apply_operator(tree, query)
+
+    def _assemble(
+        self,
+        plan: QueryPlan,
+        query: FlowQLQuery,
+        spec: TimeSpec,
+        now: float,
+    ) -> Flowtree:
+        """One window's partial trees from the plan's level, merged."""
+        stores = self.runtime.stores_at_level(plan.level)
+        trees: List[Flowtree] = []
+        for label in sorted(stores):
+            if query.sites and not any(
+                _covers(label, site) for site in query.sites
+            ):
+                continue
+            partitions = self._window_partitions(
+                stores[label], spec.start, spec.end
+            )
+            if not partitions:
+                continue
+            read, site_trees = self._read_store(
+                label, plan.level, stores[label], partitions, now
+            )
+            plan.reads.append(read)
+            trees.extend(site_trees)
+        if not trees:
+            raise FlowQLPlanningError(
+                f"no partitions at level {plan.level!r} match the window "
+                f"(start={spec.start}, end={spec.end})"
+            )
+        merged = Flowtree(
+            trees[0].policy,
+            node_budget=self.runtime.db.merge_node_budget,
+            metric=trees[0].metric,
+        )
+        for tree in trees:
+            merged.merge(tree)
+        return merged
+
+    @staticmethod
+    def _window_partitions(
+        store: DataStore,
+        start: Optional[float],
+        end: Optional[float],
+        aggregator: Optional[str] = None,
+    ) -> List[Partition]:
+        """Flowtree partitions at one store overlapping a window."""
+        selected = []
+        for partition in store.catalog.all():
+            if partition.summary.kind != "flowtree":
+                continue
+            if aggregator is not None and partition.aggregator != aggregator:
+                continue
+            interval = partition.summary.meta.interval
+            if start is not None and interval.end <= start:
+                continue
+            if end is not None and interval.start >= end:
+                continue
+            selected.append(partition)
+        return selected
+
+    def _read_store(
+        self,
+        label: str,
+        level: str,
+        store: DataStore,
+        partitions: List[Partition],
+        now: float,
+    ) -> Tuple[SiteRead, List[Flowtree]]:
+        """Fetch one store's partials: replicas locally, the rest shipped.
+
+        Remote reads are accounted on the fabric and fed to the manager's
+        replication engine — the engine may replicate the partition into
+        :attr:`replica_store` mid-stream, so later reads turn local.
+        """
+        read = SiteRead(
+            site=label,
+            level=level,
+            partitions=[p.partition_id for p in partitions],
+        )
+        root_path = self.replica_store.location.path
+        summaries = []
+        remote: Dict[str, List[Partition]] = {}
+        for partition in partitions:
+            replica_id = f"{partition.partition_id}@{root_path}"
+            if replica_id in self.replica_store.replicas:
+                replica = self.replica_store.replicas.get(replica_id)
+                replica.record_access(now, replica.size_bytes, remote=False)
+                read.replica_partitions.append(partition.partition_id)
+                summaries.append(replica.summary)
+            else:
+                remote.setdefault(partition.aggregator, []).append(partition)
+        for aggregator, parts in sorted(remote.items()):
+            combined = combine_summaries(
+                [p.summary for p in parts], shrink=1.0
+            )
+            if store.privacy is not None:
+                # the partial leaves the level's trust domain
+                combined = store.privacy.export(aggregator, combined)
+            share = max(1, combined.size_bytes // len(parts))
+            for partition in parts:
+                partition.record_access(now, share, remote=True)
+                self.runtime.manager.record_remote_access(
+                    store, self.replica_store, partition.partition_id,
+                    share, now,
+                )
+            if store.location.path != root_path:
+                self.runtime.fabric.transfer(
+                    store.location, self.replica_store.location,
+                    combined.size_bytes, now,
+                )
+            read.shipped_bytes += combined.size_bytes
+            summaries.append(combined)
+        return read, [rehydrate(summary).tree for summary in summaries]
+
+    # -- drilldown API for applications --------------------------------------
+
+    def window_tree(
+        self,
+        site: Union[str, Location],
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        aggregator: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> Optional[Flowtree]:
+        """One site's merged Flowtree for a window, via the federated
+        read path (replica-first, fabric-accounted, feeding replication).
+
+        This is the planner-backed replacement for applications'
+        hand-rolled ``store.window_summary(..., record_access=True)``
+        drilldowns.  Returns None when no partition overlaps.
+        """
+        if isinstance(site, Location):
+            site = self.runtime.site_label(site)
+        now = self.clock if now is None else now
+        store = self.runtime.store_for(site)
+        level = self.runtime.hierarchy.node(store.location).level.name
+        partitions = self._window_partitions(store, start, end, aggregator)
+        if not partitions:
+            return None
+        read, trees = self._read_store(site, level, store, partitions, now)
+        volume = self.runtime.stats.level(level)
+        volume.queries_served += 1
+        volume.query_bytes_out += read.shipped_bytes
+        merged = Flowtree(
+            trees[0].policy,
+            node_budget=self.runtime.db.merge_node_budget,
+            metric=trees[0].metric,
+        )
+        for tree in trees:
+            merged.merge(tree)
+        return merged
+
+    # -- cache lifecycle -----------------------------------------------------
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached result; returns how many were dropped."""
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate()
+
+    def on_epoch_closed(self, now: float) -> int:
+        """Epoch boundary: new data exists, cached answers are stale."""
+        self.clock = max(self.clock, now)
+        return self.invalidate_cache()

@@ -120,12 +120,15 @@ def network_4level_runtime(
     network_node_budget: Optional[int] = None,
     epoch_seconds: float = 60.0,
     merge_node_budget: Optional[int] = 65536,
+    retain_partitions: bool = False,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
     Routers forward into region stores, regions into network stores,
     and only the network tier's (optionally unbounded) merged trees
-    cross the WAN into FlowDB.
+    cross the WAN into FlowDB.  ``retain_partitions`` keeps epoch
+    partitions in the router/region catalogs too, letting the federated
+    planner drill below the export tier.
     """
     sites = [
         f"network{n + 1}/region{r + 1}/router{i + 1}"
@@ -142,12 +145,12 @@ def network_4level_runtime(
         "router": LevelConfig(
             aggregator="flowtree",
             node_budget=router_node_budget,
-            retain_partitions=False,
+            retain_partitions=retain_partitions,
         ),
         "region": LevelConfig(
             aggregator="flowtree",
             node_budget=region_node_budget,
-            retain_partitions=False,
+            retain_partitions=retain_partitions,
         ),
         "network": LevelConfig(
             aggregator="flowtree", node_budget=network_node_budget
@@ -174,12 +177,16 @@ def factory_4level_runtime(
     factory_node_budget: Optional[int] = None,
     epoch_seconds: float = 60.0,
     merge_node_budget: Optional[int] = 65536,
+    retain_partitions: bool = False,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
     Machine telemetry enters as flow records (the generalized-flow model
     covers any maskable feature schema), rolls up machine → line →
     factory, and only the factory tier's summaries reach FlowDB at hq.
+    ``retain_partitions`` keeps epoch partitions in the machine/line
+    catalogs too, letting the federated planner drill below the
+    export tier.
     """
     sites = [
         f"factory{f + 1}/line{l + 1}/machine{m + 1}"
@@ -197,12 +204,12 @@ def factory_4level_runtime(
         "machine": LevelConfig(
             aggregator="flowtree",
             node_budget=machine_node_budget,
-            retain_partitions=False,
+            retain_partitions=retain_partitions,
         ),
         "line": LevelConfig(
             aggregator="flowtree",
             node_budget=line_node_budget,
-            retain_partitions=False,
+            retain_partitions=retain_partitions,
         ),
         "factory": LevelConfig(
             aggregator="flowtree", node_budget=factory_node_budget

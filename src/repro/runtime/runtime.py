@@ -44,6 +44,7 @@ from repro.flowql.executor import FlowQLExecutor, FlowQLResult
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.hierarchy.network import NetworkFabric
 from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.query.planner import FederatedQueryPlanner
 from repro.runtime.config import EXPORT_AUTO, EXPORT_NONE, LevelConfig
 from repro.runtime.stats import VolumeStats
 
@@ -135,6 +136,9 @@ class HierarchyRuntime:
                 if child is not node
             ):
                 self._ingestible[self._labels[node.location.path]] = store
+        # the unified query plane: FlowQL routes through the planner
+        # (cloud executor, federated fan-out, cache, replication feed)
+        self.planner = FederatedQueryPlanner(self)
 
     # -- provisioning helpers ----------------------------------------------
 
@@ -202,6 +206,25 @@ class HierarchyRuntime:
     def ingest_sites(self) -> List[str]:
         """Labels of the stores that accept raw ingest (the edge)."""
         return list(self._ingestible)
+
+    def site_label(self, location: Location) -> str:
+        """The root-relative site label of a store-bearing location."""
+        label = self._labels.get(location.path)
+        if label is None:
+            raise PlacementError(
+                f"no store provisioned at {location.path!r}"
+            )
+        return label
+
+    def store_levels(self) -> List[str]:
+        """Store-bearing level names, shallowest first."""
+        depths: Dict[str, int] = {}
+        for node, _, _ in self._plan:
+            depth = len(node.ancestors())
+            name = node.level.name
+            if name not in depths or depth < depths[name]:
+                depths[name] = depth
+        return sorted(depths, key=lambda name: depths[name])
 
     # -- control plane -------------------------------------------------------
 
@@ -271,6 +294,8 @@ class HierarchyRuntime:
                 exported += self._export_to_db(node, store, now)
             volume.rollup_seconds += time.perf_counter() - started
         self.stats.epochs_closed += 1
+        # new data invalidates cached answers and advances query time
+        self.planner.on_epoch_closed(now)
         return exported
 
     def _forward(
@@ -338,9 +363,16 @@ class HierarchyRuntime:
 
     # -- query path ------------------------------------------------------------
 
-    def query(self, flowql: str) -> FlowQLResult:
-        """Answer a FlowQL query from the root FlowDB."""
-        return self.executor.execute(flowql)
+    def query(
+        self, flowql: str, now: Optional[float] = None
+    ) -> FlowQLResult:
+        """Answer a FlowQL query through the federated planner.
+
+        Queries the root FlowDB covers run there unchanged; anything
+        else fans out to the shallowest covering hierarchy level.  The
+        chosen plan is available as ``planner.last_plan``.
+        """
+        return self.planner.execute(flowql, now=now)
 
     def wan_bytes(self) -> int:
         """Bytes that crossed a link into the hierarchy root."""

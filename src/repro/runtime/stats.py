@@ -40,6 +40,10 @@ class LevelVolume:
     exports: int = 0
     #: wall-clock seconds the epoch rollup spent at this level
     rollup_seconds: float = 0.0
+    #: federated queries answered (at least partially) from this level
+    queries_served: int = 0
+    #: partial-result bytes this level shipped to the query plane
+    query_bytes_out: int = 0
 
 
 class VolumeStats:
@@ -53,6 +57,10 @@ class VolumeStats:
         #: summaries delivered into FlowDB at the root, and their bytes
         self.exported_summaries = 0
         self.exported_bytes = 0
+        #: query-plane routing census (filled by the federated planner)
+        self.queries_cloud = 0
+        self.queries_federated = 0
+        self.queries_cached = 0
 
     # -- structured access --------------------------------------------------
 

@@ -118,6 +118,9 @@ class NetworkScenario:
                 epoch_seconds=epoch_seconds,
                 node_budget=node_budget,
                 controllers=self.controllers,
+                # drilldowns go through the unified query plane: reads
+                # are fabric-accounted and feed adaptive replication
+                planner=self.runtime.planner,
             )
             self.apps.append(self.ddos_app)
         for app in self.apps:

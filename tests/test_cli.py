@@ -59,6 +59,60 @@ class TestFlowQLCommand:
         assert os.path.exists(path)
 
 
+class TestQueryCommand:
+    def test_demo_routes_cloud_federated_and_cached(self, capsys):
+        code = main(
+            ["query", "--epochs", "1", "--flows-per-epoch", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan: cloud FlowDB" in out  # rolled-up query
+        assert "level 'router'" in out  # edge drilldown fans out
+        assert "plan: cache (" in out  # repeats hit the cache
+        assert "routing: cloud=" in out  # final census line
+        assert "replications=" in out
+
+    def test_factory_preset(self, capsys):
+        code = main(
+            [
+                "query",
+                "--preset", "factory",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT TOTAL FROM ALL",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "factory preset" in out
+        assert "plan: cloud FlowDB" in out
+
+    def test_no_retain_disables_edge_drilldown(self, capsys):
+        code = main(
+            [
+                "query",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--no-retain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # the demo's edge drilldown cannot be planned
+        assert "error:" in out
+
+    def test_bad_query_fails(self, capsys):
+        code = main(
+            [
+                "query",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT NONSENSE FROM ALL",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+
 class TestFactoryCommand:
     def test_with_apps_no_failures(self, capsys):
         code = main(

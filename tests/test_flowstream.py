@@ -144,3 +144,23 @@ class TestQueryPath:
             f"WHERE dst_ip = {victim} BY bytes LIMIT 3"
         )
         assert len(sources.rows) == 3
+
+
+class TestDeprecatedAliases:
+    def test_flowstream_stats_alias_warns_and_resolves(self):
+        import repro.flowstream.system as system_module
+        from repro.runtime.stats import VolumeStats
+
+        with pytest.warns(DeprecationWarning, match="FlowstreamStats"):
+            alias = system_module.FlowstreamStats
+        assert alias is VolumeStats
+
+    def test_from_import_also_warns(self):
+        with pytest.warns(DeprecationWarning, match="FlowstreamStats"):
+            from repro.flowstream.system import FlowstreamStats  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.flowstream.system as system_module
+
+        with pytest.raises(AttributeError):
+            system_module.NoSuchThing

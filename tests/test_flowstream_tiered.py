@@ -193,3 +193,19 @@ class TestSubtreeExport:
         pattern = key.with_levels((0, 8, 8, 0, 0))
         partial = tree.subtree(pattern)
         assert partial.total().bytes == 100
+
+
+class TestDeprecatedTierStatsAlias:
+    def test_tier_stats_alias_warns_and_resolves(self):
+        import repro.flowstream.tiered as tiered_module
+        from repro.runtime.stats import VolumeStats
+
+        with pytest.warns(DeprecationWarning, match="TierStats"):
+            alias = tiered_module.TierStats
+        assert alias is VolumeStats
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.flowstream.tiered as tiered_module
+
+        with pytest.raises(AttributeError):
+            tiered_module.NoSuchThing

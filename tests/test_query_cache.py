@@ -128,6 +128,38 @@ class TestFederatedCaching:
         )
         assert other.source == "remote"  # distinct window, distinct key
 
+    def test_cached_result_not_stale_across_epoch_boundary(self):
+        """close_epoch invalidates the planner's cache: new data must
+        show up in the very next query, never a stale cached answer."""
+        from repro.runtime.presets import network_4level_runtime
+        from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+        runtime = network_4level_runtime(
+            networks=1, regions_per_network=1, routers_per_region=2,
+            retain_partitions=True,
+        )
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=120), seed=5
+        )
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 0))
+        runtime.close_epoch(60.0)
+
+        first = runtime.query("SELECT TOTAL FROM ALL")
+        runtime.query("SELECT TOTAL FROM ALL")
+        assert runtime.planner.last_plan.cache_hit  # warm within the epoch
+        assert runtime.stats.queries_cached == 1
+
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 1))
+        runtime.close_epoch(120.0)  # boundary: cached answers are stale
+
+        fresh = runtime.query("SELECT TOTAL FROM ALL")
+        assert runtime.planner.last_plan.cache_hit is False
+        assert runtime.stats.queries_cached == 1  # no stale hit
+        assert fresh.scalar.bytes > first.scalar.bytes  # sees epoch 1
+
     def test_caching_complements_replication(self, pair, policy):
         """Cache serves repeats of one query; the replica serves *any*
         query — the paper's reason to prefer replication."""
