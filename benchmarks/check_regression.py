@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Guard the perf-sensitive paths against regressions.
 
-Two committed baselines are checked:
+Three committed baselines are checked:
 
 * ``BENCH_flowtree.json`` — re-runs the optimized Flowtree ingest (and
   merge) over the exact recorded trace and fails when fresh throughput
@@ -9,15 +9,21 @@ Two committed baselines are checked:
 * ``BENCH_query.json`` — replays the committed query-planner trace and
   fails when cached repeat queries stop being strictly cheaper than
   federated first queries (bytes moved and wall time).
+* ``BENCH_faults.json`` — replays the fault sweep and fails when the
+  delivery guarantee breaks (delivered mass < 100% after recovery) or
+  when the zero-drop run's WAN volume drifts from the committed
+  depth-4 number in ``BENCH_hierarchy.json`` (the fault machinery must
+  cost nothing when no faults fire).
 
-The default tolerance is deliberately generous — CI machines vary a
-lot — so a failure means a real algorithmic regression, not scheduler
-noise.
+``--only {all,flowtree,query,faults}`` selects one gate (CI runs them
+in separate jobs).  The default tolerance is deliberately generous —
+CI machines vary a lot — so a failure means a real algorithmic
+regression, not scheduler noise.
 
 ```bash
 PYTHONPATH=src python benchmarks/check_regression.py            # default 0.5
 PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.7
-PYTHONPATH=src python benchmarks/check_regression.py --baseline other.json
+PYTHONPATH=src python benchmarks/check_regression.py --only faults
 ```
 
 Exit status: 0 when everything is within tolerance, 1 on regression, 2
@@ -27,6 +33,7 @@ when a baseline file is missing/invalid.  Regenerate the baselines
 ```bash
 PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
 PYTHONPATH=src python benchmarks/bench_query_planner.py
+PYTHONPATH=src python benchmarks/bench_faults.py
 ```
 """
 
@@ -46,7 +53,11 @@ if str(REPO_ROOT) not in sys.path:
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_flowtree.json"
 DEFAULT_QUERY_BASELINE = REPO_ROOT / "BENCH_query.json"
+DEFAULT_FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
+DEFAULT_HIERARCHY_BASELINE = REPO_ROOT / "BENCH_hierarchy.json"
 DEFAULT_TOLERANCE = 0.5
+#: the zero-drop run is deterministic; allow only float-formatting drift
+WAN_MATCH_TOLERANCE = 0.01
 
 
 def fresh_measurements(trace: dict) -> dict:
@@ -118,6 +129,79 @@ def check_query_planner(baseline_path: Path) -> int:
     return 0
 
 
+def check_faults(
+    baseline_path: Path, hierarchy_baseline_path: Path
+) -> int:
+    """Replay the fault sweep; the delivery guarantee must hold.
+
+    Deterministic invariants, not timings: every drop rate delivers
+    100% of the fault-free mass once the pending queues drain, and the
+    zero-drop run's WAN volume matches the committed depth-4 hierarchy
+    number (the fault layer is free when no faults fire).  Returns an
+    exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        trace = committed["trace"]
+        committed_rates = committed["rates"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read faults baseline {baseline_path}: {exc}")
+        return 2
+
+    from benchmarks.bench_faults import check_claims, run_sweep
+
+    print(
+        f"\nre-running fault sweep: {trace['flows_per_epoch']} "
+        f"flows/epoch x {trace['epochs']} epochs, "
+        f"drop rates {trace['drop_rates']}"
+    )
+    fresh = run_sweep(
+        trace["flows_per_epoch"],
+        trace["epochs"],
+        trace["seed"],
+        node_budget=trace["node_budget"],
+    )
+    for rate, metrics in sorted(fresh.items(), key=lambda kv: float(kv[0])):
+        committed_metrics = committed_rates.get(rate, {})
+        print(
+            f"drop={rate}: delivered {metrics['delivered_mass_pct']}% "
+            f"(committed {committed_metrics.get('delivered_mass_pct')}%), "
+            f"wasted {metrics['wasted_bytes']} B, "
+            f"lag {metrics['recovery_lag_epochs']} epochs"
+        )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: fault-tolerance claims no longer hold ({exc!r})")
+        return 1
+    try:
+        hierarchy = json.loads(hierarchy_baseline_path.read_text())
+        committed_wan = int(hierarchy["depths"]["4"]["wan_bytes"])
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        print(
+            f"note: no depth-4 baseline in {hierarchy_baseline_path}; "
+            "skipping the zero-drop WAN comparison"
+        )
+        print("OK: delivered mass 100% at every drop rate")
+        return 0
+    fresh_wan = fresh["0"]["wan_bytes"]
+    # only comparable when the sweep ran the committed full-size trace
+    if trace["flows_per_epoch"] == hierarchy["trace"]["flows_per_epoch"]:
+        drift = abs(fresh_wan - committed_wan) / committed_wan
+        print(
+            f"zero-drop WAN: fresh {fresh_wan} B vs committed depth-4 "
+            f"{committed_wan} B (drift {drift:.2%})"
+        )
+        if drift > WAN_MATCH_TOLERANCE:
+            print(
+                "REGRESSION: the fault machinery changed zero-fault "
+                "WAN volume"
+            )
+            return 1
+    print("OK: delivered mass 100% at every drop rate")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -136,6 +220,30 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--faults-baseline",
+        type=Path,
+        default=DEFAULT_FAULTS_BASELINE,
+        help=(
+            "committed fault-sweep baseline JSON "
+            f"(default: {DEFAULT_FAULTS_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--hierarchy-baseline",
+        type=Path,
+        default=DEFAULT_HIERARCHY_BASELINE,
+        help=(
+            "committed hierarchy-depth baseline the zero-drop fault run "
+            f"is compared against (default: {DEFAULT_HIERARCHY_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--only",
+        choices=("all", "flowtree", "query", "faults"),
+        default="all",
+        help="run a single regression gate (default: all)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=DEFAULT_TOLERANCE,
@@ -149,6 +257,10 @@ def main(argv=None) -> int:
     if not 0.0 < args.tolerance <= 1.0:
         print(f"tolerance must be in (0, 1], got {args.tolerance}")
         return 2
+    if args.only == "query":
+        return check_query_planner(args.query_baseline)
+    if args.only == "faults":
+        return check_faults(args.faults_baseline, args.hierarchy_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -181,7 +293,12 @@ def main(argv=None) -> int:
         print("REGRESSION: ingest throughput fell below the floor")
         return 1
     print("OK: no hot-path regression")
-    return check_query_planner(args.query_baseline)
+    if args.only == "flowtree":
+        return 0
+    status = check_query_planner(args.query_baseline)
+    if status != 0:
+        return status
+    return check_faults(args.faults_baseline, args.hierarchy_baseline)
 
 
 if __name__ == "__main__":

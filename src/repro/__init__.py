@@ -29,17 +29,27 @@ The paper is a vision paper; this library *builds the vision*:
   substrate and workload generators standing in for factory sensors,
   router exports, and the enterprise query trace.
 
-Quickstart::
+The frozen public API is what this module exports under ``__all__`` —
+most programs need only the runtime entry points::
 
-    from repro import Flowstream, TrafficGenerator, TrafficConfig
+    from repro import TrafficConfig, TrafficGenerator, network_4level_runtime
 
-    fs = Flowstream(sites=["region1/router1", "region2/router1"])
-    gen = TrafficGenerator(TrafficConfig(sites=tuple(fs.sites)))
+    rt = network_4level_runtime(regions_per_network=2, routers_per_region=2)
+    gen = TrafficGenerator(TrafficConfig(sites=tuple(rt.ingest_sites())))
     for epoch in range(3):
-        for site in fs.sites:
-            fs.ingest(site, gen.epoch(site, epoch))
-        fs.close_epoch((epoch + 1) * 60.0)
-    print(fs.query("SELECT TOPK(5) FROM ALL BY bytes").rows)
+        for site in rt.ingest_sites():
+            rt.ingest(site, gen.epoch(site, epoch))
+        rt.close_epoch((epoch + 1) * 60.0)
+    outcome = rt.query("SELECT TOPK(5) FROM ALL BY bytes")
+    print(outcome.rows)            # result access delegates
+    print(outcome.plan.describe()) # ...and the routing is attached
+
+Fault tolerance rides on the same surface: build a
+:class:`~repro.faults.FaultPlan` (or parse one with
+``FaultPlan.from_spec("drop=0.2,seed=7")``), pass it to the runtime or
+``rt.inject_faults(plan)``, and exports retry/park/redeliver while
+queries degrade honestly (``outcome.degradation`` lists exactly the
+unreachable sites).
 """
 
 from repro.core import (
@@ -68,14 +78,20 @@ from repro.hierarchy import (
     smart_factory_hierarchy,
 )
 from repro.control import Controller, Manager
+from repro.faults import FaultPlan, LinkOutage, RetryPolicy
 from repro.flowdb import FlowDB
 from repro.flowql import FlowQLExecutor
 from repro.flowstream import Flowstream
 from repro.flowstream.tiered import TieredFlowstream
+from repro.query import Degradation, QueryOutcome, QueryPlan
 from repro.runtime import (
     HierarchyRuntime,
     LevelConfig,
     VolumeStats,
+    factory_4level_runtime,
+    flat_runtime,
+    network_4level_runtime,
+    tiered_runtime,
 )
 from repro.replication import (
     AdaptiveReplicationEngine,
@@ -126,6 +142,16 @@ __all__ = [
     "HierarchyRuntime",
     "LevelConfig",
     "VolumeStats",
+    "flat_runtime",
+    "tiered_runtime",
+    "network_4level_runtime",
+    "factory_4level_runtime",
+    "QueryOutcome",
+    "QueryPlan",
+    "Degradation",
+    "FaultPlan",
+    "LinkOutage",
+    "RetryPolicy",
     "AdaptiveReplicationEngine",
     "BreakEvenPolicy",
     "DistributionAwarePolicy",

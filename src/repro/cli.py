@@ -1,14 +1,16 @@
 """Command-line interface.
 
-Four subcommands mirror the example scripts in scriptable form::
+Five subcommands mirror the example scripts in scriptable form::
 
     repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
     repro query --preset network --query "SELECT TOTAL FROM ALL"
+    repro run --faults "drop=0.2,seed=7" --epochs 4
     repro factory --hours 6 --no-apps
     repro replication --partitions 400 --distribution pareto
 
 Run ``repro <subcommand> --help`` for the full flag set.  Everything is
-deterministic per ``--seed``.
+deterministic per ``--seed`` (and, for ``run --faults``, per the fault
+plan's own seed).
 """
 
 from __future__ import annotations
@@ -87,6 +89,33 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--no-retain", action="store_true",
         help="drop interior epoch partitions (disables edge drilldown)",
+    )
+
+    run = subparsers.add_parser(
+        "run",
+        help="drive a 4-level rollup, optionally under a fault plan",
+    )
+    run.add_argument(
+        "--preset", choices=("network", "factory"), default="network",
+        help="4-level hierarchy preset to build",
+    )
+    run.add_argument("--epochs", type=int, default=4)
+    run.add_argument("--flows-per-epoch", type=int, default=800)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help=(
+            "fault plan spec, e.g. "
+            "'drop=0.2,seed=7,outage=region1/router1:1-2,bw=0.5'"
+        ),
+    )
+    run.add_argument(
+        "--recovery-epochs", type=int, default=3,
+        help="extra empty epoch closes to drain parked exports",
+    )
+    run.add_argument(
+        "--query", action="append", default=None,
+        help="FlowQL text to run after the rollup (repeatable)",
     )
 
     replication = subparsers.add_parser(
@@ -224,6 +253,90 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# run (rollup under faults)
+
+
+def _run_run(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    if args.preset == "network":
+        runtime = network_4level_runtime(retain_partitions=True)
+    else:
+        runtime = factory_4level_runtime(retain_partitions=True)
+    if args.faults:
+        try:
+            plan = FaultPlan.from_spec(args.faults)
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+        runtime.inject_faults(plan)
+        print(f"fault plan: {plan.describe()}")
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(sites), flows_per_epoch=args.flows_per_epoch
+        ),
+        seed=args.seed,
+    )
+    epoch_s = runtime.epoch_seconds
+    for epoch in range(args.epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        exported = runtime.close_epoch((epoch + 1) * epoch_s)
+        pending = runtime.pending_exports()
+        print(
+            f"epoch {epoch}: exported={exported} "
+            f"pending={pending} wan={runtime.wan_bytes():,} B"
+        )
+    recovery = 0
+    while runtime.pending_exports() and recovery < args.recovery_epochs:
+        recovery += 1
+        runtime.close_epoch((args.epochs + recovery) * epoch_s)
+        print(
+            f"recovery close {recovery}: "
+            f"pending={runtime.pending_exports()}"
+        )
+    for text in args.query or []:
+        print(f"\nflowql> {text}")
+        try:
+            outcome = runtime.query(text)
+        except ReproError as error:
+            print(f"  error: {error}")
+            return 1
+        print(f"  plan: {outcome.plan.describe()}")
+        if outcome.is_degraded:
+            print(f"  degraded: {outcome.degradation.describe()}")
+        if outcome.scalar is not None:
+            print(f"  {outcome.scalar}")
+        else:
+            for row in outcome.rows[:10]:
+                print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+    stats = runtime.stats
+    print(
+        f"\nfault census: attempts={stats.transfer_attempts} "
+        f"failures={stats.transfer_failures} "
+        f"retried={stats.retried_bytes:,} B "
+        f"wasted={runtime.fabric.wasted_bytes():,} B"
+    )
+    print(
+        f"  exports: parked={stats.exports_parked} "
+        f"recovered={stats.exports_recovered} "
+        f"still-pending={runtime.pending_exports()} | "
+        f"degraded queries={stats.queries_degraded}"
+    )
+    print(
+        f"  volume: raw={stats.raw_bytes:,} B wan={runtime.wan_bytes():,} B "
+        f"reduction={stats.reduction_factor:.0f}x"
+    )
+    return 0 if runtime.pending_exports() == 0 else 1
+
+
+# ---------------------------------------------------------------------------
 # factory
 
 
@@ -301,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_flowql(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "run":
+        return _run_run(args)
     if args.command == "factory":
         return _run_factory(args)
     if args.command == "replication":

@@ -14,6 +14,7 @@ arbitrates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -141,14 +142,49 @@ class DataStore:
     # ------------------------------------------------------------------
     # ingest path (Figure 4, left side)
 
-    def ingest(self, stream_id: str, item: Any, timestamp: float,
-               size_bytes: int = 0) -> None:
-        """Push one raw item through triggers and subscribed aggregators."""
-        self.ingest_stats.observe(size_bytes)
-        self.triggers.evaluate_raw(stream_id, item, timestamp)
-        for aggregator in self._aggregators.values():
-            if aggregator.wants(stream_id):
-                aggregator.ingest(item, timestamp)
+    def ingest(
+        self,
+        stream_id: str,
+        records: Any,
+        timestamp: Optional[float] = None,
+        size_bytes: int = 0,
+    ) -> int:
+        """Push raw data through triggers and subscribed aggregators.
+
+        One signature for both shapes:
+
+        * ``ingest(stream, item, timestamp)`` — a single item with its
+          timestamp (the historical per-item call).
+        * ``ingest(stream, timed_items)`` — an iterable of
+          ``(item, timestamp)`` pairs; stats and raw triggers still see
+          every item, but subscribed aggregators get the whole batch at
+          once, letting budgeted primitives amortize their compression
+          checks.
+
+        ``size_bytes`` is the per-item raw size either way.  Returns
+        the number of items ingested.
+        """
+        if timestamp is not None:
+            timed_items: List[Tuple[Any, float]] = [(records, timestamp)]
+        else:
+            timed_items = list(records)
+        if not timed_items:
+            return 0
+        for item, at_time in timed_items:
+            self.ingest_stats.observe(size_bytes)
+            self.triggers.evaluate_raw(stream_id, item, at_time)
+        subscribed = [
+            aggregator
+            for aggregator in self._aggregators.values()
+            if aggregator.wants(stream_id)
+        ]
+        if len(timed_items) == 1:
+            for aggregator in subscribed:
+                aggregator.ingest(*timed_items[0])
+        else:
+            for aggregator in subscribed:
+                aggregator.ingest_many(timed_items)
+        return len(timed_items)
 
     def ingest_batch(
         self,
@@ -156,27 +192,14 @@ class DataStore:
         timed_items: List[Tuple[Any, float]],
         size_bytes: int = 0,
     ) -> int:
-        """Push a batch of ``(item, timestamp)`` pairs from one stream.
-
-        Equivalent to calling :meth:`ingest` per item — stats and raw
-        triggers still see every item — but subscribed aggregators get
-        the whole batch at once, letting budgeted primitives amortize
-        their compression checks.  ``size_bytes`` is the per-item size.
-        Returns the number of items ingested.
-        """
-        if not timed_items:
-            return 0
-        for item, timestamp in timed_items:
-            self.ingest_stats.observe(size_bytes)
-            self.triggers.evaluate_raw(stream_id, item, timestamp)
-        subscribed = [
-            aggregator
-            for aggregator in self._aggregators.values()
-            if aggregator.wants(stream_id)
-        ]
-        for aggregator in subscribed:
-            aggregator.ingest_many(timed_items)
-        return len(timed_items)
+        """Deprecated alias for :meth:`ingest` with a pair iterable."""
+        warnings.warn(
+            "DataStore.ingest_batch is deprecated; call "
+            "DataStore.ingest(stream_id, timed_items) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.ingest(stream_id, timed_items, size_bytes=size_bytes)
 
     def storage_pressure(self) -> float:
         """Current storage pressure from the strategy."""

@@ -56,6 +56,36 @@ class FlowQLPlanningError(ReproError):
     """A parsed FlowQL query could not be mapped onto stored summaries."""
 
 
+class TransferError(ReproError):
+    """A fabric transfer failed on a faulty link (Table I, challenge 2).
+
+    Raised by :meth:`~repro.hierarchy.network.NetworkFabric.transfer`
+    when an injected :class:`~repro.faults.FaultPlan` drops the transfer
+    or the link is inside an outage window.  Carries enough context for
+    retry/recovery layers to account the failure precisely.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        origin: str = "",
+        destination: str = "",
+        link: tuple = (),
+        reason: str = "drop",
+        at_time: float = 0.0,
+        size_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.origin = origin
+        self.destination = destination
+        #: the (upper, lower) path pair of the failing hop
+        self.link = link
+        #: ``"drop"`` (probabilistic loss) or ``"outage"`` (window)
+        self.reason = reason
+        self.at_time = at_time
+        self.size_bytes = size_bytes
+
+
 class ReplicationError(ReproError):
     """An adaptive-replication operation failed."""
 

@@ -1,0 +1,97 @@
+"""Parked exports awaiting redelivery: *delayed, never lost*.
+
+When a child→parent (or root→FlowDB) export exhausts its retry budget
+inside one epoch close, the runtime snapshots the already-privacy-
+degraded summary and parks it in the store's
+:class:`PendingExportQueue`.  The next epoch close drains the queue
+before shipping fresh exports — deepest-first rollup order means a
+recovered child summary still reaches the root in the same close.
+
+Delivery is at-least-once per epoch partition; the queue dedups by
+``export_id`` so a crashy redelivery path cannot double-count mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set
+
+
+@dataclass
+class PendingExport:
+    """One undelivered epoch export, snapshotted for redelivery.
+
+    ``summary`` is the privacy-degraded
+    :class:`~repro.core.primitive.DataSummary` exactly as it would have
+    crossed the link, so redelivery never re-applies privacy rules and
+    never observes post-close mutations of the source aggregator.
+    """
+
+    export_id: str
+    #: ``"forward"`` (child → parent combine) or ``"flowdb"`` (root → DB)
+    kind: str
+    summary: Any
+    items: int
+    size_bytes: int
+    #: hierarchy path of the origin store
+    origin: str
+    #: aggregator name ("forward") or partition id ("flowdb")
+    label: str
+    created_at: float
+    attempts: int = 0
+
+
+@dataclass
+class PendingExportQueue:
+    """FIFO of parked exports for one store, deduped by export id."""
+
+    entries: List[PendingExport] = field(default_factory=list)
+    _queued_ids: Set[str] = field(default_factory=set, repr=False)
+    _delivered_ids: Set[str] = field(default_factory=set, repr=False)
+
+    def park(self, export: PendingExport) -> bool:
+        """Queue an export unless it is already queued or delivered."""
+        if (
+            export.export_id in self._queued_ids
+            or export.export_id in self._delivered_ids
+        ):
+            return False
+        self.entries.append(export)
+        self._queued_ids.add(export.export_id)
+        return True
+
+    def pop(self) -> Optional[PendingExport]:
+        """Take the oldest parked export, or ``None`` when empty."""
+        if not self.entries:
+            return None
+        export = self.entries.pop(0)
+        self._queued_ids.discard(export.export_id)
+        return export
+
+    def requeue(self, export: PendingExport) -> bool:
+        """Put a failed redelivery back at the front (stays oldest)."""
+        if (
+            export.export_id in self._queued_ids
+            or export.export_id in self._delivered_ids
+        ):
+            return False
+        self.entries.insert(0, export)
+        self._queued_ids.add(export.export_id)
+        return True
+
+    def mark_delivered(self, export_id: str) -> None:
+        self._delivered_ids.add(export_id)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries)
+
+    @property
+    def pending_items(self) -> int:
+        return sum(entry.items for entry in self.entries)

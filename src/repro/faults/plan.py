@@ -1,0 +1,219 @@
+"""Seeded, deterministic link-fault schedules.
+
+Table I names *unreliable connections* and *limited bandwidth* as core
+challenges of distributed mega-datasets; DPM-Bench-style evaluations
+drive distributed algorithms explicitly under degraded networks.  A
+:class:`FaultPlan` is the repository's failure model: a reproducible
+schedule of probabilistic transfer drops, per-link outage windows
+(expressed in epochs), and bandwidth degradation, consulted by
+:class:`~repro.hierarchy.network.NetworkFabric` on every hop.
+
+Determinism matters more than realism here: the same plan replayed over
+the same transfer sequence makes the same decisions, which is what lets
+the hypothesis suite pin *root-mass conservation after recovery* across
+arbitrary fault schedules, and lets benchmarks compare drop rates on
+identical traces.  Drops are derived from a hash of ``(seed, link,
+per-link attempt counter)`` — no global RNG state, no ordering
+sensitivity between links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlacementError
+
+#: Failure reasons reported to :class:`~repro.errors.TransferError`.
+REASON_DROP = "drop"
+REASON_OUTAGE = "outage"
+
+
+def _matches(pattern: str, path: str) -> bool:
+    """Whether a link-endpoint pattern names a hierarchy path.
+
+    Patterns are matched against the endpoint's full path, or as a
+    root-relative suffix (``region1/router1`` matches
+    ``cloud/region1/router1``) so CLI specs can use site labels.
+    """
+    return (
+        path == pattern
+        or path.endswith("/" + pattern)
+    )
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One link is down for a half-open window of epochs.
+
+    ``link`` names either endpoint of the affected link (site-label
+    suffixes allowed); every link touching a matching endpoint is down
+    for epochs ``start_epoch <= epoch < end_epoch``.
+    """
+
+    link: str
+    start_epoch: int
+    end_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.end_epoch <= self.start_epoch:
+            raise PlacementError(
+                f"outage window must be non-empty, got "
+                f"[{self.start_epoch}, {self.end_epoch})"
+            )
+
+    def covers(self, epoch: int, upper: str, lower: str) -> bool:
+        """Whether this outage takes the (upper, lower) link down now."""
+        if not self.start_epoch <= epoch < self.end_epoch:
+            return False
+        return _matches(self.link, upper) or _matches(self.link, lower)
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of link faults.
+
+    * ``drop_probability`` — chance that any single transfer attempt on
+      any link is lost mid-flight (independent per attempt, derived
+      deterministically from ``seed`` and a per-link attempt counter).
+    * ``outages`` — hard per-link downtime windows in epoch units.
+    * ``bandwidth_factor`` — global capacity degradation in ``(0, 1]``;
+      ``bandwidth_factors`` overrides it per link pattern.
+    * ``epoch_seconds`` — how transfer times map to epoch indexes for
+      the outage windows; the runtime binds its own epoch length here
+      when the plan is injected without an explicit value.
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    outages: List[LinkOutage] = field(default_factory=list)
+    bandwidth_factor: float = 1.0
+    bandwidth_factors: Dict[str, float] = field(default_factory=dict)
+    epoch_seconds: Optional[float] = None
+    _attempts: Dict[Tuple[str, str], int] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise PlacementError(
+                f"drop_probability must be in [0, 1), got "
+                f"{self.drop_probability}"
+            )
+        for factor in [self.bandwidth_factor, *self.bandwidth_factors.values()]:
+            if not 0.0 < factor <= 1.0:
+                raise PlacementError(
+                    f"bandwidth factors must be in (0, 1], got {factor}"
+                )
+
+    # -- schedule queries ---------------------------------------------------
+
+    def epoch_of(self, at_time: float) -> int:
+        """The epoch index a transfer time falls into."""
+        seconds = self.epoch_seconds or 60.0
+        return int(at_time // seconds)
+
+    def link_down(self, upper: str, lower: str, at_time: float) -> bool:
+        """Whether an outage window has this link down at ``at_time``."""
+        epoch = self.epoch_of(at_time)
+        return any(o.covers(epoch, upper, lower) for o in self.outages)
+
+    def degradation(self, upper: str, lower: str) -> float:
+        """The bandwidth factor applying to one link."""
+        for pattern, factor in self.bandwidth_factors.items():
+            if _matches(pattern, upper) or _matches(pattern, lower):
+                return factor
+        return self.bandwidth_factor
+
+    def failure(
+        self, upper: str, lower: str, at_time: float
+    ) -> Optional[str]:
+        """The failure verdict for one transfer attempt on one link.
+
+        Returns ``None`` (attempt succeeds), :data:`REASON_OUTAGE`, or
+        :data:`REASON_DROP`.  Every call advances the link's attempt
+        counter, so verdicts are deterministic for a given call
+        sequence regardless of what other links do in between.
+        """
+        key = (upper, lower)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        if self.link_down(upper, lower, at_time):
+            return REASON_OUTAGE
+        if self.drop_probability <= 0.0:
+            return None
+        draw = random.Random(
+            f"{self.seed}|{upper}|{lower}|{attempt}"
+        ).random()
+        return REASON_DROP if draw < self.drop_probability else None
+
+    def reset(self) -> None:
+        """Forget attempt history (between independent experiment runs)."""
+        self._attempts.clear()
+
+    # -- CLI spec -----------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact CLI spec into a plan.
+
+        The spec is comma-separated ``key=value`` items::
+
+            drop=0.2,seed=7,bw=0.5,outage=region1/router1:1-3,epoch=60
+
+        ``outage`` may repeat; its value is ``<link>:<start>-<end>``
+        (epochs, end exclusive).  ``bw`` may also be scoped to a link:
+        ``bw=region1:0.25``.
+        """
+        plan = cls()
+        for item in filter(None, (part.strip() for part in spec.split(","))):
+            if "=" not in item:
+                raise PlacementError(
+                    f"fault spec item {item!r} is not key=value"
+                )
+            key, value = (part.strip() for part in item.split("=", 1))
+            try:
+                if key == "drop":
+                    plan.drop_probability = float(value)
+                elif key == "seed":
+                    plan.seed = int(value)
+                elif key == "epoch":
+                    plan.epoch_seconds = float(value)
+                elif key == "bw":
+                    if ":" in value:
+                        pattern, factor = value.rsplit(":", 1)
+                        plan.bandwidth_factors[pattern] = float(factor)
+                    else:
+                        plan.bandwidth_factor = float(value)
+                elif key == "outage":
+                    link, window = value.rsplit(":", 1)
+                    start, end = window.split("-", 1)
+                    plan.outages.append(
+                        LinkOutage(link, int(start), int(end))
+                    )
+                else:
+                    raise PlacementError(
+                        f"unknown fault spec key {key!r}; known: "
+                        "drop, seed, epoch, bw, outage"
+                    )
+            except ValueError as exc:
+                raise PlacementError(
+                    f"malformed fault spec item {item!r}: {exc}"
+                ) from exc
+        plan.__post_init__()  # re-validate mutated fields
+        return plan
+
+    def describe(self) -> str:
+        """One-line, human-readable schedule summary."""
+        parts = [f"drop={self.drop_probability:g}", f"seed={self.seed}"]
+        if self.bandwidth_factor != 1.0:
+            parts.append(f"bw={self.bandwidth_factor:g}")
+        for pattern, factor in self.bandwidth_factors.items():
+            parts.append(f"bw[{pattern}]={factor:g}")
+        for outage in self.outages:
+            parts.append(
+                f"outage[{outage.link}]="
+                f"{outage.start_epoch}-{outage.end_epoch}"
+            )
+        return " ".join(parts)

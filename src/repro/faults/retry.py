@@ -1,0 +1,48 @@
+"""Bounded retry with exponential backoff on the simulated clock.
+
+The rollup path wraps every fabric export in a :class:`RetryPolicy`:
+each failed attempt advances a *simulated* retry time (the epoch close
+timestamp plus accumulated backoff) — never the wall clock — so tests
+and benchmarks stay deterministic and instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed export, and how far apart.
+
+    Attempt ``n`` (0-based) runs at ``now + base_backoff_s *
+    (multiplier ** n - 1) / (multiplier - 1)`` — i.e. backoffs of
+    ``base``, ``base * multiplier``, ... between consecutive attempts.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PlacementError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0.0 or self.multiplier < 1.0:
+            raise PlacementError(
+                "base_backoff_s must be >= 0 and multiplier >= 1, got "
+                f"{self.base_backoff_s}/{self.multiplier}"
+            )
+
+    def attempt_times(self, now: float) -> Iterator[Tuple[int, float]]:
+        """Yield ``(attempt_index, simulated_time)`` per allowed attempt."""
+        at_time = now
+        backoff = self.base_backoff_s
+        for attempt in range(self.max_attempts):
+            yield attempt, at_time
+            at_time += backoff
+            backoff *= self.multiplier

@@ -26,25 +26,6 @@ from repro.runtime.presets import flat_runtime
 from repro.runtime.stats import VolumeStats
 
 
-def __getattr__(name: str):
-    # deprecated alias: volume accounting now lives in the runtime's
-    # VolumeStats, which keeps the old raw_bytes_ingested /
-    # summary_bytes_exported names as deprecated properties
-    if name == "FlowstreamStats":
-        import warnings
-
-        warnings.warn(
-            "FlowstreamStats is deprecated; use "
-            "repro.runtime.stats.VolumeStats",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return VolumeStats
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}"
-    )
-
-
 class Flowstream:
     """Routers → data stores → Flowtrees → FlowDB → FlowQL."""
 

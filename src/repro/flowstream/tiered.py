@@ -28,25 +28,6 @@ from repro.runtime.presets import tiered_runtime
 from repro.runtime.stats import VolumeStats
 
 
-def __getattr__(name: str):
-    # deprecated alias: per-tier accounting now lives in the runtime's
-    # VolumeStats, which keeps the old raw_bytes / router_summary_bytes
-    # / region_summary_bytes names as deprecated properties
-    if name == "TierStats":
-        import warnings
-
-        warnings.warn(
-            "TierStats is deprecated; use "
-            "repro.runtime.stats.VolumeStats",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return VolumeStats
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}"
-    )
-
-
 class TieredFlowstream:
     """Router stores → region stores (merge + compress) → cloud FlowDB.
 

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.summary import Location
-from repro.errors import PlacementError
+from repro.errors import PlacementError, TransferError
+from repro.faults import FaultPlan
 from repro.hierarchy.topology import Hierarchy, HierarchyNode
 
 #: Default link capacities by the *upper* endpoint's level name.
@@ -47,17 +48,30 @@ class Link:
     latency_s: float
     bytes_carried: int = 0
     transfers: int = 0
+    #: hop traversals attempted, including ones that failed mid-transfer
+    attempts: int = 0
+    #: hop traversals refused by the fault plan (drop or outage)
+    failures: int = 0
+    #: bytes burned by failed transfer attempts; kept out of
+    #: ``bytes_carried`` so delivered-volume accounting is fault-free
+    wasted_bytes: int = 0
 
     @property
     def key(self) -> Tuple[str, str]:
         """Canonical (upper, lower) path pair identifying the link."""
         return (self.upper.path, self.lower.path)
 
-    def charge(self, size_bytes: int) -> float:
-        """Account one transfer; returns the per-hop duration."""
+    def charge(self, size_bytes: int, bandwidth_factor: float = 1.0) -> float:
+        """Account one transfer; returns the per-hop duration.
+
+        ``bandwidth_factor`` in ``(0, 1]`` models fault-plan bandwidth
+        degradation: the bytes still arrive, but slower.
+        """
         self.bytes_carried += size_bytes
         self.transfers += 1
-        return self.latency_s + size_bytes * 8.0 / self.bandwidth_bps
+        return self.latency_s + size_bytes * 8.0 / (
+            self.bandwidth_bps * bandwidth_factor
+        )
 
 
 @dataclass(frozen=True)
@@ -85,8 +99,10 @@ class NetworkFabric:
         hierarchy: Hierarchy,
         bandwidth_by_level: Optional[Dict[str, float]] = None,
         latency_by_level: Optional[Dict[str, float]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.hierarchy = hierarchy
+        self.faults = faults
         bandwidths = dict(DEFAULT_BANDWIDTH_BPS)
         if bandwidth_by_level:
             bandwidths.update(bandwidth_by_level)
@@ -124,6 +140,10 @@ class NetworkFabric:
         """All links in the fabric."""
         return list(self._links.values())
 
+    def inject_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Install (or clear, with ``None``) the active fault schedule."""
+        self.faults = faults
+
     def transfer(
         self,
         origin: Location,
@@ -136,13 +156,48 @@ class NetworkFabric:
         Duration is the sum of per-hop latencies plus per-hop
         serialization delay (store-and-forward).  A zero-hop transfer
         (origin == destination) is free and instantaneous.
+
+        With a :class:`~repro.faults.FaultPlan` installed, each hop is
+        consulted in route order; the first faulty hop raises
+        :class:`~repro.errors.TransferError`, charging the bytes burned
+        so far (this hop and every hop already traversed) to the links'
+        ``wasted_bytes`` — never to ``bytes_carried``, which only ever
+        counts delivered volume.  Surviving hops may still be delivered
+        at degraded bandwidth.
         """
         path = self.hierarchy.path_between(origin, destination)
-        duration = 0.0
-        hops = 0
+        traversed: List[Tuple[Link, float]] = []
         for upper, lower in zip(path, path[1:]):
             link = self.link_between(upper.location, lower.location)
-            duration += link.charge(size_bytes)
+            link.attempts += 1
+            factor = 1.0
+            if self.faults is not None:
+                verdict = self.faults.failure(
+                    link.upper.path, link.lower.path, at_time
+                )
+                if verdict is not None:
+                    link.failures += 1
+                    link.wasted_bytes += size_bytes
+                    for earlier, _ in traversed:
+                        earlier.wasted_bytes += size_bytes
+                    raise TransferError(
+                        f"transfer {origin.path!r} -> {destination.path!r} "
+                        f"lost on link {link.key} ({verdict})",
+                        origin=origin.path,
+                        destination=destination.path,
+                        link=link.key,
+                        reason=verdict,
+                        at_time=at_time,
+                        size_bytes=size_bytes,
+                    )
+                factor = self.faults.degradation(
+                    link.upper.path, link.lower.path
+                )
+            traversed.append((link, factor))
+        duration = 0.0
+        hops = 0
+        for link, factor in traversed:
+            duration += link.charge(size_bytes, factor)
             hops += 1
         record = TransferRecord(
             origin=origin,
@@ -172,9 +227,33 @@ class NetworkFabric:
             if link.upper.path == root_path
         )
 
+    def wasted_bytes(self) -> int:
+        """Bytes burned by failed transfer attempts across all links."""
+        return sum(link.wasted_bytes for link in self._links.values())
+
+    def wan_wasted_bytes(self) -> int:
+        """Failed-attempt bytes on links whose upper endpoint is the root."""
+        root_path = self.hierarchy.root.location.path
+        return sum(
+            link.wasted_bytes
+            for link in self._links.values()
+            if link.upper.path == root_path
+        )
+
+    def attempted_hops(self) -> int:
+        """Hop traversals attempted (successful + faulted)."""
+        return sum(link.attempts for link in self._links.values())
+
+    def failed_hops(self) -> int:
+        """Hop traversals refused by the fault plan."""
+        return sum(link.failures for link in self._links.values())
+
     def reset_accounting(self) -> None:
         """Zero all counters (between experiment phases)."""
         for link in self._links.values():
             link.bytes_carried = 0
             link.transfers = 0
+            link.attempts = 0
+            link.failures = 0
+            link.wasted_bytes = 0
         self.transfers = []

@@ -4,11 +4,17 @@ One planner unifies the repository's query paths: FlowQL over the root
 FlowDB when the rollup covers the request, fan-out over hierarchy
 stores otherwise, a reactive result cache in front of both, and the
 live remote-access feed that drives adaptive replication (Fig. 6).
+Every query returns a typed :class:`QueryOutcome`; when links are down
+the planner degrades gracefully and reports exactly what is missing in
+a :class:`Degradation` record instead of throwing.
 """
 
 from repro.query.plan import (
     ROUTE_CLOUD,
     ROUTE_FEDERATED,
+    CacheInfo,
+    Degradation,
+    QueryOutcome,
     QueryPlan,
     SiteRead,
 )
@@ -17,6 +23,9 @@ from repro.query.planner import FederatedQueryPlanner
 __all__ = [
     "ROUTE_CLOUD",
     "ROUTE_FEDERATED",
+    "CacheInfo",
+    "Degradation",
+    "QueryOutcome",
     "QueryPlan",
     "SiteRead",
     "FederatedQueryPlanner",

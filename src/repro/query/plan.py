@@ -1,16 +1,26 @@
-"""Plan nodes for the federated FlowQL planner.
+"""Plan nodes and typed outcomes for the federated FlowQL planner.
 
 A :class:`QueryPlan` records one routing decision: *where* a FlowQL
 query executes (the root FlowDB, or a fan-out over one hierarchy
 level's stores), which stores and partitions it touched, and whether
 the result came out of the reactive cache.  Plans are what the CLI
 prints (``repro query``) and what the planner benchmarks assert on.
+
+:class:`QueryOutcome` is the planner's (and the runtime's) single
+return type: the result plus its plan, cache provenance, and — when
+links were down — a structured :class:`Degradation` naming exactly the
+sites whose partitions were unreachable, instead of an exception.  It
+duck-types :class:`~repro.flowql.executor.FlowQLResult` (``rows``,
+``scalar``, ``columns``, ``operator``) so result-consuming code does
+not care which it holds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
+
+from repro.flowql.executor import FlowQLResult
 
 #: Routing outcomes.
 ROUTE_CLOUD = "cloud"
@@ -75,3 +85,117 @@ class QueryPlan:
             parts.append(f"{self.shipped_bytes} B shipped")
         detail = f" ({', '.join(parts)})" if parts else ""
         return f"{origin} @ [{sites}]{detail}"
+
+
+@dataclass
+class Degradation:
+    """What a partial answer is missing, and how stale it is.
+
+    Produced instead of an exception when covering stores were
+    unreachable and no replica/alternative coverage existed.
+    ``missing_sites`` lists exactly the store labels whose partitions
+    could not be read; ``stale_through`` is the latest epoch timestamp
+    through which the served data for those sites *is* complete
+    (``None`` when nothing of theirs was served at all).
+    """
+
+    missing_sites: List[str] = field(default_factory=list)
+    stale_through: Optional[float] = None
+    #: one human-readable reason per failed read (link, drop/outage)
+    reasons: List[str] = field(default_factory=list)
+
+    def note(
+        self, site: str, stale_through: Optional[float], reason: str
+    ) -> None:
+        """Record one unreachable site (idempotent per site)."""
+        if site not in self.missing_sites:
+            self.missing_sites.append(site)
+            self.missing_sites.sort()
+            self.reasons.append(reason)
+        if stale_through is not None:
+            self.stale_through = (
+                stale_through
+                if self.stale_through is None
+                else max(self.stale_through, stale_through)
+            )
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.missing_sites)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        sites = ", ".join(self.missing_sites) or "<none>"
+        stale = (
+            f" stale-through={self.stale_through:g}"
+            if self.stale_through is not None
+            else ""
+        )
+        return f"partial: missing [{sites}]{stale}"
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Cache provenance of one outcome."""
+
+    hit: bool = False
+    key: Optional[Hashable] = None
+
+
+@dataclass
+class QueryOutcome:
+    """The typed return of every planner/runtime query.
+
+    Wraps the :class:`~repro.flowql.executor.FlowQLResult` with the
+    plan that produced it, its cache provenance, and the degradation
+    record (``None`` means the answer is complete).  Result access
+    delegates, so ``outcome.rows`` / ``outcome.scalar`` read exactly
+    like the bare result they replaced.
+    """
+
+    result: FlowQLResult
+    plan: QueryPlan
+    degradation: Optional[Degradation] = None
+    cache: CacheInfo = field(default_factory=CacheInfo)
+
+    # -- FlowQLResult delegation -------------------------------------------
+
+    @property
+    def operator(self) -> str:
+        return self.result.operator
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.result.columns
+
+    @property
+    def rows(self):
+        return self.result.rows
+
+    @property
+    def scalar(self):
+        return self.result.scalar
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+    # -- outcome-level accessors -------------------------------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether this is a partial answer (sites were unreachable)."""
+        return self.degradation is not None and self.degradation.is_degraded
+
+    @property
+    def missing_sites(self) -> List[str]:
+        """Unreachable store labels (empty for complete answers)."""
+        return list(self.degradation.missing_sites) if self.degradation else []
+
+    def copy(self) -> "QueryOutcome":
+        """An independent copy (mutating ``rows`` cannot leak back)."""
+        return QueryOutcome(
+            result=self.result.copy(),
+            plan=self.plan,
+            degradation=self.degradation,
+            cache=self.cache,
+        )

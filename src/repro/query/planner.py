@@ -33,7 +33,7 @@ from repro.datastore.recombine import combine_summaries
 from repro.datastore.storage import RoundRobinStorage
 from repro.datastore.store import DataStore
 from repro.datastore.summary_query import approx_result_bytes, rehydrate
-from repro.errors import FlowQLPlanningError
+from repro.errors import FlowQLPlanningError, TransferError
 from repro.flowql.ast import FlowQLQuery, TimeSpec
 from repro.flowql.executor import FlowQLResult, apply_operator
 from repro.flowql.parser import parse
@@ -41,6 +41,9 @@ from repro.flows.tree import Flowtree
 from repro.query.plan import (
     ROUTE_CLOUD,
     ROUTE_FEDERATED,
+    CacheInfo,
+    Degradation,
+    QueryOutcome,
     QueryPlan,
     SiteRead,
 )
@@ -164,8 +167,15 @@ class FederatedQueryPlanner:
 
     def execute(
         self, flowql: Union[str, FlowQLQuery], now: Optional[float] = None
-    ) -> FlowQLResult:
-        """Plan and run one FlowQL query (text or parsed)."""
+    ) -> QueryOutcome:
+        """Plan and run one FlowQL query (text or parsed).
+
+        Returns a typed :class:`~repro.query.plan.QueryOutcome` — the
+        result plus its plan, cache provenance, and (when covering
+        stores were unreachable) a :class:`~repro.query.plan.
+        Degradation` record instead of an exception.  Degraded partial
+        answers are never cached.
+        """
         query = parse(flowql) if isinstance(flowql, str) else flowql
         now = self.clock if now is None else now
         plan = self.plan(query)
@@ -184,14 +194,25 @@ class FederatedQueryPlanner:
                 plan.cache_hit = True
                 stats.queries_cached += 1
                 self.last_plan = plan
-                return entry.value.copy()
+                return QueryOutcome(
+                    result=entry.value.copy(),
+                    plan=plan,
+                    cache=CacheInfo(hit=True, key=key),
+                )
+        degradation: Optional[Degradation] = None
         if plan.route == ROUTE_CLOUD:
             result = self.runtime.executor.execute_query(query)
             stats.queries_cloud += 1
         else:
-            result = self._execute_federated(plan, query, now)
+            degradation = Degradation()
+            result = self._execute_federated(plan, query, now, degradation)
             stats.queries_federated += 1
-        if self.cache is not None:
+            if degradation.is_degraded:
+                stats.queries_degraded += 1
+            else:
+                degradation = None
+        if self.cache is not None and degradation is None:
+            # a partial answer must not satisfy tomorrow's full query
             self.cache.put(
                 key,
                 result.copy(),
@@ -199,7 +220,12 @@ class FederatedQueryPlanner:
                 now,
             )
         self.last_plan = plan
-        return result
+        return QueryOutcome(
+            result=result,
+            plan=plan,
+            degradation=degradation,
+            cache=CacheInfo(hit=False, key=key),
+        )
 
     def _cache_request(
         self, query: FlowQLQuery, plan: QueryPlan
@@ -222,15 +248,25 @@ class FederatedQueryPlanner:
                     if query.vs_time is not None
                     else None
                 ),
+                # a replica promotion mid-window changes how (and from
+                # where) a federated plan reads; keying on the replica
+                # generation retires entries cached before the promotion
+                "replica_gen": len(self.replica_store.replicas.all()),
             },
         )
 
     def _execute_federated(
-        self, plan: QueryPlan, query: FlowQLQuery, now: float
+        self,
+        plan: QueryPlan,
+        query: FlowQLQuery,
+        now: float,
+        degradation: Degradation,
     ) -> FlowQLResult:
-        tree = self._assemble(plan, query, query.time, now)
+        tree = self._assemble(plan, query, query.time, now, degradation)
         if query.vs_time is not None:
-            tree = tree.diff(self._assemble(plan, query, query.vs_time, now))
+            tree = tree.diff(
+                self._assemble(plan, query, query.vs_time, now, degradation)
+            )
         volume = self.runtime.stats.level(plan.level)
         volume.queries_served += 1
         volume.query_bytes_out += plan.shipped_bytes
@@ -242,8 +278,15 @@ class FederatedQueryPlanner:
         query: FlowQLQuery,
         spec: TimeSpec,
         now: float,
+        degradation: Degradation,
     ) -> Flowtree:
-        """One window's partial trees from the plan's level, merged."""
+        """One window's partial trees from the plan's level, merged.
+
+        A store whose read fails on a faulty link is retried against
+        replica coverage, then against covering stores at other levels;
+        what stays unreachable lands in ``degradation`` and the merge
+        proceeds over the surviving partials.
+        """
         stores = self.runtime.stores_at_level(plan.level)
         trees: List[Flowtree] = []
         for label in sorted(stores):
@@ -256,12 +299,28 @@ class FederatedQueryPlanner:
             )
             if not partitions:
                 continue
-            read, site_trees = self._read_store(
-                label, plan.level, stores[label], partitions, now
-            )
-            plan.reads.append(read)
+            try:
+                read, site_trees = self._read_store(
+                    label, plan.level, stores[label], partitions, now
+                )
+                plan.reads.append(read)
+            except TransferError as exc:
+                reads, site_trees, covered, stale = self._degraded_read(
+                    label, plan.level, stores[label], partitions, spec, now
+                )
+                plan.reads.extend(reads)
+                if not covered:
+                    degradation.note(label, stale, str(exc))
             trees.extend(site_trees)
         if not trees:
+            if degradation.is_degraded:
+                # every covering store was unreachable: an honest empty
+                # partial beats an exception — the degradation record
+                # carries what is missing
+                return Flowtree(
+                    self.runtime.policy,
+                    node_budget=self.runtime.db.merge_node_budget,
+                )
             raise FlowQLPlanningError(
                 f"no partitions at level {plan.level!r} match the window "
                 f"(start={spec.start}, end={spec.end})"
@@ -274,6 +333,75 @@ class FederatedQueryPlanner:
         for tree in trees:
             merged.merge(tree)
         return merged
+
+    def _degraded_read(
+        self,
+        label: str,
+        level: str,
+        store: DataStore,
+        partitions: List[Partition],
+        spec: TimeSpec,
+        now: float,
+    ) -> Tuple[List[SiteRead], List[Flowtree], bool, Optional[float]]:
+        """Fallback coverage for a store whose remote read failed.
+
+        Tries, in order: root-side replicas of the failed store's
+        partitions (no fabric traffic), then covering stores at other
+        store-bearing levels strictly under the failed store.  Returns
+        ``(reads, trees, fully_covered, stale_through)`` —
+        ``fully_covered=False`` means the site must be reported in the
+        degradation record, with the served data complete only through
+        ``stale_through``.
+        """
+        # replicas answer locally even while the link is down
+        read, trees = self._read_store(
+            label, level, store, partitions, now, replicas_only=True
+        )
+        reads = [read] if read.replica_partitions else []
+        if len(read.replica_partitions) == len(partitions):
+            return reads, trees, True, None
+        # shallower/deeper coverage: stores at other levels holding
+        # exactly this site's data (never an ancestor — it overcounts)
+        for other_level in self.runtime.store_levels():
+            if other_level == level:
+                continue
+            candidates = {
+                lab: st
+                for lab, st in self.runtime.stores_at_level(
+                    other_level
+                ).items()
+                if _covers(lab, label) and lab != label
+            }
+            if not candidates:
+                continue
+            alt_reads: List[SiteRead] = []
+            alt_trees: List[Flowtree] = []
+            try:
+                for lab in sorted(candidates):
+                    parts = self._window_partitions(
+                        candidates[lab], spec.start, spec.end
+                    )
+                    if not parts:
+                        continue
+                    alt_read, alt_site_trees = self._read_store(
+                        lab, other_level, candidates[lab], parts, now
+                    )
+                    alt_reads.append(alt_read)
+                    alt_trees.extend(alt_site_trees)
+            except TransferError:
+                continue  # that level is unreachable too
+            if alt_trees:
+                return reads + alt_reads, trees + alt_trees, True, None
+        # partial at best: the replica subset (possibly nothing)
+        replicated = set()
+        if read.replica_partitions:
+            replicated = set(read.replica_partitions)
+        stale = None
+        for partition in partitions:
+            if partition.partition_id in replicated:
+                end = partition.summary.meta.interval.end
+                stale = end if stale is None else max(stale, end)
+        return reads, trees, False, stale
 
     @staticmethod
     def _window_partitions(
@@ -304,12 +432,15 @@ class FederatedQueryPlanner:
         store: DataStore,
         partitions: List[Partition],
         now: float,
+        replicas_only: bool = False,
     ) -> Tuple[SiteRead, List[Flowtree]]:
         """Fetch one store's partials: replicas locally, the rest shipped.
 
         Remote reads are accounted on the fabric and fed to the manager's
         replication engine — the engine may replicate the partition into
         :attr:`replica_store` mid-stream, so later reads turn local.
+        With ``replicas_only`` the remote ship is skipped entirely (the
+        degraded-read path: serve what the root already holds).
         """
         read = SiteRead(
             site=label,
@@ -328,6 +459,8 @@ class FederatedQueryPlanner:
                 summaries.append(replica.summary)
             else:
                 remote.setdefault(partition.aggregator, []).append(partition)
+        if replicas_only:
+            remote = {}
         for aggregator, parts in sorted(remote.items()):
             combined = combine_summaries(
                 [p.summary for p in parts], shrink=1.0

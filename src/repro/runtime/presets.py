@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import PlacementError
+from repro.faults import FaultPlan, RetryPolicy
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.hierarchy.topology import (
     EDGE_DEADLINE,
@@ -38,6 +39,8 @@ def flat_runtime(
     epoch_seconds: float = 60.0,
     store_budget_bytes: int = 64 * 1024 * 1024,
     merge_node_budget: Optional[int] = 65536,
+    faults: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> HierarchyRuntime:
     """Edge stores at every site path, exporting straight to FlowDB."""
     if not sites:
@@ -67,6 +70,8 @@ def flat_runtime(
         policy=policy,
         epoch_seconds=epoch_seconds,
         merge_node_budget=merge_node_budget,
+        faults=faults,
+        retry_policy=retry_policy,
     )
 
 
@@ -79,6 +84,8 @@ def tiered_runtime(
     epoch_seconds: float = 60.0,
     merge_node_budget: Optional[int] = 65536,
     store_budget_bytes: int = 256 * 1024 * 1024,
+    faults: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> HierarchyRuntime:
     """Router stores merging into region stores before the WAN hop."""
     if not sites:
@@ -106,6 +113,8 @@ def tiered_runtime(
         policy=policy,
         epoch_seconds=epoch_seconds,
         merge_node_budget=merge_node_budget,
+        faults=faults,
+        retry_policy=retry_policy,
     )
 
 
@@ -121,6 +130,8 @@ def network_4level_runtime(
     epoch_seconds: float = 60.0,
     merge_node_budget: Optional[int] = 65536,
     retain_partitions: bool = False,
+    faults: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
@@ -163,6 +174,8 @@ def network_4level_runtime(
         policy=policy,
         epoch_seconds=epoch_seconds,
         merge_node_budget=merge_node_budget,
+        faults=faults,
+        retry_policy=retry_policy,
     )
 
 
@@ -178,6 +191,8 @@ def factory_4level_runtime(
     epoch_seconds: float = 60.0,
     merge_node_budget: Optional[int] = 65536,
     retain_partitions: bool = False,
+    faults: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
@@ -222,4 +237,6 @@ def factory_4level_runtime(
         policy=policy,
         epoch_seconds=epoch_seconds,
         merge_node_budget=merge_node_budget,
+        faults=faults,
+        retry_policy=retry_policy,
     )

@@ -38,12 +38,20 @@ from repro.core.registry import PrimitiveRegistry, default_registry
 from repro.core.summary import Location
 from repro.datastore.aggregator import Aggregator
 from repro.datastore.store import DataStore
-from repro.errors import PlacementError
+from repro.datastore.summary_query import rehydrate
+from repro.errors import PlacementError, TransferError
+from repro.faults import (
+    FaultPlan,
+    PendingExport,
+    PendingExportQueue,
+    RetryPolicy,
+)
 from repro.flowdb.db import FlowDB
-from repro.flowql.executor import FlowQLExecutor, FlowQLResult
+from repro.flowql.executor import FlowQLExecutor
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.hierarchy.network import NetworkFabric
 from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.query.plan import QueryOutcome
 from repro.query.planner import FederatedQueryPlanner
 from repro.runtime.config import EXPORT_AUTO, EXPORT_NONE, LevelConfig
 from repro.runtime.stats import VolumeStats
@@ -65,6 +73,8 @@ class HierarchyRuntime:
         db: Optional[FlowDB] = None,
         registry: Optional[PrimitiveRegistry] = None,
         raw_record_bytes: int = 48,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not levels:
             raise PlacementError(
@@ -83,6 +93,13 @@ class HierarchyRuntime:
         self.epoch_seconds = epoch_seconds
         self.raw_record_bytes = raw_record_bytes
         self.fabric = fabric or NetworkFabric(hierarchy)
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: parked exports awaiting redelivery, by origin store path
+        self._pending: Dict[str, PendingExportQueue] = {}
+        #: timestamp of the previous epoch close (the current window start)
+        self._last_close = 0.0
+        if faults is not None:
+            self.inject_faults(faults)
         self.manager = manager or Manager(
             hierarchy=hierarchy, fabric=self.fabric
         )
@@ -237,6 +254,58 @@ class HierarchyRuntime:
         self.controllers[location.path] = controller
         return controller
 
+    # -- fault tolerance ------------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        """The active fault schedule (``None`` = faultless fabric)."""
+        return self.fabric.faults
+
+    def inject_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Install (or clear) the fault schedule on the fabric.
+
+        A plan without an explicit ``epoch_seconds`` adopts the
+        runtime's, so its outage windows line up with epoch closes.
+        """
+        if faults is not None and faults.epoch_seconds is None:
+            faults.epoch_seconds = self.epoch_seconds
+        self.fabric.inject_faults(faults)
+
+    def _pending_for(self, store: DataStore) -> PendingExportQueue:
+        queue = self._pending.get(store.location.path)
+        if queue is None:
+            queue = self._pending[store.location.path] = PendingExportQueue()
+        return queue
+
+    def pending_exports(self) -> int:
+        """Exports parked across all stores, awaiting redelivery."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def pending_queue(self, site: str) -> PendingExportQueue:
+        """The pending-export queue of one store (by site label)."""
+        return self._pending_for(self.store_for(site))
+
+    def _transfer_with_retry(self, volume, send, size_bytes, now):
+        """Run one export through the bounded retry/backoff schedule.
+
+        ``send(at_time)`` performs the transfer at a simulated time;
+        attempt *n* runs at ``now`` plus the accumulated backoff.
+        Returns ``(result, True)`` on delivery or ``(last_error,
+        False)`` when the retry budget is exhausted; every attempt is
+        accounted in the level's volume bucket.
+        """
+        last_error: Optional[TransferError] = None
+        for attempt, at_time in self.retry_policy.attempt_times(now):
+            volume.transfer_attempts += 1
+            if attempt > 0:
+                volume.retried_bytes += size_bytes
+            try:
+                return send(at_time), True
+            except TransferError as exc:
+                volume.transfer_failures += 1
+                last_error = exc
+        return last_error, False
+
     # -- data path -----------------------------------------------------------
 
     def ingest(
@@ -259,7 +328,7 @@ class HierarchyRuntime:
             )
         size = self.raw_record_bytes if size_bytes is None else size_bytes
         batch = [(record, record.first_seen) for record in records]
-        count = store.ingest_batch(stream_id, batch, size_bytes=size)
+        count = store.ingest(stream_id, batch, size_bytes=size)
         node = self.hierarchy.node(store.location)
         volume = self.stats.level(node.level.name)
         volume.raw_items += count
@@ -276,11 +345,18 @@ class HierarchyRuntime:
         store cut their epoch partitions and export the Flowtree ones
         into FlowDB across the WAN (privacy-degraded when the level has
         a guard).  Returns the number of summaries exported to FlowDB.
+
+        Exports run under the runtime's :class:`~repro.faults.
+        RetryPolicy`; an export that exhausts its retries is parked in
+        the store's pending queue and redelivered here, at the store's
+        slot, on a later close — deepest-first order lets recovered
+        child mass still reach the root within the same close.
         """
         exported = 0
         for node, config, store in self._rollup_order:
             started = time.perf_counter()
             volume = self.stats.level(node.level.name)
+            exported += self._drain_pending(node, store, now)
             parent_store = (
                 self._parent_store(node)
                 if config.export == EXPORT_AUTO
@@ -294,6 +370,7 @@ class HierarchyRuntime:
                 exported += self._export_to_db(node, store, now)
             volume.rollup_seconds += time.perf_counter() - started
         self.stats.epochs_closed += 1
+        self._last_close = now
         # new data invalidates cached answers and advances query time
         self.planner.on_epoch_closed(now)
         return exported
@@ -316,14 +393,43 @@ class HierarchyRuntime:
                 store.close_epoch(now)
             return
         summary_bytes = aggregator.primitive.footprint_bytes()
-        store.export_summaries(name, parent_store, now=now)
         volume = self.stats.level(node.level.name)
-        volume.summary_bytes_out += summary_bytes
-        volume.exports += 1
-        parent_node = self.hierarchy.node(parent_store.location)
-        self.stats.level(parent_node.level.name).summary_bytes_in += (
-            summary_bytes
+        _, delivered = self._transfer_with_retry(
+            volume,
+            lambda at: store.export_summaries(name, parent_store, now=at),
+            summary_bytes,
+            now,
         )
+        if delivered:
+            volume.summary_bytes_out += summary_bytes
+            volume.exports += 1
+            parent_node = self.hierarchy.node(parent_store.location)
+            self.stats.level(parent_node.level.name).summary_bytes_in += (
+                summary_bytes
+            )
+        else:
+            # snapshot what would have crossed the link (privacy already
+            # applied) before the local close wipes the live epoch
+            outgoing = aggregator.primitive.summary()
+            if store.privacy is not None:
+                outgoing = store.privacy.export(name, outgoing)
+            parked = self._pending_for(store).park(
+                PendingExport(
+                    export_id=(
+                        f"{store.location.path}:{name}"
+                        f":{self.stats.epochs_closed}"
+                    ),
+                    kind="forward",
+                    summary=outgoing,
+                    items=aggregator.items_this_epoch,
+                    size_bytes=outgoing.size_bytes,
+                    origin=store.location.path,
+                    label=name,
+                    created_at=now,
+                )
+            )
+            if parked:
+                volume.exports_parked += 1
         if config.retain_partitions:
             store.close_epoch(now)
         else:
@@ -346,9 +452,30 @@ class HierarchyRuntime:
                     partition.aggregator, outgoing
                 )
             if store.location.path != self._root.path:
-                self.fabric.transfer(
-                    store.location, self._root, outgoing.size_bytes, now
+                _, delivered = self._transfer_with_retry(
+                    volume,
+                    lambda at: self.fabric.transfer(
+                        store.location, self._root, outgoing.size_bytes, at
+                    ),
+                    outgoing.size_bytes,
+                    now,
                 )
+                if not delivered:
+                    parked = self._pending_for(store).park(
+                        PendingExport(
+                            export_id=partition.partition_id,
+                            kind="flowdb",
+                            summary=outgoing,
+                            items=0,
+                            size_bytes=outgoing.size_bytes,
+                            origin=store.location.path,
+                            label=partition.partition_id,
+                            created_at=now,
+                        )
+                    )
+                    if parked:
+                        volume.exports_parked += 1
+                    continue
             volume.summary_bytes_out += outgoing.size_bytes
             volume.exports += 1
             self.stats.exported_bytes += outgoing.size_bytes
@@ -361,16 +488,142 @@ class HierarchyRuntime:
             exported += 1
         return exported
 
+    def _drain_pending(
+        self, node: HierarchyNode, store: DataStore, now: float
+    ) -> int:
+        """Redeliver this store's parked exports, oldest first.
+
+        Runs before the store's fresh export so recovered mass joins
+        the current rollup.  A redelivery that fails again (the link is
+        still down) is re-queued at the front and the drain stops — the
+        remaining entries would cross the same links.  Returns how many
+        parked summaries reached FlowDB.
+        """
+        queue = self._pending.get(store.location.path)
+        if not queue:
+            return 0
+        exported = 0
+        while queue:
+            entry = queue.pop()
+            entry.attempts += 1
+            if entry.kind == "forward":
+                delivered = self._deliver_forward(node, store, entry, now)
+            else:
+                delivered = self._deliver_flowdb(node, store, entry, now)
+                exported += int(delivered)
+            if not delivered:
+                queue.requeue(entry)
+                break
+            queue.mark_delivered(entry.export_id)
+        return exported
+
+    def _deliver_forward(
+        self,
+        node: HierarchyNode,
+        store: DataStore,
+        entry: PendingExport,
+        now: float,
+    ) -> bool:
+        """Redeliver one parked child→parent summary (Merge on arrival).
+
+        The snapshot is already privacy-degraded; it is combined into
+        the parent's *current* live epoch under the shared-location
+        rule, so the mass arrives delayed but intact.
+        """
+        parent_store = self._parent_store(node)
+        if parent_store is None:
+            # the level lost its ancestor store (reconfiguration);
+            # redeliver straight to FlowDB rather than strand the data
+            return self._deliver_flowdb(node, store, entry, now)
+        volume = self.stats.level(node.level.name)
+        _, delivered = self._transfer_with_retry(
+            volume,
+            lambda at: self.fabric.transfer(
+                store.location, parent_store.location, entry.size_bytes, at
+            ),
+            entry.size_bytes,
+            now,
+        )
+        if not delivered:
+            return False
+        primitive = rehydrate(entry.summary)
+        primitive.items_ingested = entry.items
+        # the mass arrives *delayed*: it joins the parent's current
+        # epoch window so the paper's shared-time merge precondition
+        # holds against this close's fresh exports (the child's own
+        # retained partition keeps the original interval)
+        primitive._epoch_start = self._last_close
+        primitive._epoch_end = now
+        target = parent_store.aggregator(entry.label)
+        target.primitive.combine(primitive)
+        target.items_this_epoch += entry.items
+        if target.epoch_opened_at is None:
+            target.epoch_opened_at = now
+        store.lineage.record(
+            operation="export",
+            location=parent_store.location,
+            timestamp=now,
+            detail=(
+                f"{entry.label}->{parent_store.location.path} "
+                f"(recovered after {entry.attempts} closes)"
+            ),
+        )
+        volume.summary_bytes_out += entry.size_bytes
+        volume.exports += 1
+        volume.exports_recovered += 1
+        parent_node = self.hierarchy.node(parent_store.location)
+        self.stats.level(parent_node.level.name).summary_bytes_in += (
+            entry.size_bytes
+        )
+        return True
+
+    def _deliver_flowdb(
+        self,
+        node: HierarchyNode,
+        store: DataStore,
+        entry: PendingExport,
+        now: float,
+    ) -> bool:
+        """Redeliver one parked root-level partition into FlowDB."""
+        volume = self.stats.level(node.level.name)
+        if store.location.path != self._root.path:
+            _, delivered = self._transfer_with_retry(
+                volume,
+                lambda at: self.fabric.transfer(
+                    store.location, self._root, entry.size_bytes, at
+                ),
+                entry.size_bytes,
+                now,
+            )
+            if not delivered:
+                return False
+        volume.summary_bytes_out += entry.size_bytes
+        volume.exports += 1
+        volume.exports_recovered += 1
+        self.stats.exported_bytes += entry.size_bytes
+        self.stats.exported_summaries += 1
+        self.db.insert(
+            location=self._labels[store.location.path],
+            interval=entry.summary.meta.interval,
+            tree=entry.summary.payload,
+        )
+        return True
+
     # -- query path ------------------------------------------------------------
 
     def query(
         self, flowql: str, now: Optional[float] = None
-    ) -> FlowQLResult:
+    ) -> QueryOutcome:
         """Answer a FlowQL query through the federated planner.
 
         Queries the root FlowDB covers run there unchanged; anything
-        else fans out to the shallowest covering hierarchy level.  The
-        chosen plan is available as ``planner.last_plan``.
+        else fans out to the shallowest covering hierarchy level.
+        Returns a typed :class:`~repro.query.plan.QueryOutcome` —
+        result access (``rows``/``scalar``/...) delegates to the
+        underlying :class:`~repro.flowql.executor.FlowQLResult`, and
+        ``outcome.plan`` / ``outcome.degradation`` / ``outcome.cache``
+        say where the answer came from and whether any site was
+        unreachable.
         """
         return self.planner.execute(flowql, now=now)
 

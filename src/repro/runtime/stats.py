@@ -6,21 +6,19 @@ data planes grew independently (``FlowstreamStats`` with
 ``raw_bytes``/``router_summary_bytes``/``region_summary_bytes``): one
 structure tracks, for every level of an arbitrary-depth hierarchy, the
 raw volume entering it, the summary volume flowing through it, and the
-wall-clock the rollup spent there.
+wall-clock the rollup spent there.  The legacy alias attributes were
+removed after one deprecation cycle — use :attr:`VolumeStats.raw_bytes`,
+:attr:`VolumeStats.raw_records`, :attr:`VolumeStats.exported_bytes`,
+and ``stats.level(name).summary_bytes_out``.
 
-The legacy attribute names survive as deprecated aliases so existing
-callers and tests keep working:
-
-* ``raw_bytes_ingested`` → :attr:`VolumeStats.raw_bytes`
-* ``raw_records_ingested`` → :attr:`VolumeStats.raw_records`
-* ``summary_bytes_exported`` → :attr:`VolumeStats.exported_bytes`
-* ``<level>_summary_bytes`` (e.g. ``router_summary_bytes``,
-  ``region_summary_bytes``) → that level's ``summary_bytes_out``.
+Fault accounting rides on the same buckets: every rollup export attempt
+(first try, retry, or redelivery of a parked export) lands in its
+level's ``transfer_attempts``/``transfer_failures``/``retried_bytes``,
+so delivered volume and retry overhead stay separable.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -44,6 +42,16 @@ class LevelVolume:
     queries_served: int = 0
     #: partial-result bytes this level shipped to the query plane
     query_bytes_out: int = 0
+    #: rollup transfer attempts made at this level (incl. retries)
+    transfer_attempts: int = 0
+    #: rollup transfer attempts refused by the fault plan
+    transfer_failures: int = 0
+    #: bytes re-sent in retry/redelivery attempts (overhead, not volume)
+    retried_bytes: int = 0
+    #: exports parked after exhausting their retry budget
+    exports_parked: int = 0
+    #: parked exports later redelivered successfully
+    exports_recovered: int = 0
 
 
 class VolumeStats:
@@ -61,6 +69,8 @@ class VolumeStats:
         self.queries_cloud = 0
         self.queries_federated = 0
         self.queries_cached = 0
+        #: federated queries that returned a partial (degraded) answer
+        self.queries_degraded = 0
 
     # -- structured access --------------------------------------------------
 
@@ -92,56 +102,32 @@ class VolumeStats:
             return float("inf") if self.raw_bytes else 1.0
         return self.raw_bytes / self.exported_bytes
 
-    # -- deprecated legacy aliases -------------------------------------------
+    # -- fault/retry accounting (summed across levels) -----------------------
 
     @property
-    def raw_bytes_ingested(self) -> int:
-        """Deprecated: use :attr:`raw_bytes`."""
-        warnings.warn(
-            "raw_bytes_ingested is deprecated; use VolumeStats.raw_bytes",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.raw_bytes
+    def transfer_attempts(self) -> int:
+        """Rollup transfer attempts across every level (incl. retries)."""
+        return sum(v.transfer_attempts for v in self.per_level.values())
 
     @property
-    def raw_records_ingested(self) -> int:
-        """Deprecated: use :attr:`raw_records`."""
-        warnings.warn(
-            "raw_records_ingested is deprecated; use VolumeStats.raw_records",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.raw_records
+    def transfer_failures(self) -> int:
+        """Rollup transfer attempts the fault plan refused."""
+        return sum(v.transfer_failures for v in self.per_level.values())
 
     @property
-    def summary_bytes_exported(self) -> int:
-        """Deprecated: use :attr:`exported_bytes`."""
-        warnings.warn(
-            "summary_bytes_exported is deprecated; use "
-            "VolumeStats.exported_bytes",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.exported_bytes
+    def retried_bytes(self) -> int:
+        """Bytes re-sent in retry/redelivery attempts across every level."""
+        return sum(v.retried_bytes for v in self.per_level.values())
 
-    def __getattr__(self, name: str):
-        # legacy per-level aliases: router_summary_bytes, region_summary_bytes,
-        # and their arbitrary-depth siblings (<level>_summary_bytes)
-        if name.endswith("_summary_bytes"):
-            level = name[: -len("_summary_bytes")]
-            bucket = self.__dict__.get("per_level", {}).get(level)
-            if bucket is not None:
-                warnings.warn(
-                    f"{name} is deprecated; use "
-                    f"VolumeStats.level({level!r}).summary_bytes_out",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-                return bucket.summary_bytes_out
-        raise AttributeError(
-            f"{type(self).__name__!s} object has no attribute {name!r}"
-        )
+    @property
+    def exports_parked(self) -> int:
+        """Exports parked after exhausting retries, across every level."""
+        return sum(v.exports_parked for v in self.per_level.values())
+
+    @property
+    def exports_recovered(self) -> int:
+        """Parked exports redelivered successfully, across every level."""
+        return sum(v.exports_recovered for v in self.per_level.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         levels = ", ".join(

@@ -147,7 +147,7 @@ class NetworkScenario:
                     )
                 else:
                     records = self.generator.epoch(name, epoch)
-                store.ingest_batch(
+                store.ingest(
                     "flows",
                     [(record, record.first_seen) for record in records],
                     size_bytes=48,

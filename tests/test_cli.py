@@ -113,6 +113,58 @@ class TestQueryCommand:
         assert "error:" in capsys.readouterr().out
 
 
+class TestRunCommand:
+    def test_faultless_run_census(self, capsys):
+        code = main(
+            ["run", "--epochs", "2", "--flows-per-epoch", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault census: attempts=" in out
+        assert "failures=0" in out
+        assert "parked=0 recovered=0 still-pending=0" in out
+
+    def test_outage_parks_and_recovers(self, capsys):
+        code = main(
+            [
+                "run",
+                "--epochs", "2",
+                "--flows-per-epoch", "150",
+                "--faults", "outage=region1/router1:1-2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault plan: drop=0" in out
+        assert "epoch 0: exported=1 pending=1" in out  # parked at t=60
+        assert "parked=1 recovered=1 still-pending=0" in out
+
+    def test_degraded_query_reported(self, capsys):
+        code = main(
+            [
+                "run",
+                "--epochs", "2",
+                "--flows-per-epoch", "150",
+                "--faults", "outage=region1/router1:2-100",
+                "--query",
+                "SELECT TOTAL FROM ALL "
+                "AT network1/region1/router1, network1/region1/router2",
+            ]
+        )
+        out = capsys.readouterr().out
+        # the outage persists: parked exports cannot drain, so the exit
+        # code honestly reports data still missing
+        assert code == 1
+        assert "degraded: partial: missing [network1/region1/router1]" in out
+        assert "degraded queries=1" in out
+        assert "still-pending=1" in out
+
+    def test_bad_fault_spec_fails(self, capsys):
+        code = main(["run", "--faults", "drop=lots"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+
 class TestFactoryCommand:
     def test_with_apps_no_failures(self, capsys):
         code = main(

@@ -1,0 +1,451 @@
+"""The failure model: fault plans, retrying exports, honest degradation.
+
+Table I names unreliable connections as a core challenge of
+distributed mega-datasets.  These tests pin the repository's answer:
+a deterministic :class:`FaultPlan` consulted by the fabric, bounded
+retry/backoff in the rollup with parked-export recovery (delayed,
+never lost), and federated queries that return partial answers with an
+exact :class:`Degradation` record instead of throwing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summary import Location
+from repro.errors import PlacementError, TransferError
+from repro.faults import (
+    REASON_DROP,
+    REASON_OUTAGE,
+    FaultPlan,
+    LinkOutage,
+    PendingExport,
+    PendingExportQueue,
+    RetryPolicy,
+)
+from repro.hierarchy.network import NetworkFabric
+from repro.hierarchy.topology import network_monitoring_hierarchy
+from repro.runtime.presets import network_4level_runtime
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+ROUTER1 = "network1/region1/router1"
+
+
+def build_runtime(retain_partitions=True, **kwargs):
+    return network_4level_runtime(
+        networks=1,
+        regions_per_network=2,
+        routers_per_region=1,
+        retain_partitions=retain_partitions,
+        **kwargs,
+    )
+
+
+def drive(runtime, epochs=2, flows_per_epoch=80, seed=11, recovery_closes=8):
+    """Ingest + close ``epochs`` epochs, then close until pending drains."""
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(sites=tuple(sites), flows_per_epoch=flows_per_epoch),
+        seed=seed,
+    )
+    for epoch in range(epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * 60.0)
+    closes = epochs
+    while runtime.pending_exports() and closes < epochs + recovery_closes:
+        closes += 1
+        runtime.close_epoch(closes * 60.0)
+    return runtime
+
+
+def root_total(runtime):
+    """The root's view of everything, with faults lifted for the read."""
+    runtime.inject_faults(None)
+    return runtime.query("SELECT TOTAL FROM ALL").scalar
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_verdicts(self):
+        verdicts = []
+        for _ in range(2):
+            plan = FaultPlan(seed=7, drop_probability=0.5)
+            verdicts.append(
+                [plan.failure("a", "b", 0.0) for _ in range(32)]
+            )
+        assert verdicts[0] == verdicts[1]
+        assert REASON_DROP in verdicts[0]
+        assert None in verdicts[0]
+
+    def test_links_are_independent(self):
+        """Interleaving calls on another link never shifts a link's
+        verdict sequence — drops key on the per-link attempt counter."""
+        solo = FaultPlan(seed=3, drop_probability=0.5)
+        alone = [solo.failure("a", "b", 0.0) for _ in range(16)]
+        mixed_plan = FaultPlan(seed=3, drop_probability=0.5)
+        mixed = []
+        for _ in range(16):
+            mixed_plan.failure("x", "y", 0.0)  # unrelated traffic
+            mixed.append(mixed_plan.failure("a", "b", 0.0))
+        assert alone == mixed
+
+    def test_different_seeds_differ(self):
+        a = [
+            FaultPlan(seed=s, drop_probability=0.5).failure("a", "b", 0.0)
+            for s in range(64)
+        ]
+        assert len(set(a)) == 2  # both outcomes occur across seeds
+
+    def test_reset_replays_the_schedule(self):
+        plan = FaultPlan(seed=9, drop_probability=0.4)
+        first = [plan.failure("a", "b", 0.0) for _ in range(8)]
+        plan.reset()
+        assert [plan.failure("a", "b", 0.0) for _ in range(8)] == first
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            FaultPlan(drop_probability=1.0)
+        with pytest.raises(PlacementError):
+            FaultPlan(bandwidth_factor=0.0)
+        with pytest.raises(PlacementError):
+            LinkOutage("a", 3, 3)
+
+
+class TestOutageWindows:
+    def test_half_open_epoch_window(self):
+        plan = FaultPlan(
+            outages=[LinkOutage("a", 1, 3)], epoch_seconds=60.0
+        )
+        assert plan.failure("a", "b", 59.0) is None        # epoch 0
+        assert plan.failure("a", "b", 60.0) == REASON_OUTAGE  # epoch 1
+        assert plan.failure("a", "b", 179.0) == REASON_OUTAGE  # epoch 2
+        assert plan.failure("a", "b", 180.0) is None       # epoch 3
+
+    def test_suffix_matching_names_site_labels(self):
+        plan = FaultPlan(
+            outages=[LinkOutage("region1/router1", 0, 1)],
+            epoch_seconds=60.0,
+        )
+        assert plan.link_down(
+            "cloud/region1", "cloud/region1/router1", 0.0
+        )
+        assert not plan.link_down(
+            "cloud/region1", "cloud/region1/router2", 0.0
+        )
+        # no accidental substring matches without a path boundary
+        assert not plan.link_down(
+            "cloud/xregion1", "cloud/xregion1/xrouter1", 0.0
+        )
+
+    def test_outage_beats_drop_as_reason(self):
+        plan = FaultPlan(
+            seed=1,
+            drop_probability=0.99,
+            outages=[LinkOutage("a", 0, 1)],
+            epoch_seconds=60.0,
+        )
+        assert plan.failure("a", "b", 0.0) == REASON_OUTAGE
+
+
+class TestBandwidthDegradation:
+    def test_scoped_factor_overrides_global(self):
+        plan = FaultPlan(
+            bandwidth_factor=0.5, bandwidth_factors={"region1": 0.25}
+        )
+        assert plan.degradation("cloud/region1", "cloud/region1/r1") == 0.25
+        assert plan.degradation("cloud/region2", "cloud/region2/r1") == 0.5
+
+    def test_degraded_transfer_is_slower_not_lost(self):
+        hierarchy = network_monitoring_hierarchy(
+            regions=1, routers_per_region=1
+        )
+        src = Location("cloud/network/region1/router1")
+        dst = Location("cloud/network/region1")
+        clean = NetworkFabric(hierarchy)
+        fast = clean.transfer(src, dst, 10**6, 0.0)
+        slow_fabric = NetworkFabric(
+            network_monitoring_hierarchy(regions=1, routers_per_region=1),
+            faults=FaultPlan(bandwidth_factor=0.25),
+        )
+        slow = slow_fabric.transfer(src, dst, 10**6, 0.0)
+        assert slow.duration > fast.duration
+        assert slow_fabric.total_bytes() == clean.total_bytes()
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "drop=0.2,seed=7,bw=0.5,bw=region1:0.25,"
+            "outage=region1/router1:1-3,epoch=30"
+        )
+        assert plan.drop_probability == 0.2
+        assert plan.seed == 7
+        assert plan.bandwidth_factor == 0.5
+        assert plan.bandwidth_factors == {"region1": 0.25}
+        assert plan.outages == [LinkOutage("region1/router1", 1, 3)]
+        assert plan.epoch_seconds == 30.0
+
+    def test_describe_round_trips_the_schedule(self):
+        plan = FaultPlan.from_spec("drop=0.1,outage=r1:0-2")
+        assert "drop=0.1" in plan.describe()
+        assert "outage[r1]=0-2" in plan.describe()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "drop",                 # not key=value
+            "drop=lots",            # not a float
+            "outage=region1",       # no window
+            "outage=r1:3-1",        # empty window
+            "teleport=1",           # unknown key
+            "drop=1.5",             # out of range
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(PlacementError):
+            FaultPlan.from_spec(spec)
+
+
+class TestFabricFaultAccounting:
+    @pytest.fixture()
+    def fabric(self):
+        return NetworkFabric(
+            network_monitoring_hierarchy(regions=2, routers_per_region=1),
+            faults=FaultPlan(
+                outages=[LinkOutage("region1", 0, 1)], epoch_seconds=60.0
+            ),
+        )
+
+    def test_failed_transfer_raises_typed_error(self, fabric):
+        src = Location("cloud/network/region1/router1")
+        with pytest.raises(TransferError) as excinfo:
+            fabric.transfer(src, Location("cloud"), 1000, 0.0)
+        error = excinfo.value
+        assert error.reason == REASON_OUTAGE
+        assert error.origin == src.path
+        assert error.size_bytes == 1000
+
+    def test_carried_bytes_count_only_delivered_volume(self, fabric):
+        src = Location("cloud/network/region1/router1")
+        with pytest.raises(TransferError):
+            fabric.transfer(src, Location("cloud"), 1000, 0.0)
+        assert fabric.total_bytes() == 0
+        assert fabric.wasted_bytes() == 1000
+        assert fabric.failed_hops() == 1
+        # after the outage window the same route delivers
+        fabric.transfer(src, Location("cloud"), 1000, 60.0)
+        assert fabric.total_bytes() == 3000  # one charge per hop
+        assert fabric.wasted_bytes() == 1000
+
+    def test_faultless_fabric_accounting_untouched(self):
+        fabric = NetworkFabric(
+            network_monitoring_hierarchy(regions=1, routers_per_region=1)
+        )
+        src = Location("cloud/network/region1/router1")
+        fabric.transfer(src, Location("cloud"), 500, 0.0)
+        assert fabric.wasted_bytes() == 0
+        assert fabric.failed_hops() == 0
+        assert fabric.attempted_hops() == 3
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_on_simulated_clock(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_backoff_s=1.0, multiplier=2.0
+        )
+        assert list(policy.attempt_times(120.0)) == [
+            (0, 120.0), (1, 121.0), (2, 123.0)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(PlacementError):
+            RetryPolicy(base_backoff_s=-1.0)
+
+
+class TestPendingExportQueue:
+    def _entry(self, export_id):
+        return PendingExport(
+            export_id=export_id, kind="flowdb", summary=None, items=0,
+            size_bytes=10, origin="o", label=export_id, created_at=0.0,
+        )
+
+    def test_fifo_with_front_requeue(self):
+        queue = PendingExportQueue()
+        assert queue.park(self._entry("a"))
+        assert queue.park(self._entry("b"))
+        first = queue.pop()
+        assert first.export_id == "a"
+        queue.requeue(first)  # delivery failed: back to the front
+        assert queue.pop().export_id == "a"
+
+    def test_park_dedups_queued_and_delivered(self):
+        queue = PendingExportQueue()
+        assert queue.park(self._entry("a"))
+        assert not queue.park(self._entry("a"))  # already queued
+        entry = queue.pop()
+        queue.mark_delivered(entry.export_id)
+        assert not queue.park(self._entry("a"))  # at-least-once, not twice
+        assert len(queue) == 0
+
+
+class TestRuntimeRecovery:
+    def test_outage_parks_then_drains_with_mass_conserved(self):
+        baseline = drive(build_runtime())
+        clean_total = root_total(baseline)
+
+        runtime = build_runtime()
+        runtime.inject_faults(
+            FaultPlan(outages=[LinkOutage(ROUTER1, 1, 2)])
+        )
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=80), seed=11
+        )
+        for epoch in range(2):
+            for site in sites:
+                runtime.ingest(site, generator.epoch(site, epoch))
+            runtime.close_epoch((epoch + 1) * 60.0)
+        # the close at t=60 falls in the outage window: router1's
+        # forward export is parked, never dropped
+        assert runtime.stats.exports_parked == 1
+        queue = runtime.pending_queue(ROUTER1)
+        assert len(queue) == 0  # drained at the t=120 close
+        assert runtime.stats.exports_recovered == 1
+        assert runtime.pending_exports() == 0
+        assert root_total(runtime) == clean_total
+
+    def test_drops_retry_and_conserve_mass(self):
+        clean_total = root_total(drive(build_runtime()))
+        runtime = build_runtime(
+            faults=FaultPlan(seed=5, drop_probability=0.3)
+        )
+        drive(runtime)
+        assert runtime.pending_exports() == 0
+        assert root_total(runtime) == clean_total
+        stats = runtime.stats
+        assert stats.transfer_failures > 0
+        assert stats.transfer_attempts > stats.transfer_failures
+        assert runtime.fabric.wasted_bytes() > 0
+
+    def test_zero_fault_plan_changes_nothing(self):
+        clean = drive(build_runtime())
+        nulled = drive(build_runtime(faults=FaultPlan(seed=1)))
+        assert nulled.wan_bytes() == clean.wan_bytes()
+        assert nulled.fabric.wasted_bytes() == 0
+        assert nulled.stats.retried_bytes == 0
+        assert root_total(nulled) == root_total(clean)
+
+    def test_retry_stats_account_every_attempt(self):
+        runtime = build_runtime(
+            faults=FaultPlan(outages=[LinkOutage(ROUTER1, 1, 2)])
+        )
+        drive(runtime, epochs=1, recovery_closes=1)
+        stats = runtime.stats
+        # the parked export burned a full retry budget first
+        assert stats.transfer_failures >= runtime.retry_policy.max_attempts
+        assert stats.retried_bytes > 0
+
+
+_CLEAN_TOTAL = {}
+
+
+def _clean_total():
+    if "total" not in _CLEAN_TOTAL:
+        _CLEAN_TOTAL["total"] = root_total(
+            drive(build_runtime(), epochs=2, flows_per_epoch=60)
+        )
+    return _CLEAN_TOTAL["total"]
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_root_mass_conserved_after_recovery(self, drop, seed):
+        """The delivery guarantee, property-tested: whatever the drop
+        schedule, once the pending queues drain the root holds exactly
+        the mass a fault-free run delivers."""
+        runtime = build_runtime(
+            faults=FaultPlan(seed=seed, drop_probability=drop)
+        )
+        drive(runtime, epochs=2, flows_per_epoch=60, recovery_closes=10)
+        assert runtime.pending_exports() == 0
+        assert root_total(runtime) == _clean_total()
+
+    @settings(max_examples=8, deadline=None)
+    @given(start=st.integers(min_value=1, max_value=2))
+    def test_outage_windows_conserve_mass(self, start):
+        runtime = build_runtime(
+            faults=FaultPlan(outages=[LinkOutage(ROUTER1, start, start + 1)])
+        )
+        drive(runtime, epochs=2, flows_per_epoch=60, recovery_closes=10)
+        assert runtime.pending_exports() == 0
+        assert root_total(runtime) == _clean_total()
+
+
+ROUTER2 = "network1/region2/router1"
+BOTH_ROUTERS = f"SELECT TOTAL FROM ALL AT {ROUTER1}, {ROUTER2}"
+
+
+class TestDegradedQueries:
+    @pytest.fixture()
+    def loaded(self):
+        return drive(build_runtime(), epochs=2)
+
+    def test_unreachable_site_reported_exactly(self, loaded):
+        loaded.inject_faults(
+            FaultPlan(outages=[LinkOutage(ROUTER1, 0, 10**6)])
+        )
+        outcome = loaded.query(BOTH_ROUTERS)
+        assert outcome.is_degraded
+        assert outcome.missing_sites == [ROUTER1]
+        assert outcome.degradation.reasons  # says why
+        assert "missing" in outcome.degradation.describe()
+        # the surviving site still answers: partial, not empty
+        full = root_total(loaded)
+        assert 0 < outcome.scalar.bytes < full.bytes
+
+    def test_degraded_answers_never_cached(self, loaded):
+        loaded.inject_faults(
+            FaultPlan(outages=[LinkOutage(ROUTER1, 0, 10**6)])
+        )
+        first = loaded.query(BOTH_ROUTERS)
+        second = loaded.query(BOTH_ROUTERS)
+        assert first.is_degraded and second.is_degraded
+        assert not second.cache.hit
+        assert loaded.stats.queries_degraded == 2
+
+    def test_full_answer_restored_when_faults_lift(self, loaded):
+        loaded.inject_faults(
+            FaultPlan(outages=[LinkOutage(ROUTER1, 0, 10**6)])
+        )
+        partial = loaded.query(BOTH_ROUTERS)
+        loaded.inject_faults(None)
+        healed = loaded.query(BOTH_ROUTERS)
+        assert not healed.is_degraded
+        assert healed.degradation is None
+        assert healed.scalar.bytes > partial.scalar.bytes
+
+    def test_every_covering_store_down_yields_honest_empty(self, loaded):
+        loaded.inject_faults(
+            FaultPlan(
+                outages=[
+                    LinkOutage("network1/region1", 0, 10**6),
+                    LinkOutage("network1/region2", 0, 10**6),
+                ]
+            )
+        )
+        outcome = loaded.query(BOTH_ROUTERS)
+        assert outcome.is_degraded
+        assert outcome.missing_sites == [ROUTER1, ROUTER2]
+        assert outcome.scalar.flows == 0  # honest empty, no exception
+
+    def test_complete_outcomes_carry_no_degradation(self, loaded):
+        outcome = loaded.query("SELECT TOTAL FROM ALL")
+        assert outcome.degradation is None
+        assert outcome.missing_sites == []
+        assert not outcome.is_degraded

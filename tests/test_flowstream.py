@@ -56,11 +56,11 @@ class TestDataPath:
     def test_summary_reduction(self, loaded_system):
         # summaries must be much smaller than raw traffic
         assert loaded_system.stats.reduction_factor > 10
-        assert loaded_system.stats.raw_records_ingested == 500 * 2 * 3
+        assert loaded_system.stats.raw_records == 500 * 2 * 3
 
     def test_export_volume_accounted_on_wan(self, loaded_system):
         assert loaded_system.wan_summary_bytes() == (
-            loaded_system.stats.summary_bytes_exported
+            loaded_system.stats.exported_bytes
         )
 
 
@@ -146,21 +146,26 @@ class TestQueryPath:
         assert len(sources.rows) == 3
 
 
-class TestDeprecatedAliases:
-    def test_flowstream_stats_alias_warns_and_resolves(self):
-        import repro.flowstream.system as system_module
-        from repro.runtime.stats import VolumeStats
+class TestStatsAPI:
+    """The deprecation cycle is over: VolumeStats is the only stats API."""
 
-        with pytest.warns(DeprecationWarning, match="FlowstreamStats"):
-            alias = system_module.FlowstreamStats
-        assert alias is VolumeStats
-
-    def test_from_import_also_warns(self):
-        with pytest.warns(DeprecationWarning, match="FlowstreamStats"):
-            from repro.flowstream.system import FlowstreamStats  # noqa: F401
-
-    def test_unknown_attribute_still_raises(self):
+    def test_flowstream_stats_alias_removed(self):
         import repro.flowstream.system as system_module
 
         with pytest.raises(AttributeError):
-            system_module.NoSuchThing
+            system_module.FlowstreamStats
+
+    def test_stats_is_volume_stats(self, system):
+        from repro.runtime.stats import VolumeStats
+
+        assert isinstance(system.stats, VolumeStats)
+
+    def test_legacy_attribute_names_removed(self, system):
+        for legacy in (
+            "raw_bytes_ingested",
+            "raw_records_ingested",
+            "summary_bytes_exported",
+            "router_summary_bytes",
+        ):
+            with pytest.raises(AttributeError):
+                getattr(system.stats, legacy)

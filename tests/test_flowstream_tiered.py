@@ -71,8 +71,9 @@ class TestDataPath:
         assert 0 < per_region.scalar.bytes < full.scalar.bytes
 
     def test_wan_accounting(self, loaded):
-        assert loaded.wan_bytes() == loaded.stats.region_summary_bytes
-        assert loaded.stats.region_summary_bytes > 0
+        region_out = loaded.stats.level("region").summary_bytes_out
+        assert loaded.wan_bytes() == region_out
+        assert region_out > 0
 
 
 class TestTieringEffect:
@@ -195,17 +196,19 @@ class TestSubtreeExport:
         assert partial.total().bytes == 100
 
 
-class TestDeprecatedTierStatsAlias:
-    def test_tier_stats_alias_warns_and_resolves(self):
-        import repro.flowstream.tiered as tiered_module
-        from repro.runtime.stats import VolumeStats
+class TestTierStatsRemoved:
+    """The deprecation cycle is over: VolumeStats is the only stats API."""
 
-        with pytest.warns(DeprecationWarning, match="TierStats"):
-            alias = tiered_module.TierStats
-        assert alias is VolumeStats
-
-    def test_unknown_attribute_still_raises(self):
+    def test_tier_stats_alias_removed(self):
         import repro.flowstream.tiered as tiered_module
 
         with pytest.raises(AttributeError):
-            tiered_module.NoSuchThing
+            tiered_module.TierStats
+
+    def test_per_level_alias_attributes_removed(self):
+        from repro.runtime.stats import VolumeStats
+
+        stats = VolumeStats(["router", "region"])
+        for legacy in ("router_summary_bytes", "region_summary_bytes"):
+            with pytest.raises(AttributeError):
+                getattr(stats, legacy)

@@ -36,9 +36,12 @@ def test_subpackage_all_exports_resolve():
         "repro.control",
         "repro.apps",
         "repro.hierarchy",
+        "repro.faults",
         "repro.flowdb",
         "repro.flowql",
         "repro.flowstream",
+        "repro.query",
+        "repro.runtime",
         "repro.replication",
         "repro.simulation",
         "repro.scenarios",

@@ -160,6 +160,44 @@ class TestFederatedCaching:
         assert runtime.stats.queries_cached == 1  # no stale hit
         assert fresh.scalar.bytes > first.scalar.bytes  # sees epoch 1
 
+    def test_replica_promotion_retires_cached_plans_mid_window(self):
+        """Promoting a partition to a root-side replica mid-window must
+        change the cache key (the plan now reads locally): the stale
+        pre-promotion entry may not be served."""
+        from repro.runtime.presets import network_4level_runtime
+        from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+        runtime = network_4level_runtime(
+            networks=1, regions_per_network=1, routers_per_region=2,
+            retain_partitions=True,
+        )
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=120), seed=9
+        )
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 0))
+        runtime.close_epoch(60.0)
+
+        flowql = f"SELECT TOTAL FROM ALL AT {sites[0]}"
+        first = runtime.query(flowql)
+        assert first.plan.route == "federated"
+        repeat = runtime.query(flowql)
+        assert repeat.cache.hit  # warm before the promotion
+
+        store = runtime.store_for(sites[0])
+        for partition in store.catalog.all():
+            store.replicate_partition(
+                partition.partition_id, runtime.planner.replica_store,
+                now=70.0,
+            )
+        promoted = runtime.query(flowql)
+        assert promoted.cache.hit is False  # generation changed the key
+        assert promoted.scalar == first.scalar
+        read = promoted.plan.reads[0]
+        assert read.replica_partitions  # and the replica actually served
+        assert read.shipped_bytes == 0
+
     def test_caching_complements_replication(self, pair, policy):
         """Cache serves repeats of one query; the replica serves *any*
         query — the paper's reason to prefer replication."""
