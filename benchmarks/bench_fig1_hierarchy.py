@@ -9,12 +9,10 @@ and after aggregation in both settings.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import SITES, report
 from repro.core.flowtree import FlowtreePrimitive
 from repro.core.summary import Location
-from repro.core.timebin import TimeBinStatistics
 from repro.datastore.aggregator import Aggregator
 from repro.datastore.storage import RoundRobinStorage
 from repro.datastore.store import DataStore

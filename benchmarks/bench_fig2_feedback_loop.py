@@ -9,7 +9,6 @@ each block.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.analytics.inference import LinearTrend, time_to_threshold

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import time as wallclock
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.control.controller import Controller
@@ -26,7 +25,7 @@ from repro.core.summary import Location
 from repro.datastore.aggregator import Aggregator
 from repro.datastore.storage import RoundRobinStorage
 from repro.datastore.store import DataStore
-from repro.datastore.triggers import RawTrigger, TriggerFiring
+from repro.datastore.triggers import TriggerFiring
 from repro.simulation.sensors import Actuator
 
 LOC = Location("hq/factory1/line1")

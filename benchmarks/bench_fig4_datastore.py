@@ -23,14 +23,12 @@ from repro.core.hhh_primitive import HierarchicalHeavyHitterPrimitive
 from repro.core.primitive import QueryRequest
 from repro.core.reservoir import ReservoirPrimitive
 from repro.core.summary import Location
-from repro.datastore.aggregator import Aggregator
 from repro.datastore.partitions import Partition, PartitionCatalog
 from repro.datastore.storage import (
     ExpirationStorage,
     HierarchicalStorage,
     RoundRobinStorage,
 )
-from repro.datastore.store import DataStore
 from repro.flows.records import Score
 
 LOC = Location("cloud/region1/router1")

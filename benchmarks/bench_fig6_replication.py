@@ -14,7 +14,6 @@ Claims measured:
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core.flowtree import FlowtreePrimitive

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core.primitive import AdaptationFeedback, QueryRequest

@@ -22,7 +22,7 @@ import pytest
 from benchmarks.conftest import SITES, report
 from repro.control.controller import ACTUATION_DELAY_S
 from repro.flows.tree import Flowtree
-from repro.hierarchy.network import DEFAULT_BANDWIDTH_BPS, NetworkFabric
+from repro.hierarchy.network import DEFAULT_BANDWIDTH_BPS
 from repro.hierarchy.topology import (
     MACHINE_DEADLINE,
     network_monitoring_hierarchy,

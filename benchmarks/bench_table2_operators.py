@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import SITES, report
-from repro.flows.flowkey import FIVE_TUPLE
 from repro.flows.tree import Flowtree
 
 BUDGET = 8192

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Guard the perf-sensitive paths against regressions.
 
-Three committed baselines are checked:
+Four committed baselines are checked:
 
 * ``BENCH_flowtree.json`` — re-runs the optimized Flowtree ingest (and
   merge) over the exact recorded trace and fails when fresh throughput
@@ -14,9 +14,15 @@ Three committed baselines are checked:
   when the zero-drop run's WAN volume drifts from the committed
   depth-4 number in ``BENCH_hierarchy.json`` (the fault machinery must
   cost nothing when no faults fire).
+* ``BENCH_obs.json`` — re-measures observability overhead on the
+  committed depth-4 trace and fails when the instrumented ingest+rollup
+  exceeds the uninstrumented wall-clock by 5% or more, when
+  instrumentation changes any structural output (WAN/raw/export
+  counts), or when the registry exposition drifts from the
+  ``VolumeStats``/fabric counters it mirrors.
 
-``--only {all,flowtree,query,faults}`` selects one gate (CI runs them
-in separate jobs).  The default tolerance is deliberately generous —
+``--only {all,flowtree,query,faults,obs}`` selects one gate (CI runs
+them in separate jobs).  The default tolerance is deliberately generous —
 CI machines vary a lot — so a failure means a real algorithmic
 regression, not scheduler noise.
 
@@ -34,6 +40,7 @@ when a baseline file is missing/invalid.  Regenerate the baselines
 PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
 PYTHONPATH=src python benchmarks/bench_query_planner.py
 PYTHONPATH=src python benchmarks/bench_faults.py
+PYTHONPATH=src python benchmarks/bench_obs.py
 ```
 """
 
@@ -55,6 +62,7 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_flowtree.json"
 DEFAULT_QUERY_BASELINE = REPO_ROOT / "BENCH_query.json"
 DEFAULT_FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 DEFAULT_HIERARCHY_BASELINE = REPO_ROOT / "BENCH_hierarchy.json"
+DEFAULT_OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_TOLERANCE = 0.5
 #: the zero-drop run is deterministic; allow only float-formatting drift
 WAN_MATCH_TOLERANCE = 0.01
@@ -202,6 +210,45 @@ def check_faults(
     return 0
 
 
+def check_obs(baseline_path: Path) -> int:
+    """Re-measure observability overhead on the committed trace.
+
+    Three claims: instrumented ingest+rollup within the committed
+    overhead budget of the uninstrumented run, bit-identical structural
+    outputs across modes, and a registry exposition in lockstep with
+    the counters it sources.  Returns an exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        trace = committed["trace"]
+        committed_results = committed["results"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read obs baseline {baseline_path}: {exc}")
+        return 2
+
+    from benchmarks.bench_obs import check_claims, measure
+
+    print(
+        f"\nre-measuring obs overhead: {trace['flows_per_epoch']} "
+        f"flows/epoch x {trace['epochs']} epochs, seed={trace['seed']}"
+    )
+    fresh = measure(
+        trace["flows_per_epoch"], trace["epochs"], trace["seed"]
+    )
+    print(
+        f"overhead: committed {committed_results['overhead_pct']:.2f}%, "
+        f"fresh {fresh['overhead_pct']:.2f}% "
+        f"(budget {committed.get('overhead_limit_pct', 5.0)}%)"
+    )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: observability claims no longer hold ({exc})")
+        return 1
+    print("OK: instrumentation within the overhead budget")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -238,8 +285,17 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--obs-baseline",
+        type=Path,
+        default=DEFAULT_OBS_BASELINE,
+        help=(
+            "committed observability-overhead baseline JSON "
+            f"(default: {DEFAULT_OBS_BASELINE})"
+        ),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "flowtree", "query", "faults"),
+        choices=("all", "flowtree", "query", "faults", "obs"),
         default="all",
         help="run a single regression gate (default: all)",
     )
@@ -261,6 +317,8 @@ def main(argv=None) -> int:
         return check_query_planner(args.query_baseline)
     if args.only == "faults":
         return check_faults(args.faults_baseline, args.hierarchy_baseline)
+    if args.only == "obs":
+        return check_obs(args.obs_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -298,7 +356,10 @@ def main(argv=None) -> int:
     status = check_query_planner(args.query_baseline)
     if status != 0:
         return status
-    return check_faults(args.faults_baseline, args.hierarchy_baseline)
+    status = check_faults(args.faults_baseline, args.hierarchy_baseline)
+    if status != 0:
+        return status
+    return check_obs(args.obs_baseline)
 
 
 if __name__ == "__main__":

@@ -83,6 +83,7 @@ from repro.flowdb import FlowDB
 from repro.flowql import FlowQLExecutor
 from repro.flowstream import Flowstream
 from repro.flowstream.tiered import TieredFlowstream
+from repro.obs import Observability
 from repro.query import Degradation, QueryOutcome, QueryPlan
 from repro.runtime import (
     HierarchyRuntime,
@@ -152,6 +153,7 @@ __all__ = [
     "FaultPlan",
     "LinkOutage",
     "RetryPolicy",
+    "Observability",
     "AdaptiveReplicationEngine",
     "BreakEvenPolicy",
     "DistributionAwarePolicy",

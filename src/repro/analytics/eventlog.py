@@ -16,7 +16,7 @@ computes the classic process-mining quantities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.simulation.production import ProductionEvent

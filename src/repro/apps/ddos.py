@@ -13,17 +13,16 @@ to the physical network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.base import Application, AppReport
 from repro.control.controller import Controller
 from repro.control.manager import Manager
 from repro.control.requirements import ApplicationRequirement
-from repro.core.primitive import QueryRequest
 from repro.core.summary import Location
 from repro.flows.features import format_ipv4
-from repro.flows.flowkey import FIVE_TUPLE, FlowKey, GeneralizationPolicy
+from repro.flows.flowkey import FIVE_TUPLE, GeneralizationPolicy
 from repro.flows.tree import Flowtree
 
 

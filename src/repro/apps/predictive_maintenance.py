@@ -17,7 +17,7 @@ maintenance accordingly".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analytics.inference import LinearTrend, time_to_threshold
 from repro.apps.base import Application, AppReport

@@ -24,7 +24,7 @@ from repro.analytics.inference import EwmaAnomalyDetector
 from repro.apps.base import Application, AppReport
 from repro.control.manager import Manager
 from repro.control.requirements import ApplicationRequirement
-from repro.core.summary import LineageLog, LineageRecord, Location
+from repro.core.summary import LineageLog, Location
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ to every summary — and hence every decision — the bad data touched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.apps.base import Application, AppReport
 from repro.control.manager import Manager

@@ -11,7 +11,6 @@ graph, standing in for a real routing model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx

@@ -9,8 +9,8 @@ which is the point: one primitive, many a-priori-unknown questions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.apps.base import Application, AppReport
 from repro.control.manager import Manager

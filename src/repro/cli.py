@@ -1,16 +1,17 @@
 """Command-line interface.
 
-Five subcommands mirror the example scripts in scriptable form::
+Six subcommands mirror the example scripts in scriptable form::
 
     repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
     repro query --preset network --query "SELECT TOTAL FROM ALL"
     repro run --faults "drop=0.2,seed=7" --epochs 4
     repro factory --hours 6 --no-apps
     repro replication --partitions 400 --distribution pareto
+    repro metrics --faults "drop=0.3,seed=7" --format prometheus
 
 Run ``repro <subcommand> --help`` for the full flag set.  Everything is
-deterministic per ``--seed`` (and, for ``run --faults``, per the fault
-plan's own seed).
+deterministic per ``--seed`` (and, for fault plans, per the plan's own
+seed).
 """
 
 from __future__ import annotations
@@ -116,6 +117,44 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--query", action="append", default=None,
         help="FlowQL text to run after the rollup (repeatable)",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help=(
+            "drive a rollup (optionally under faults) and emit the "
+            "observability exposition"
+        ),
+    )
+    metrics.add_argument(
+        "--preset", choices=("network", "factory"), default="network",
+        help="4-level hierarchy preset to build",
+    )
+    metrics.add_argument("--epochs", type=int, default=3)
+    metrics.add_argument("--flows-per-epoch", type=int, default=500)
+    metrics.add_argument("--seed", type=int, default=42)
+    metrics.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault plan spec, e.g. 'drop=0.3,seed=7'",
+    )
+    metrics.add_argument(
+        "--recovery-epochs", type=int, default=3,
+        help="extra empty epoch closes to drain parked exports",
+    )
+    metrics.add_argument(
+        "--query", action="append", default=None,
+        help=(
+            "FlowQL text run twice after the rollup (repeatable; the "
+            "repeat exercises the query cache)"
+        ),
+    )
+    metrics.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format to print",
+    )
+    metrics.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="also print the last N span trees (0 = none)",
     )
 
     replication = subparsers.add_parser(
@@ -337,6 +376,66 @@ def _run_run(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# metrics (observability exposition)
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import FaultPlan
+    from repro.obs import render_prometheus
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    if args.preset == "network":
+        runtime = network_4level_runtime(retain_partitions=True)
+    else:
+        runtime = factory_4level_runtime(retain_partitions=True)
+    if args.faults:
+        try:
+            runtime.inject_faults(FaultPlan.from_spec(args.faults))
+        except ReproError as error:
+            print(f"error: {error}")
+            return 2
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(sites), flows_per_epoch=args.flows_per_epoch
+        ),
+        seed=args.seed,
+    )
+    epoch_s = runtime.epoch_seconds
+    for epoch in range(args.epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * epoch_s)
+    recovery = 0
+    while runtime.pending_exports() and recovery < args.recovery_epochs:
+        recovery += 1
+        runtime.close_epoch((args.epochs + recovery) * epoch_s)
+    for text in args.query or []:
+        # twice each: the repeat turns a miss into a cache hit
+        for _ in range(2):
+            try:
+                runtime.query(text)
+            except ReproError as error:
+                print(f"error: {error}")
+                return 1
+    if args.format == "json":
+        print(json.dumps(runtime.obs.registry.snapshot(), indent=2))
+    else:
+        print(render_prometheus(runtime.obs.registry), end="")
+    if args.traces > 0:
+        for root in runtime.obs.tracer.traces()[-args.traces:]:
+            print()
+            print(root.render())
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # factory
 
 
@@ -418,6 +517,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_run(args)
     if args.command == "factory":
         return _run_factory(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     if args.command == "replication":
         return _run_replication(args)
     raise AssertionError(f"unhandled command {args.command!r}")

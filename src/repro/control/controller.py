@@ -12,7 +12,7 @@ be *certified* before acceptance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.control.rules import ControlRule
 from repro.core.summary import Location

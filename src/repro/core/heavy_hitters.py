@@ -14,7 +14,7 @@ data-store hierarchy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Tuple
 
 from repro.errors import GranularityError
 from repro.core.primitive import (

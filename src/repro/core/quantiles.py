@@ -18,7 +18,7 @@ re-compacts, which is what lets quantile summaries roll up data stores.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional
 
 from repro.core.primitive import (
     AdaptationFeedback,

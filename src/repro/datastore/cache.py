@@ -15,7 +15,7 @@ hashable (callables etc.) are simply never cached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional
 
 from repro.core.primitive import QueryRequest
 
@@ -65,7 +65,23 @@ class CacheEntry:
 
 @dataclass
 class QueryCache:
-    """A TTL-bounded, size-bounded result cache."""
+    """A TTL-bounded, size-bounded result cache.
+
+    **TTL contract:** an entry is live strictly *less than*
+    ``ttl_seconds`` after it was stored — at exactly
+    ``now - stored_at == ttl_seconds`` the entry has expired and
+    :meth:`get` misses.  This matches
+    :class:`~repro.datastore.storage.ExpirationStorage`, whose epochs
+    age out on the same closed boundary.
+
+    **Eviction:** insertion-ordered.  ``_entries`` is a plain dict, so
+    iteration order *is* storage order; :meth:`put` drops the entry at
+    the front when full — O(1) per insert instead of the full
+    ``min()`` scan over timestamps this cache used to do, which made a
+    hot cache at ``max_entries`` O(n) per insert.  Overwriting a key
+    re-inserts it at the back, keeping dict order aligned with
+    ``stored_at`` order.
+    """
 
     ttl_seconds: float = 300.0
     max_entries: int = 1024
@@ -108,14 +124,14 @@ class QueryCache:
         result_bytes: int,
         now: float,
     ) -> None:
-        """Store one result (evicting oldest entries past the cap)."""
+        """Store one result (evicting the oldest entry past the cap)."""
         if key is None:
             return
-        if len(self._entries) >= self.max_entries:
-            oldest = min(
-                self._entries, key=lambda k: self._entries[k].stored_at
-            )
-            del self._entries[oldest]
+        if key in self._entries:
+            # re-insert at the back so dict order stays storage order
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            del self._entries[next(iter(self._entries))]
         self._entries[key] = CacheEntry(
             value=value, stored_at=now, result_bytes=result_bytes
         )

@@ -16,7 +16,7 @@ fold of the inputs' metadata.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.core.heavy_hitters import SpaceSaving
 from repro.core.summary import DataSummary, SummaryMeta

@@ -13,7 +13,6 @@ from typing import Any, Callable, Dict
 
 from repro.core.flowtree import FlowtreePrimitive
 from repro.core.heavy_hitters import HeavyHitterPrimitive
-from repro.core.hhh_primitive import HierarchicalHeavyHitterPrimitive
 from repro.core.primitive import ComputingPrimitive
 from repro.core.reservoir import ReservoirPrimitive
 from repro.core.sampling import RandomSamplePrimitive

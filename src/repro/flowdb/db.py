@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.summary import DataSummary, TimeInterval
 from repro.errors import FlowQLPlanningError, SchemaMismatchError

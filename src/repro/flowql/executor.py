@@ -19,7 +19,7 @@ planner-routed answers node-for-node identical to the cloud path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import FlowQLPlanningError
 from repro.flowdb.db import FlowDB

@@ -25,7 +25,6 @@ from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.flows.records import FlowRecord
 from repro.flowql.executor import FlowQLResult
 from repro.runtime.presets import tiered_runtime
-from repro.runtime.stats import VolumeStats
 
 
 class TieredFlowstream:

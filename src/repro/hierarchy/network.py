@@ -10,13 +10,13 @@ is infeasible (Table I, challenge 3) and replication decisions matter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.summary import Location
 from repro.errors import PlacementError, TransferError
 from repro.faults import FaultPlan
-from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.hierarchy.topology import Hierarchy
 
 #: Default link capacities by the *upper* endpoint's level name.
 DEFAULT_BANDWIDTH_BPS: Dict[str, float] = {

@@ -1,0 +1,132 @@
+"""Prometheus-style text exposition (and its inverse, for tests).
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.
+MetricsRegistry` into the plain-text format every scraper understands:
+``# HELP``/``# TYPE`` headers, one ``name{label="value"} value`` line
+per series, and cumulative ``_bucket``/``_sum``/``_count`` lines per
+histogram.  :func:`parse_prometheus` reads that text back into a flat
+``{(name, frozenset(labels)): value}`` mapping so tests can round-trip
+exact counter values through the CLI output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (collects first)."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.series():
+            labels = _labels_text(family.labelnames, labelvalues)
+            if isinstance(child, Histogram):
+                for bound, count in child.cumulative_buckets():
+                    bucket_labels = _labels_text(
+                        family.labelnames + ("le",),
+                        labelvalues + (_format_value(bound),),
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{bucket_labels} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{labels} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+#: A parsed series key: (metric name, frozenset of (label, value) pairs).
+SeriesKey = Tuple[str, FrozenSet[Tuple[str, str]]]
+
+
+def _parse_labels(text: str) -> FrozenSet[Tuple[str, str]]:
+    pairs = []
+    rest = text
+    while rest:
+        name, rest = rest.split("=", 1)
+        if not rest.startswith('"'):
+            raise ValueError(f"malformed label value after {name!r}")
+        value_chars = []
+        index = 1
+        while index < len(rest):
+            char = rest[index]
+            if char == "\\" and index + 1 < len(rest):
+                escaped = rest[index + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+                )
+                index += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            index += 1
+        pairs.append((name.strip(), "".join(value_chars)))
+        rest = rest[index + 1:].lstrip(",")
+    return frozenset(pairs)
+
+
+def parse_prometheus(text: str) -> Dict[SeriesKey, float]:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    Histogram ``_bucket``/``_sum``/``_count`` lines parse as ordinary
+    series under their suffixed names.  Comment lines are skipped.
+    """
+    series: Dict[SeriesKey, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_and_labels, _, value_text = line.rpartition(" ")
+        if "{" in name_and_labels:
+            name, labels_text = name_and_labels.split("{", 1)
+            labels = _parse_labels(labels_text.rstrip("}"))
+        else:
+            name, labels = name_and_labels, frozenset()
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        series[(name, labels)] = value
+    return series

@@ -1,0 +1,185 @@
+"""Span trees for epoch rollups and planner queries.
+
+A :class:`Tracer` builds one tree of :class:`Span` objects per traced
+operation: ``close_epoch`` roots fan into per-store rollup spans, which
+fan into transfer-attempt spans (failed attempts carry the
+``TransferError`` reason); ``query`` roots carry the route and cache
+verdict and fan into per-store partial-fetch spans.  Finished roots
+land in a bounded ring buffer — observability must never become the
+mega-dataset problem it measures.
+
+Disabled tracers hand out the shared :data:`NULL_SPAN`, whose methods
+are no-ops, so instrumented code paths stay branch-free and the
+uninstrumented benchmark baseline is honest.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class Span:
+    """One timed operation, with attributes and child spans."""
+
+    __slots__ = (
+        "name", "attrs", "children", "status", "error",
+        "_started", "_ended",
+    )
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.children: List["Span"] = []
+        self.status = STATUS_OK
+        self.error: Optional[str] = None
+        self._started = time.perf_counter()
+        self._ended: Optional[float] = None
+
+    # -- recording -----------------------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    def fail(self, reason: str) -> None:
+        """Mark the span failed without raising."""
+        self.status = STATUS_ERROR
+        self.error = reason
+
+    def finish(self) -> None:
+        if self._ended is None:
+            self._ended = time.perf_counter()
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds (through now while still open)."""
+        end = self._ended if self._ended is not None else time.perf_counter()
+        return end - self._started
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> dict:
+        """A JSON-able view of the subtree."""
+        node = {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1000, 4),
+            "status": self.status,
+        }
+        if self.error is not None:
+            node["error"] = self.error
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        """An indented, human-readable subtree."""
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(self.attrs.items())
+        )
+        flag = "" if self.status == STATUS_OK else f" !{self.error}"
+        line = (
+            f"{'  ' * indent}{self.name} "
+            f"[{self.duration_s * 1000:.2f} ms]"
+            f"{' ' + attrs if attrs else ''}{flag}"
+        )
+        return "\n".join(
+            [line] + [child.render(indent + 1) for child in self.children]
+        )
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    status = STATUS_OK
+    error = None
+    duration_s = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def fail(self, reason: str) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+#: Shared no-op span; identity-comparable so tests can assert on it.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds span trees and keeps the most recent finished roots."""
+
+    def __init__(self, enabled: bool = True, max_traces: int = 64) -> None:
+        self.enabled = enabled
+        self._stack: List[Span] = []
+        self._finished: Deque[Span] = deque(maxlen=max_traces)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Open one span under the current one (or as a new root)."""
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        span = Span(name, **attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            if span.status == STATUS_OK:
+                span.fail(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            span.finish()
+            self._stack.pop()
+            if not self._stack:
+                self._finished.append(span)
+
+    # -- reading -------------------------------------------------------------
+
+    def traces(self, name: Optional[str] = None) -> List[Span]:
+        """Finished root spans, oldest first (optionally by name)."""
+        roots = list(self._finished)
+        if name is not None:
+            roots = [root for root in roots if root.name == name]
+        return roots
+
+    def last(self, name: Optional[str] = None) -> Optional[Span]:
+        """The most recent finished root (optionally by name)."""
+        roots = self.traces(name)
+        return roots[-1] if roots else None
+
+    def clear(self) -> None:
+        """Drop every finished trace."""
+        self._finished.clear()

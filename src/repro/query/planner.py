@@ -23,6 +23,7 @@ pieces meet:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.primitive import QueryRequest
@@ -38,6 +39,7 @@ from repro.flowql.ast import FlowQLQuery, TimeSpec
 from repro.flowql.executor import FlowQLResult, apply_operator
 from repro.flowql.parser import parse
 from repro.flows.tree import Flowtree
+from repro.obs.bridge import QUERY_SECONDS
 from repro.query.plan import (
     ROUTE_CLOUD,
     ROUTE_FEDERATED,
@@ -178,6 +180,24 @@ class FederatedQueryPlanner:
         """
         query = parse(flowql) if isinstance(flowql, str) else flowql
         now = self.clock if now is None else now
+        obs = self.runtime.obs
+        started = time.perf_counter()
+        with obs.span("query", operator=query.select.name) as span:
+            outcome = self._execute_planned(query, now)
+            span.set_attr("route", outcome.plan.route)
+            span.set_attr("cache_hit", outcome.cache.hit)
+            if outcome.degradation is not None:
+                span.set_attr("degraded", True)
+        obs.observe(
+            QUERY_SECONDS,
+            time.perf_counter() - started,
+            route="cached" if outcome.cache.hit else outcome.plan.route,
+        )
+        return outcome
+
+    def _execute_planned(
+        self, query: FlowQLQuery, now: float
+    ) -> QueryOutcome:
         plan = self.plan(query)
         stats = self.runtime.stats
         key = None
@@ -450,38 +470,49 @@ class FederatedQueryPlanner:
         root_path = self.replica_store.location.path
         summaries = []
         remote: Dict[str, List[Partition]] = {}
-        for partition in partitions:
-            replica_id = f"{partition.partition_id}@{root_path}"
-            if replica_id in self.replica_store.replicas:
-                replica = self.replica_store.replicas.get(replica_id)
-                replica.record_access(now, replica.size_bytes, remote=False)
-                read.replica_partitions.append(partition.partition_id)
-                summaries.append(replica.summary)
-            else:
-                remote.setdefault(partition.aggregator, []).append(partition)
-        if replicas_only:
-            remote = {}
-        for aggregator, parts in sorted(remote.items()):
-            combined = combine_summaries(
-                [p.summary for p in parts], shrink=1.0
+        with self.runtime.obs.span(
+            "fetch", site=label, level=level
+        ) as span:
+            for partition in partitions:
+                replica_id = f"{partition.partition_id}@{root_path}"
+                if replica_id in self.replica_store.replicas:
+                    replica = self.replica_store.replicas.get(replica_id)
+                    replica.record_access(
+                        now, replica.size_bytes, remote=False
+                    )
+                    read.replica_partitions.append(partition.partition_id)
+                    summaries.append(replica.summary)
+                else:
+                    remote.setdefault(partition.aggregator, []).append(
+                        partition
+                    )
+            if replicas_only:
+                remote = {}
+            for aggregator, parts in sorted(remote.items()):
+                combined = combine_summaries(
+                    [p.summary for p in parts], shrink=1.0
+                )
+                if store.privacy is not None:
+                    # the partial leaves the level's trust domain
+                    combined = store.privacy.export(aggregator, combined)
+                share = max(1, combined.size_bytes // len(parts))
+                for partition in parts:
+                    partition.record_access(now, share, remote=True)
+                    self.runtime.manager.record_remote_access(
+                        store, self.replica_store, partition.partition_id,
+                        share, now,
+                    )
+                if store.location.path != root_path:
+                    self.runtime.fabric.transfer(
+                        store.location, self.replica_store.location,
+                        combined.size_bytes, now,
+                    )
+                read.shipped_bytes += combined.size_bytes
+                summaries.append(combined)
+            span.set_attr("shipped_bytes", read.shipped_bytes)
+            span.set_attr(
+                "replica_partitions", len(read.replica_partitions)
             )
-            if store.privacy is not None:
-                # the partial leaves the level's trust domain
-                combined = store.privacy.export(aggregator, combined)
-            share = max(1, combined.size_bytes // len(parts))
-            for partition in parts:
-                partition.record_access(now, share, remote=True)
-                self.runtime.manager.record_remote_access(
-                    store, self.replica_store, partition.partition_id,
-                    share, now,
-                )
-            if store.location.path != root_path:
-                self.runtime.fabric.transfer(
-                    store.location, self.replica_store.location,
-                    combined.size_bytes, now,
-                )
-            read.shipped_bytes += combined.size_bytes
-            summaries.append(combined)
         return read, [rehydrate(summary).tree for summary in summaries]
 
     # -- drilldown API for applications --------------------------------------

@@ -16,7 +16,7 @@ The legacy systems become level tables over the same runtime:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import PlacementError
 from repro.faults import FaultPlan, RetryPolicy
@@ -27,6 +27,7 @@ from repro.hierarchy.topology import (
     MACHINE_DEADLINE,
     Hierarchy,
 )
+from repro.obs import Observability
 from repro.runtime.config import LevelConfig
 from repro.runtime.runtime import HierarchyRuntime
 
@@ -41,6 +42,7 @@ def flat_runtime(
     merge_node_budget: Optional[int] = 65536,
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> HierarchyRuntime:
     """Edge stores at every site path, exporting straight to FlowDB."""
     if not sites:
@@ -72,6 +74,7 @@ def flat_runtime(
         merge_node_budget=merge_node_budget,
         faults=faults,
         retry_policy=retry_policy,
+        observability=observability,
     )
 
 
@@ -86,6 +89,7 @@ def tiered_runtime(
     store_budget_bytes: int = 256 * 1024 * 1024,
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> HierarchyRuntime:
     """Router stores merging into region stores before the WAN hop."""
     if not sites:
@@ -115,6 +119,7 @@ def tiered_runtime(
         merge_node_budget=merge_node_budget,
         faults=faults,
         retry_policy=retry_policy,
+        observability=observability,
     )
 
 
@@ -132,6 +137,7 @@ def network_4level_runtime(
     retain_partitions: bool = False,
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
@@ -176,6 +182,7 @@ def network_4level_runtime(
         merge_node_budget=merge_node_budget,
         faults=faults,
         retry_policy=retry_policy,
+        observability=observability,
     )
 
 
@@ -193,6 +200,7 @@ def factory_4level_runtime(
     retain_partitions: bool = False,
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    observability: Optional[Observability] = None,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
@@ -239,4 +247,5 @@ def factory_4level_runtime(
         merge_node_budget=merge_node_budget,
         faults=faults,
         retry_policy=retry_policy,
+        observability=observability,
     )

@@ -51,6 +51,12 @@ from repro.flowql.executor import FlowQLExecutor
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.hierarchy.network import NetworkFabric
 from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.obs import Observability
+from repro.obs.bridge import (
+    INGEST_SECONDS,
+    ROLLUP_SECONDS,
+    install_runtime_metrics,
+)
 from repro.query.plan import QueryOutcome
 from repro.query.planner import FederatedQueryPlanner
 from repro.runtime.config import EXPORT_AUTO, EXPORT_NONE, LevelConfig
@@ -75,6 +81,7 @@ class HierarchyRuntime:
         raw_record_bytes: int = 48,
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if not levels:
             raise PlacementError(
@@ -94,6 +101,9 @@ class HierarchyRuntime:
         self.raw_record_bytes = raw_record_bytes
         self.fabric = fabric or NetworkFabric(hierarchy)
         self.retry_policy = retry_policy or RetryPolicy()
+        #: metrics + tracing; pass ``Observability.disabled()`` to
+        #: measure the uninstrumented baseline (bench_obs does)
+        self.obs = observability or Observability()
         #: parked exports awaiting redelivery, by origin store path
         self._pending: Dict[str, PendingExportQueue] = {}
         #: timestamp of the previous epoch close (the current window start)
@@ -156,6 +166,7 @@ class HierarchyRuntime:
         # the unified query plane: FlowQL routes through the planner
         # (cloud executor, federated fan-out, cache, replication feed)
         self.planner = FederatedQueryPlanner(self)
+        install_runtime_metrics(self.obs, self)
 
     # -- provisioning helpers ----------------------------------------------
 
@@ -299,11 +310,18 @@ class HierarchyRuntime:
             volume.transfer_attempts += 1
             if attempt > 0:
                 volume.retried_bytes += size_bytes
-            try:
-                return send(at_time), True
-            except TransferError as exc:
-                volume.transfer_failures += 1
-                last_error = exc
+            with self.obs.span(
+                "attempt", n=attempt, at=at_time, size_bytes=size_bytes
+            ) as span:
+                try:
+                    return send(at_time), True
+                except TransferError as exc:
+                    volume.transfer_failures += 1
+                    span.fail(getattr(exc, "reason", None) or str(exc))
+                    link = getattr(exc, "link", None)
+                    if link is not None:
+                        span.set_attr("link", link)
+                    last_error = exc
         return last_error, False
 
     # -- data path -----------------------------------------------------------
@@ -319,21 +337,37 @@ class HierarchyRuntime:
 
         Records need a ``first_seen`` timestamp (flow/packet records);
         raw volume is accounted against the site's level using each
-        record's ``bytes`` attribute when present.
+        record's ``bytes`` attribute when present.  The batch-size
+        fallback counts *once per batch*: records without a ``bytes``
+        attribute must not each re-count the whole batch size.
         """
         store = self._ingestible.get(site)
         if store is None:
             raise PlacementError(
                 f"unknown site {site!r}; known: {sorted(self._ingestible)}"
             )
+        started = time.perf_counter()
         size = self.raw_record_bytes if size_bytes is None else size_bytes
         batch = [(record, record.first_seen) for record in records]
         count = store.ingest(stream_id, batch, size_bytes=size)
         node = self.hierarchy.node(store.location)
         volume = self.stats.level(node.level.name)
         volume.raw_items += count
-        volume.raw_bytes += sum(
-            getattr(record, "bytes", size) for record, _ in batch
+        batch_bytes = 0
+        unsized = False
+        for record, _ in batch:
+            record_bytes = getattr(record, "bytes", None)
+            if record_bytes is None:
+                unsized = True
+            else:
+                batch_bytes += record_bytes
+        if unsized:
+            batch_bytes += size
+        volume.raw_bytes += batch_bytes
+        self.obs.observe(
+            INGEST_SECONDS,
+            time.perf_counter() - started,
+            level=node.level.name,
         )
         return count
 
@@ -353,26 +387,38 @@ class HierarchyRuntime:
         child mass still reach the root within the same close.
         """
         exported = 0
-        for node, config, store in self._rollup_order:
-            started = time.perf_counter()
-            volume = self.stats.level(node.level.name)
-            exported += self._drain_pending(node, store, now)
-            parent_store = (
-                self._parent_store(node)
-                if config.export == EXPORT_AUTO
-                else None
-            )
-            if config.export == EXPORT_NONE:
-                store.close_epoch(now)
-            elif parent_store is not None:
-                self._forward(node, config, store, parent_store, now)
-            else:
-                exported += self._export_to_db(node, store, now)
-            volume.rollup_seconds += time.perf_counter() - started
-        self.stats.epochs_closed += 1
-        self._last_close = now
-        # new data invalidates cached answers and advances query time
-        self.planner.on_epoch_closed(now)
+        with self.obs.span(
+            "close_epoch", epoch=self.stats.epochs_closed, at=now
+        ) as root:
+            for node, config, store in self._rollup_order:
+                started = time.perf_counter()
+                level = node.level.name
+                volume = self.stats.level(level)
+                with self.obs.span(
+                    "rollup",
+                    site=self._labels[store.location.path],
+                    level=level,
+                ):
+                    exported += self._drain_pending(node, store, now)
+                    parent_store = (
+                        self._parent_store(node)
+                        if config.export == EXPORT_AUTO
+                        else None
+                    )
+                    if config.export == EXPORT_NONE:
+                        store.close_epoch(now)
+                    elif parent_store is not None:
+                        self._forward(node, config, store, parent_store, now)
+                    else:
+                        exported += self._export_to_db(node, store, now)
+                elapsed = time.perf_counter() - started
+                volume.rollup_seconds += elapsed
+                self.obs.observe(ROLLUP_SECONDS, elapsed, level=level)
+            self.stats.epochs_closed += 1
+            self._last_close = now
+            # new data invalidates cached answers and advances query time
+            self.planner.on_epoch_closed(now)
+            root.set_attr("exported", exported)
         return exported
 
     def _forward(
@@ -394,12 +440,18 @@ class HierarchyRuntime:
             return
         summary_bytes = aggregator.primitive.footprint_bytes()
         volume = self.stats.level(node.level.name)
-        _, delivered = self._transfer_with_retry(
-            volume,
-            lambda at: store.export_summaries(name, parent_store, now=at),
-            summary_bytes,
-            now,
-        )
+        with self.obs.span(
+            "forward",
+            parent=parent_store.location.path,
+            size_bytes=summary_bytes,
+        ) as span:
+            _, delivered = self._transfer_with_retry(
+                volume,
+                lambda at: store.export_summaries(name, parent_store, now=at),
+                summary_bytes,
+                now,
+            )
+            span.set_attr("outcome", "delivered" if delivered else "parked")
         if delivered:
             volume.summary_bytes_out += summary_bytes
             volume.exports += 1
@@ -452,14 +504,23 @@ class HierarchyRuntime:
                     partition.aggregator, outgoing
                 )
             if store.location.path != self._root.path:
-                _, delivered = self._transfer_with_retry(
-                    volume,
-                    lambda at: self.fabric.transfer(
-                        store.location, self._root, outgoing.size_bytes, at
-                    ),
-                    outgoing.size_bytes,
-                    now,
-                )
+                with self.obs.span(
+                    "flowdb_export",
+                    partition=partition.partition_id,
+                    size_bytes=outgoing.size_bytes,
+                ) as span:
+                    _, delivered = self._transfer_with_retry(
+                        volume,
+                        lambda at: self.fabric.transfer(
+                            store.location, self._root,
+                            outgoing.size_bytes, at,
+                        ),
+                        outgoing.size_bytes,
+                        now,
+                    )
+                    span.set_attr(
+                        "outcome", "delivered" if delivered else "parked"
+                    )
                 if not delivered:
                     parked = self._pending_for(store).park(
                         PendingExport(
@@ -506,11 +567,22 @@ class HierarchyRuntime:
         while queue:
             entry = queue.pop()
             entry.attempts += 1
-            if entry.kind == "forward":
-                delivered = self._deliver_forward(node, store, entry, now)
-            else:
-                delivered = self._deliver_flowdb(node, store, entry, now)
-                exported += int(delivered)
+            with self.obs.span(
+                "redeliver",
+                export_id=entry.export_id,
+                kind=entry.kind,
+                size_bytes=entry.size_bytes,
+            ) as span:
+                if entry.kind == "forward":
+                    delivered = self._deliver_forward(
+                        node, store, entry, now
+                    )
+                else:
+                    delivered = self._deliver_flowdb(node, store, entry, now)
+                    exported += int(delivered)
+                span.set_attr(
+                    "outcome", "recovered" if delivered else "requeued"
+                )
             if not delivered:
                 queue.requeue(entry)
                 break

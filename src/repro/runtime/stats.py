@@ -15,11 +15,19 @@ Fault accounting rides on the same buckets: every rollup export attempt
 (first try, retry, or redelivery of a parked export) lands in its
 level's ``transfer_attempts``/``transfer_failures``/``retried_bytes``,
 so delivered volume and retry overhead stay separable.
+
+These counters are the **single source of truth** for volume
+accounting.  The observability layer (:mod:`repro.obs`) does not
+double-count: :func:`repro.obs.bridge.install_runtime_metrics`
+registers a collector that syncs the registry's volume families *from*
+these fields (in lockstep, at collection time), so the Prometheus
+exposition can never drift from the numbers the tests and benchmarks
+pin, and the hot path pays nothing for metrics it is not exporting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 

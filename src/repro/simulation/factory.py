@@ -25,7 +25,6 @@ from repro.simulation.sensors import (
     CameraSensor,
     ReadingSink,
     ScalarSensor,
-    SensorReading,
 )
 
 

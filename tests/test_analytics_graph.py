@@ -9,7 +9,6 @@ from repro.analytics.graph import (
     top_talkers,
     traffic_communities,
 )
-from repro.core.summary import Location
 from repro.flows.records import Score
 from repro.flows.tree import Flowtree
 from repro.hierarchy.network import NetworkFabric

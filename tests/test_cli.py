@@ -165,6 +165,104 @@ class TestRunCommand:
         assert "error:" in capsys.readouterr().out
 
 
+class TestMetricsCommand:
+    def test_prometheus_exposition_covers_required_families(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "--epochs", "2",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT TOTAL FROM ALL",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for family in (
+            "repro_raw_bytes_total",
+            "repro_summary_bytes_total",
+            "repro_query_bytes_total",
+            "repro_fabric_carried_bytes_total",
+            "repro_fabric_wasted_bytes_total",
+            "repro_retried_bytes_total",
+            "repro_query_cache_events_total",
+            "repro_rollup_seconds_bucket",
+            "repro_query_seconds_bucket",
+        ):
+            assert f"# TYPE {family.split('_bucket')[0]}" in out
+            assert family in out
+        # the repeated demo query turns the second run into a cache hit
+        assert 'repro_query_cache_events_total{result="hit"} 1' in out
+
+    def test_json_snapshot_parses(self, capsys):
+        import json
+
+        code = main(
+            [
+                "metrics",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["repro_epochs_closed_total"]["kind"] == "counter"
+        assert snapshot["repro_epochs_closed_total"]["series"][0][
+            "value"
+        ] == 1
+
+    def test_fault_plan_surfaces_parked_and_recovered(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "--epochs", "2",
+                "--flows-per-epoch", "100",
+                "--faults", "outage=region1/router1:1-2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (
+            'repro_exports_total{level="router",outcome="parked"} 1' in out
+        )
+        assert (
+            'repro_exports_total{level="router",outcome="recovered"} 1'
+            in out
+        )
+
+    def test_traces_render_span_trees(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--traces", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "close_epoch" in out
+        assert "rollup" in out
+
+    def test_bad_fault_spec_fails(self, capsys):
+        code = main(["metrics", "--faults", "drop=lots"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_bad_query_fails(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "--epochs", "1",
+                "--flows-per-epoch", "100",
+                "--query", "SELECT NONSENSE FROM ALL",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+
 class TestFactoryCommand:
     def test_with_apps_no_failures(self, capsys):
         code = main(

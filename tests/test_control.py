@@ -6,7 +6,6 @@ from repro.control.controller import ACTUATION_DELAY_S, Controller
 from repro.control.manager import Manager
 from repro.control.requirements import ApplicationRequirement
 from repro.control.rules import ControlRule
-from repro.core.primitive import QueryRequest
 from repro.core.summary import Location
 from repro.datastore.storage import RoundRobinStorage
 from repro.datastore.store import DataStore

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.flowtree import FlowtreePrimitive
 from repro.core.primitive import QueryRequest
-from repro.core.sampling import RandomSamplePrimitive
 from repro.core.summary import Location
 from repro.core.timebin import TimeBinStatistics
 from repro.datastore.aggregator import Aggregator, prefix_filter

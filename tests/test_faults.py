@@ -387,6 +387,54 @@ class TestRecoveryProperties:
         assert root_total(runtime) == _clean_total()
 
 
+class TestExportIdUniqueness:
+    """Collision audit for parked-export ids: ``_forward`` keys its ids
+    on ``(store path, export name, epochs_closed)`` while FlowDB parks
+    reuse the globally unique partition id.  A collision would make
+    :meth:`PendingExportQueue.park` silently drop a fresh export as a
+    "duplicate" — data loss the mass-conservation tests above could
+    only catch by accident.  This property test pins the scheme: every
+    park over a random fault plan must be accepted, and all recorded
+    ids must be globally unique across both kinds."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.2, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_park_ids_never_collide_under_random_faults(self, drop, seed):
+        parked = []
+        original_park = PendingExportQueue.park
+
+        def recording_park(queue, export):
+            accepted = original_park(queue, export)
+            parked.append((export.export_id, export.kind, accepted))
+            return accepted
+
+        PendingExportQueue.park = recording_park
+        try:
+            runtime = build_runtime(
+                faults=FaultPlan(
+                    seed=seed,
+                    drop_probability=drop,
+                    outages=[LinkOutage(ROUTER1, 1, 2)],
+                )
+            )
+            drive(runtime, epochs=3, flows_per_epoch=40,
+                  recovery_closes=12)
+        finally:
+            PendingExportQueue.park = original_park
+
+        assert parked, "the outage window must park at least one export"
+        rejected = [entry for entry in parked if not entry[2]]
+        assert not rejected, f"park() refused fresh exports: {rejected}"
+        ids = [export_id for export_id, _, _ in parked]
+        assert len(ids) == len(set(ids)), (
+            "export ids collided across interleaved closes: "
+            f"{sorted(set(i for i in ids if ids.count(i) > 1))}"
+        )
+
+
 ROUTER2 = "network1/region2/router1"
 BOTH_ROUTERS = f"SELECT TOTAL FROM ALL AT {ROUTER1}, {ROUTER2}"
 

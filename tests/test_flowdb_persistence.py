@@ -10,7 +10,7 @@ from repro.flowdb.db import FlowDB
 from repro.flowdb.persistence import load_flowdb, save_flowdb
 from repro.flowql.executor import FlowQLExecutor
 from repro.flowql.parser import parse
-from repro.flows.flowkey import FIVE_TUPLE, SRC_DST, GeneralizationPolicy
+from repro.flows.flowkey import SRC_DST, GeneralizationPolicy
 from repro.flows.records import Score
 from repro.flows.tree import Flowtree
 

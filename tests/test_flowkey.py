@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GranularityError, SchemaError
-from repro.flows.features import IPv4Feature, PortFeature, parse_ipv4
+from repro.flows.features import PortFeature, parse_ipv4
 from repro.flows.flowkey import (
     DST_IP_PORT,
     FIVE_TUPLE,

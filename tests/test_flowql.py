@@ -9,7 +9,6 @@ from repro.flowql.ast import TimeSpec
 from repro.flowql.executor import FlowQLExecutor
 from repro.flowql.lexer import tokenize
 from repro.flowql.parser import parse
-from repro.flows.flowkey import FIVE_TUPLE
 from repro.flows.records import Score
 from repro.flows.tree import Flowtree
 

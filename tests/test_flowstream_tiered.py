@@ -135,7 +135,6 @@ class TestTieredPrivacy:
             PrivacyGuard,
             PrivacyPolicy,
         )
-        from repro.core.primitive import QueryRequest
 
         system = TieredFlowstream(
             sites=SITES[:2], router_node_budget=4096,

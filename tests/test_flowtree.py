@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GranularityError, SchemaMismatchError
-from repro.flows.flowkey import FIVE_TUPLE, SRC_DST, GeneralizationPolicy
+from repro.flows.flowkey import SRC_DST, GeneralizationPolicy
 from repro.flows.records import FlowRecord, PacketRecord, Score
 from repro.flows.tree import Flowtree
 

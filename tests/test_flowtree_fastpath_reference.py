@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -13,7 +13,6 @@ The invariants pinned here are the ones the architecture relies on:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

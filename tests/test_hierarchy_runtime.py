@@ -279,6 +279,58 @@ class TestRootMassConservation:
         return sites
 
 
+class _TimedOnly:
+    """A record with a timestamp but no ``bytes`` attribute."""
+
+    __slots__ = ("first_seen",)
+
+    def __init__(self, first_seen):
+        self.first_seen = first_seen
+
+
+class TestRawBytesAccounting:
+    def _bare_runtime(self):
+        # a bare store (no aggregator) accepts attribute-less records
+        return HierarchyRuntime(
+            Hierarchy.from_site_paths(
+                ["region1/router1"], level_names=["region", "router"]
+            ),
+            {"router": LevelConfig(aggregator=None)},
+        )
+
+    def test_size_fallback_counts_once_per_batch(self):
+        """Regression: the per-record ``size`` fallback used to add the
+        batch size N times for N records without a ``bytes`` attribute,
+        inflating ``raw_bytes`` by the record count."""
+        runtime = self._bare_runtime()
+        records = [_TimedOnly(float(i)) for i in range(10)]
+        count = runtime.ingest(
+            "region1/router1", records, size_bytes=480
+        )
+        assert count == 10
+        assert runtime.stats.raw_bytes == 480  # not 10 x 480
+
+    def test_sized_records_sum_their_own_bytes(self, generator):
+        runtime = flat_runtime(["region1/router1"])
+        records = list(generator.epoch("region1/router1", 0))
+        runtime.ingest("region1/router1", records)
+        assert runtime.stats.raw_bytes == sum(r.bytes for r in records)
+
+    def test_mixed_batch_adds_fallback_once(self):
+        runtime = self._bare_runtime()
+
+        class _Sized(_TimedOnly):
+            __slots__ = ("bytes",)
+
+            def __init__(self, first_seen, size):
+                super().__init__(first_seen)
+                self.bytes = size
+
+        batch = [_Sized(0.0, 100), _TimedOnly(1.0), _TimedOnly(2.0)]
+        runtime.ingest("region1/router1", batch, size_bytes=48)
+        assert runtime.stats.raw_bytes == 100 + 48
+
+
 class TestExportNone:
     def test_export_none_keeps_partitions_local(self):
         # a scenario-style runtime: stores aggregate locally, but the

@@ -6,7 +6,7 @@ from repro.core.hhh_primitive import HierarchicalHeavyHitterPrimitive
 from repro.core.primitive import AdaptationFeedback, QueryRequest
 from repro.core.summary import Location
 from repro.errors import SchemaMismatchError
-from repro.flows.flowkey import FIVE_TUPLE, SRC_DST, GeneralizationPolicy
+from repro.flows.flowkey import SRC_DST, GeneralizationPolicy
 from repro.flows.records import FlowRecord
 
 LOC = Location("net/region1/router1")

@@ -1,6 +1,5 @@
 """Unit tests for time-binned statistics."""
 
-import math
 
 import pytest
 

@@ -8,10 +8,7 @@ from repro.analytics.eventlog import (
 )
 from repro.core.summary import Location
 from repro.simulation.factory import Machine
-from repro.simulation.production import (
-    ProductionEvent,
-    ProductionLineSimulator,
-)
+from repro.simulation.production import ProductionLineSimulator
 
 LINE = Location("hq/factory1/line1")
 

@@ -10,7 +10,7 @@ from repro.core.summary import (
     TimeInterval,
 )
 from repro.datastore.partitions import Partition, PartitionCatalog
-from repro.datastore.storage import HierarchicalStorage, RoundRobinStorage
+from repro.datastore.storage import RoundRobinStorage
 from repro.replication.engine import (
     offline_optimal_cost,
     simulate_policy_on_trace,

@@ -56,6 +56,17 @@ class TestQueryCacheUnit:
         cache.put(None, "x", 1, now=0.0)
         assert len(cache) == 0
 
+    def test_expiry_boundary_is_exact(self):
+        """The documented contract: ``now - stored_at == ttl_seconds``
+        is already expired (live strictly *less than* the TTL)."""
+        cache = QueryCache(ttl_seconds=10.0)
+        key = cache.key_for("agg", QueryRequest("total", {}), None, None)
+        cache.put(key, "x", 1, now=5.0)
+        assert cache.get(key, now=14.999) is not None
+        cache.put(key, "x", 1, now=5.0)
+        assert cache.get(key, now=15.0) is None  # exactly ttl later
+        assert len(cache) == 0
+
     def test_capacity_evicts_oldest(self):
         cache = QueryCache(max_entries=2)
         keys = [
@@ -66,6 +77,39 @@ class TestQueryCacheUnit:
             cache.put(key, index, 1, now=float(index))
         assert cache.get(keys[0], now=2.5) is None  # evicted
         assert cache.get(keys[2], now=2.5) is not None
+
+    def test_overwrite_reinserts_at_the_back(self):
+        """Re-storing a key must refresh its eviction position, or the
+        insertion-ordered eviction would drop the *newest* data."""
+        cache = QueryCache(max_entries=2)
+        keys = [
+            cache.key_for("agg", QueryRequest("top_k", {"k": k}), None, None)
+            for k in range(3)
+        ]
+        cache.put(keys[0], "a", 1, now=0.0)
+        cache.put(keys[1], "b", 1, now=1.0)
+        cache.put(keys[0], "a2", 1, now=2.0)  # refresh: now newest
+        cache.put(keys[2], "c", 1, now=3.0)  # evicts keys[1], not keys[0]
+        assert cache.get(keys[1], now=3.5) is None
+        entry = cache.get(keys[0], now=3.5)
+        assert entry is not None and entry.value == "a2"
+
+    def test_eviction_is_insertion_ordered_at_scale(self):
+        """A full cache keeps exactly the most recent ``max_entries``
+        keys (the O(1)-eviction ordering invariant)."""
+        cache = QueryCache(max_entries=8)
+        keys = [
+            cache.key_for("agg", QueryRequest("top_k", {"k": k}), None, None)
+            for k in range(40)
+        ]
+        for index, key in enumerate(keys):
+            cache.put(key, index, 1, now=float(index))
+        assert len(cache) == 8
+        for key in keys[:-8]:
+            assert cache.get(key, now=40.0) is None
+        for index, key in enumerate(keys[-8:], start=32):
+            entry = cache.get(key, now=40.0)
+            assert entry is not None and entry.value == index
 
     def test_invalidate(self):
         cache = QueryCache()

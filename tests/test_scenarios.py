@@ -1,6 +1,5 @@
 """Tests for the prebuilt scenario harnesses."""
 
-import pytest
 
 from repro.scenarios.factory import FactoryScenario
 from repro.scenarios.network import NetworkScenario

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.apps.sensor_health import SensorHealthApp
 from repro.control.manager import Manager

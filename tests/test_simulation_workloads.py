@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.core.summary import Location
-from repro.flows.features import format_ipv4
 from repro.simulation.events import Simulator
 from repro.simulation.factory import (
     FAILURE_WEAR,

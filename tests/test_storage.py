@@ -11,7 +11,6 @@ from repro.datastore.storage import (
     RoundRobinStorage,
 )
 from repro.errors import PartitionNotFoundError, StorageError
-from repro.flows.flowkey import FIVE_TUPLE
 from repro.flows.records import Score
 from repro.flows.tree import Flowtree
 
