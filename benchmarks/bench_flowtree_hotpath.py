@@ -32,13 +32,20 @@ from __future__ import annotations
 import heapq
 import itertools
 import json
+import random
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.flows.columnar import HAVE_NUMPY, ColumnarBatch
 from repro.flows.flowkey import FIVE_TUPLE, FlowKey, GeneralizationPolicy
 from repro.flows.records import FlowRecord, Score
 from repro.flows.tree import Flowtree
+from repro.parallel import (
+    ParallelIngestConfig,
+    ShardedIngestPool,
+    SiteShardSpec,
+)
 from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
 try:  # script mode runs without pytest on the path
@@ -59,6 +66,19 @@ TRACE_SEED = 2019
 TRACE_SITE = "bench/router1"
 NODE_BUDGET = 4096
 MIN_SPEEDUP = 3.0
+
+# -- parallel sharded ingest arm ---------------------------------------
+# The parallel arm uses a *re-export* trace: a fixed population of
+# heavy-hitter flows exported over and over (routers re-export active
+# flows every interval), so the tree reaches steady state and the
+# per-record cost is dominated by updates rather than node births.
+PARALLEL_TRACE_RECORDS = 100_000
+PARALLEL_UNIQUE_FLOWS = 10_000
+PARALLEL_RESAMPLE_SEED = 7
+PARALLEL_NODE_BUDGET = 65_536
+PARALLEL_WORKER_COUNTS = (1, 2, 4)
+PARALLEL_ROUNDS = 5
+MIN_PARALLEL_SPEEDUP = 4.0
 #: depth of the default chain at which both src and dst are /16 — deep
 #: enough to rank real prefixes, shallow enough that the heavy nodes are
 #: orders of magnitude above any compression victim (answer-stable).
@@ -382,6 +402,202 @@ def print_results(results: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# parallel sharded ingest: cores-vs-throughput curve
+
+def make_reexport_trace(
+    records: int = PARALLEL_TRACE_RECORDS,
+    unique_flows: int = PARALLEL_UNIQUE_FLOWS,
+    seed: int = TRACE_SEED,
+) -> List[FlowRecord]:
+    """Heavy-hitter re-export mix: ``unique_flows`` distinct flows
+    resampled with replacement to ``records`` exports.
+
+    Built ONCE per run and shared by every arm (serial scalar, serial
+    columnar, and each worker count) so all arms measure the same work.
+    """
+    epoch = make_trace(unique_flows, seed=seed)
+    rng = random.Random(PARALLEL_RESAMPLE_SEED)
+    count = len(epoch)
+    return [epoch[rng.randrange(count)] for _ in range(records)]
+
+
+def _best_serial_arms(
+    records: List[FlowRecord],
+    policy: GeneralizationPolicy,
+    rounds: int,
+) -> Tuple[Flowtree, float, float]:
+    """Best-of-``rounds`` scalar and columnar ingest, arms alternating
+    within each round so neither systematically sees a warmer cache."""
+    batch = ColumnarBatch.encode(records, policy.schema)
+    scalar_tree: Optional[Flowtree] = None
+    scalar_best = columnar_best = float("inf")
+    for _ in range(rounds):
+        tree = Flowtree(policy, node_budget=PARALLEL_NODE_BUDGET)
+        started = time.perf_counter()
+        tree.ingest(records)
+        scalar_best = min(scalar_best, time.perf_counter() - started)
+        scalar_tree = tree
+
+        tree = Flowtree(policy, node_budget=PARALLEL_NODE_BUDGET)
+        started = time.perf_counter()
+        tree.ingest_columnar(batch)
+        columnar_best = min(columnar_best, time.perf_counter() - started)
+        assert tree.snapshot_state() == scalar_tree.snapshot_state(), (
+            "columnar ingest diverged from scalar"
+        )
+    assert scalar_tree is not None
+    return scalar_tree, scalar_best, columnar_best
+
+
+def _run_parallel_arm(
+    records: List[FlowRecord],
+    policy: GeneralizationPolicy,
+    workers: int,
+    rounds: int,
+) -> Tuple[dict, float, float]:
+    """One worker-count arm: ``workers`` sites, one worker per site,
+    every site ingesting the full trace (weak scaling — in the paper's
+    model each site exports its own stream, and workers scale with
+    sites, so aggregate throughput is what N cores sustain on N
+    streams).
+
+    Returns ``(first_round_summaries, best_capacity, best_wall)`` where
+    capacity is the sum of per-worker ``records / busy_cpu_seconds`` —
+    the aggregate rate the workers sustain while actually ingesting.
+    On a host with >= ``workers`` cores wall-clock converges to the
+    same number; on fewer cores the workers time-slice one CPU and
+    wall-clock reflects that, so both are reported.
+    """
+    sites = [f"{TRACE_SITE}/shard{i}" for i in range(workers)]
+    specs = {
+        site: SiteShardSpec(node_budget=PARALLEL_NODE_BUDGET)
+        for site in sites
+    }
+    config = ParallelIngestConfig(workers=workers)
+    first_summaries: Optional[dict] = None
+    best_capacity = 0.0
+    best_wall = float("inf")
+    for _ in range(rounds):
+        with ShardedIngestPool(policy, specs, config) as pool:
+            started = time.perf_counter()
+            for site in sites:
+                pool.submit(site, records)
+            summaries = pool.flush()
+            wall = time.perf_counter() - started
+            stats = pool.worker_stats()
+        capacity = sum(
+            ws.records_done / ws.busy_seconds
+            for ws in stats
+            if ws.busy_seconds > 0
+        )
+        best_capacity = max(best_capacity, capacity)
+        best_wall = min(best_wall, wall)
+        if first_summaries is None:
+            first_summaries = summaries
+    assert first_summaries is not None
+    return first_summaries, best_capacity, best_wall
+
+
+def run_parallel_scaling(
+    records_count: int = PARALLEL_TRACE_RECORDS,
+    unique_flows: int = PARALLEL_UNIQUE_FLOWS,
+    worker_counts: Sequence[int] = PARALLEL_WORKER_COUNTS,
+    rounds: int = PARALLEL_ROUNDS,
+) -> dict:
+    """Cores-vs-throughput curve for the sharded ingest pool.
+
+    Guarantees checked every run, not just reported:
+
+    * every site's worker-built tree is *bit-identical* to the serial
+      scalar tree over the same records (same nodes, seqs,
+      compressions) — root mass conservation follows;
+    * throughput is measured in CPU terms (records per busy-CPU-second,
+      summed over workers), so a time-sliced CI host reports the same
+      capacity a multi-core host realizes in wall-clock.
+    """
+    policy = GeneralizationPolicy.default_for(FIVE_TUPLE)
+    records = make_reexport_trace(records_count, unique_flows)
+    scalar_tree, scalar_seconds, columnar_seconds = _best_serial_arms(
+        records, policy, rounds
+    )
+    scalar_state = scalar_tree.snapshot_state()
+    scalar_rate = len(records) / scalar_seconds
+    columnar_rate = len(records) / columnar_seconds
+
+    curve: Dict[str, dict] = {}
+    for workers in worker_counts:
+        summaries, capacity, wall = _run_parallel_arm(
+            records, policy, workers, rounds
+        )
+        for i in range(workers):
+            site = f"{TRACE_SITE}/shard{i}"
+            assert summaries[site]["state"] == scalar_state, (
+                f"worker site {i}/{workers} diverged from serial ingest"
+            )
+            assert summaries[site]["items"] == len(records)
+        curve[str(workers)] = {
+            "aggregate_records_per_s": round(capacity, 1),
+            "wall_records_per_s": round(workers * len(records) / wall, 1),
+            "speedup_vs_scalar": round(capacity / scalar_rate, 2),
+        }
+
+    return {
+        "trace": {
+            "records": records_count,
+            "unique_flows": unique_flows,
+            "seed": TRACE_SEED,
+            "resample_seed": PARALLEL_RESAMPLE_SEED,
+            "site": TRACE_SITE,
+            "schema": "five_tuple",
+            "node_budget": PARALLEL_NODE_BUDGET,
+        },
+        "scalar_records_per_s": round(scalar_rate, 1),
+        "columnar_records_per_s": round(columnar_rate, 1),
+        "columnar_speedup": round(columnar_rate / scalar_rate, 2),
+        "curve": curve,
+        "note": (
+            "weak scaling: N workers each ingest one site's full trace;"
+            " aggregate_records_per_s sums per-worker records per"
+            " busy-CPU-second (equal to wall-clock rate on hosts with"
+            " >= N cores); wall_records_per_s is total records over"
+            " wall-clock on the benchmark host and collapses toward the"
+            " single-core rate when workers time-slice one CPU"
+        ),
+    }
+
+
+def print_parallel_results(parallel: dict) -> None:
+    rows = [
+        (
+            "serial scalar", "1",
+            f"{parallel['scalar_records_per_s']:.0f} rec/s",
+            "-", "1.00x",
+        ),
+        (
+            "serial columnar", "1",
+            f"{parallel['columnar_records_per_s']:.0f} rec/s",
+            "-", f"{parallel['columnar_speedup']:.2f}x",
+        ),
+    ]
+    for workers, point in sorted(
+        parallel["curve"].items(), key=lambda kv: int(kv[0])
+    ):
+        rows.append(
+            (
+                "sharded pool", workers,
+                f"{point['aggregate_records_per_s']:.0f} rec/s",
+                f"{point['wall_records_per_s']:.0f} rec/s",
+                f"{point['speedup_vs_scalar']:.2f}x",
+            )
+        )
+    report(
+        "Parallel sharded ingest: cores vs throughput (re-export trace)",
+        rows,
+        columns=("arm", "workers", "aggregate", "wall-clock", "speedup"),
+    )
+
+
+# ----------------------------------------------------------------------
 # pytest entry point (small trace so `pytest benchmarks/` stays quick)
 
 def test_hotpath_speedup_and_answer_identity(benchmark):
@@ -398,6 +614,21 @@ def test_hotpath_speedup_and_answer_identity(benchmark):
     assert results["ingest_speedup"] >= 2.0, results
 
 
+def test_parallel_scaling_identity_and_capacity():
+    if not HAVE_NUMPY:  # pool falls back to raw transport; skip the arm
+        return
+    parallel = run_parallel_scaling(
+        records_count=20_000,
+        unique_flows=2_000,
+        worker_counts=(1, 2),
+        rounds=2,
+    )
+    print_parallel_results(parallel)
+    # identity assertions already ran inside run_parallel_scaling; the
+    # short trace amortizes less, so the capacity floor here is softer
+    assert parallel["curve"]["2"]["speedup_vs_scalar"] >= 1.5, parallel
+
+
 def main() -> None:
     results = run_hotpath()
     print_results(results)
@@ -405,6 +636,17 @@ def main() -> None:
     assert speedup >= MIN_SPEEDUP, (
         f"ingest speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"
     )
+    if HAVE_NUMPY:
+        results["parallel"] = run_parallel_scaling()
+        print_parallel_results(results["parallel"])
+        at_four = results["parallel"]["curve"].get("4", {})
+        parallel_speedup = at_four.get("speedup_vs_scalar", 0.0)
+        assert parallel_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel aggregate speedup {parallel_speedup:.2f}x at 4"
+            f" workers below the {MIN_PARALLEL_SPEEDUP}x gate"
+        )
+    else:  # pragma: no cover
+        print("numpy unavailable: skipping the parallel scaling arm")
     BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {BASELINE_PATH}")
 

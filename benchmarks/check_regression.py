@@ -5,7 +5,13 @@ Four committed baselines are checked:
 
 * ``BENCH_flowtree.json`` — re-runs the optimized Flowtree ingest (and
   merge) over the exact recorded trace and fails when fresh throughput
-  falls below ``tolerance`` times the committed number.
+  falls below ``tolerance`` times the committed number.  The same gate
+  covers the parallel sharded-ingest section: the committed 4-worker
+  curve must clear the aggregate-speedup floor, and a fresh
+  ``--parallel-workers``-sized smoke must stay within tolerance of the
+  committed per-count speedup while producing trees *bit-identical* to
+  serial ingest (root mass and WAN bytes included, via a small
+  serial-vs-parallel runtime drive).
 * ``BENCH_query.json`` — replays the committed query-planner trace and
   fails when cached repeat queries stop being strictly cheaper than
   federated first queries (bytes moved and wall time).
@@ -90,6 +96,116 @@ def fresh_measurements(trace: dict) -> dict:
         "fast_merge_ms": merge_seconds * 1000,
         "nodes": tree.node_count,
     }
+
+
+def _runtime_outcome(workers) -> dict:
+    """Root mass + WAN bytes of a small tiered drive (serial when
+    ``workers`` is None); the parallel path must reproduce both
+    bit-for-bit."""
+    from repro.runtime import tiered_runtime
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    sites = ["region1/router1", "region1/router2", "region2/router1"]
+    generator = TrafficGenerator(
+        TrafficConfig(sites=tuple(sites), flows_per_epoch=300), seed=11
+    )
+    runtime = tiered_runtime(sites, router_node_budget=512, parallel=workers)
+    try:
+        for epoch in range(2):
+            for site in sites:
+                runtime.ingest(site, generator.epoch(site, epoch))
+            runtime.close_epoch((epoch + 1) * runtime.epoch_seconds)
+        return {
+            "root_mass": runtime.query("SELECT TOTAL FROM ALL").scalar,
+            "wan_bytes": runtime.wan_bytes(),
+        }
+    finally:
+        runtime.shutdown()
+
+
+def check_parallel(committed: dict, workers: int, tolerance: float) -> int:
+    """Gate the parallel sharded-ingest claims.
+
+    Three checks: the committed 4-worker aggregate speedup clears the
+    bench gate, a fresh CI-sized smoke at ``workers`` stays within
+    ``tolerance`` of the committed per-count speedup (with the
+    bit-identity assertions re-run inside), and a serial-vs-parallel
+    runtime drive agrees on root mass and WAN bytes exactly.  Returns
+    an exit status.
+    """
+    from repro.flows.columnar import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        print("note: numpy unavailable; skipping the parallel ingest gate")
+        return 0
+
+    from benchmarks.bench_flowtree_hotpath import (
+        MIN_PARALLEL_SPEEDUP,
+        run_parallel_scaling,
+    )
+
+    parallel = committed.get("parallel")
+    if not isinstance(parallel, dict) or "curve" not in parallel:
+        print(
+            "baseline has no parallel section; regenerate it with "
+            "bench_flowtree_hotpath.py"
+        )
+        return 2
+    curve = parallel["curve"]
+    print(
+        "\ncommitted parallel curve: "
+        + ", ".join(
+            f"{count}w={point['speedup_vs_scalar']:.2f}x"
+            for count, point in sorted(
+                curve.items(), key=lambda kv: int(kv[0])
+            )
+        )
+    )
+    at_four = curve.get("4", {}).get("speedup_vs_scalar", 0.0)
+    if at_four < MIN_PARALLEL_SPEEDUP:
+        print(
+            f"REGRESSION: committed 4-worker aggregate speedup "
+            f"{at_four:.2f}x below the {MIN_PARALLEL_SPEEDUP}x gate"
+        )
+        return 1
+
+    try:
+        fresh = run_parallel_scaling(
+            records_count=20_000,
+            unique_flows=2_000,
+            worker_counts=(workers,),
+            rounds=2,
+        )
+    except AssertionError as exc:
+        print(f"REGRESSION: parallel ingest diverged from serial ({exc})")
+        return 1
+    fresh_speedup = fresh["curve"][str(workers)]["speedup_vs_scalar"]
+    committed_at = curve.get(str(workers), {}).get("speedup_vs_scalar")
+    floor = committed_at * tolerance if committed_at else 1.0
+    print(
+        f"parallel smoke at {workers} workers: fresh aggregate "
+        f"{fresh_speedup:.2f}x vs scalar "
+        f"(committed {committed_at}, floor {floor:.2f}x)"
+    )
+    if fresh_speedup < floor:
+        print("REGRESSION: parallel aggregate speedup fell below the floor")
+        return 1
+
+    serial = _runtime_outcome(None)
+    pooled = _runtime_outcome(workers)
+    print(
+        f"runtime drive: serial mass={serial['root_mass']} "
+        f"wan={serial['wan_bytes']} B, parallel mass={pooled['root_mass']} "
+        f"wan={pooled['wan_bytes']} B"
+    )
+    if serial != pooled:
+        print(
+            "REGRESSION: parallel runtime diverged from serial "
+            "(root mass / WAN bytes)"
+        )
+        return 1
+    print("OK: parallel ingest bit-identical and within tolerance")
+    return 0
 
 
 def check_query_planner(baseline_path: Path) -> int:
@@ -300,6 +416,15 @@ def main(argv=None) -> int:
         help="run a single regression gate (default: all)",
     )
     parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=2,
+        help=(
+            "worker count for the fresh parallel-ingest smoke in the "
+            "flowtree gate (default: 2, sized for CI runners)"
+        ),
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=DEFAULT_TOLERANCE,
@@ -351,6 +476,11 @@ def main(argv=None) -> int:
         print("REGRESSION: ingest throughput fell below the floor")
         return 1
     print("OK: no hot-path regression")
+    status = check_parallel(
+        committed, args.parallel_workers, args.tolerance
+    )
+    if status != 0:
+        return status
     if args.only == "flowtree":
         return 0
     status = check_query_planner(args.query_baseline)

@@ -118,6 +118,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--query", action="append", default=None,
         help="FlowQL text to run after the rollup (repeatable)",
     )
+    run.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help=(
+            "shard edge ingest across N worker processes "
+            "(0 = serial in-process ingest)"
+        ),
+    )
 
     metrics = subparsers.add_parser(
         "metrics",
@@ -296,17 +303,30 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 def _run_run(args: argparse.Namespace) -> int:
-    from repro.faults import FaultPlan
     from repro.runtime.presets import (
         factory_4level_runtime,
         network_4level_runtime,
     )
+
+    parallel = args.workers if args.workers > 0 else None
+    if args.preset == "network":
+        runtime = network_4level_runtime(
+            retain_partitions=True, parallel=parallel
+        )
+    else:
+        runtime = factory_4level_runtime(
+            retain_partitions=True, parallel=parallel
+        )
+    try:
+        return _drive_run(args, runtime)
+    finally:
+        runtime.shutdown()
+
+
+def _drive_run(args: argparse.Namespace, runtime) -> int:
+    from repro.faults import FaultPlan
     from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
-    if args.preset == "network":
-        runtime = network_4level_runtime(retain_partitions=True)
-    else:
-        runtime = factory_4level_runtime(retain_partitions=True)
     if args.faults:
         try:
             plan = FaultPlan.from_spec(args.faults)
@@ -372,6 +392,13 @@ def _run_run(args: argparse.Namespace) -> int:
         f"  volume: raw={stats.raw_bytes:,} B wan={runtime.wan_bytes():,} B "
         f"reduction={stats.reduction_factor:.0f}x"
     )
+    if runtime._pool is not None:
+        for ws in runtime._pool.worker_stats():
+            print(
+                f"  worker {ws.worker}: sites={','.join(ws.sites)} "
+                f"records={ws.records_done:,} busy={ws.busy_seconds:.2f}s "
+                f"restarts={ws.restarts} replayed={ws.replayed_batches}"
+            )
     return 0 if runtime.pending_exports() == 0 else 1
 
 

@@ -14,7 +14,6 @@ arbitrates.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -69,6 +68,11 @@ class IngestStats:
         """Count one ingested item."""
         self.items += 1
         self.bytes += size_bytes
+
+    def observe_many(self, size_bytes: int, count: int) -> None:
+        """Count ``count`` items of ``size_bytes`` each at once."""
+        self.items += count
+        self.bytes += size_bytes * count
 
 
 class DataStore:
@@ -148,6 +152,7 @@ class DataStore:
         records: Any,
         timestamp: Optional[float] = None,
         size_bytes: int = 0,
+        exclude: Optional[str] = None,
     ) -> int:
         """Push raw data through triggers and subscribed aggregators.
 
@@ -161,8 +166,11 @@ class DataStore:
           once, letting budgeted primitives amortize their compression
           checks.
 
-        ``size_bytes`` is the per-item raw size either way.  Returns
-        the number of items ingested.
+        ``size_bytes`` is the per-item raw size either way.  ``exclude``
+        names one aggregator to skip — the parallel ingest path feeds
+        that aggregator through its worker process while this call still
+        covers stats, triggers, and any other subscribers.  Returns the
+        number of items ingested.
         """
         if timestamp is not None:
             timed_items: List[Tuple[Any, float]] = [(records, timestamp)]
@@ -170,13 +178,17 @@ class DataStore:
             timed_items = list(records)
         if not timed_items:
             return 0
-        for item, at_time in timed_items:
-            self.ingest_stats.observe(size_bytes)
-            self.triggers.evaluate_raw(stream_id, item, at_time)
+        if self.triggers.has_raw():
+            for item, at_time in timed_items:
+                self.ingest_stats.observe(size_bytes)
+                self.triggers.evaluate_raw(stream_id, item, at_time)
+        else:
+            # no raw triggers installed: identical accounting, one call
+            self.ingest_stats.observe_many(size_bytes, len(timed_items))
         subscribed = [
             aggregator
             for aggregator in self._aggregators.values()
-            if aggregator.wants(stream_id)
+            if aggregator.name != exclude and aggregator.wants(stream_id)
         ]
         if len(timed_items) == 1:
             for aggregator in subscribed:
@@ -185,21 +197,6 @@ class DataStore:
             for aggregator in subscribed:
                 aggregator.ingest_many(timed_items)
         return len(timed_items)
-
-    def ingest_batch(
-        self,
-        stream_id: str,
-        timed_items: List[Tuple[Any, float]],
-        size_bytes: int = 0,
-    ) -> int:
-        """Deprecated alias for :meth:`ingest` with a pair iterable."""
-        warnings.warn(
-            "DataStore.ingest_batch is deprecated; call "
-            "DataStore.ingest(stream_id, timed_items) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.ingest(stream_id, timed_items, size_bytes=size_bytes)
 
     def storage_pressure(self) -> float:
         """Current storage pressure from the strategy."""

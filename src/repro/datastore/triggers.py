@@ -110,6 +110,11 @@ class TriggerEngine:
         """Ids of all installed triggers."""
         return sorted(list(self._raw) + list(self._summary))
 
+    def has_raw(self) -> bool:
+        """Whether any raw trigger is installed (the per-item hot path
+        can be skipped entirely when not)."""
+        return bool(self._raw)
+
     # -- dispatch -----------------------------------------------------------
 
     def subscribe(self, sink: TriggerSink) -> None:

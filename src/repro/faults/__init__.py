@@ -14,6 +14,7 @@ from repro.faults.plan import (
     REASON_OUTAGE,
     FaultPlan,
     LinkOutage,
+    WorkerCrash,
 )
 from repro.faults.retry import RetryPolicy
 
@@ -22,6 +23,7 @@ __all__ = [
     "REASON_OUTAGE",
     "FaultPlan",
     "LinkOutage",
+    "WorkerCrash",
     "PendingExport",
     "PendingExportQueue",
     "RetryPolicy",

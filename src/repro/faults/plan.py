@@ -70,6 +70,28 @@ class LinkOutage:
         return _matches(self.link, upper) or _matches(self.link, lower)
 
 
+@dataclass(frozen=True)
+class WorkerCrash:
+    """An injected ingest-worker crash (process faults, not link faults).
+
+    The worker owning ``site`` terminates immediately before applying
+    batch ``batch`` (0-based, per site) of epoch ``epoch`` — exercising
+    the sharded ingest pool's respawn-and-replay recovery.  ``site`` is
+    matched like link patterns (root-relative suffixes allowed).
+    """
+
+    site: str
+    epoch: int
+    batch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.batch < 0:
+            raise PlacementError(
+                f"crash point must be non-negative, got "
+                f"epoch={self.epoch} batch={self.batch}"
+            )
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of link faults.
@@ -83,6 +105,8 @@ class FaultPlan:
     * ``epoch_seconds`` — how transfer times map to epoch indexes for
       the outage windows; the runtime binds its own epoch length here
       when the plan is injected without an explicit value.
+    * ``worker_crashes`` — ingest-worker process kills at exact
+      (site, epoch, batch) points, consumed by the sharded ingest pool.
     """
 
     seed: int = 0
@@ -91,6 +115,7 @@ class FaultPlan:
     bandwidth_factor: float = 1.0
     bandwidth_factors: Dict[str, float] = field(default_factory=dict)
     epoch_seconds: Optional[float] = None
+    worker_crashes: List[WorkerCrash] = field(default_factory=list)
     _attempts: Dict[Tuple[str, str], int] = field(
         default_factory=dict, repr=False
     )
@@ -125,6 +150,15 @@ class FaultPlan:
             if _matches(pattern, upper) or _matches(pattern, lower):
                 return factor
         return self.bandwidth_factor
+
+    def crash_points(self, site_label: str) -> List[Tuple[int, int]]:
+        """The ``(epoch, batch)`` crash points scheduled for one site."""
+        return [
+            (crash.epoch, crash.batch)
+            for crash in self.worker_crashes
+            if _matches(crash.site, site_label)
+            or _matches(site_label, crash.site)
+        ]
 
     def failure(
         self, upper: str, lower: str, at_time: float
@@ -164,7 +198,9 @@ class FaultPlan:
 
         ``outage`` may repeat; its value is ``<link>:<start>-<end>``
         (epochs, end exclusive).  ``bw`` may also be scoped to a link:
-        ``bw=region1:0.25``.
+        ``bw=region1:0.25``.  ``crash`` may repeat too; its value is
+        ``<site>:<epoch>[:<batch>]`` — kill the ingest worker owning
+        ``site`` right before that epoch's batch (default batch 0).
         """
         plan = cls()
         for item in filter(None, (part.strip() for part in spec.split(","))):
@@ -192,10 +228,21 @@ class FaultPlan:
                     plan.outages.append(
                         LinkOutage(link, int(start), int(end))
                     )
+                elif key == "crash":
+                    site, _, point = value.partition(":")
+                    if not point:
+                        raise PlacementError(
+                            f"crash spec {value!r} needs <site>:<epoch>"
+                            "[:<batch>]"
+                        )
+                    epoch, _, batch = point.partition(":")
+                    plan.worker_crashes.append(
+                        WorkerCrash(site, int(epoch), int(batch or 0))
+                    )
                 else:
                     raise PlacementError(
                         f"unknown fault spec key {key!r}; known: "
-                        "drop, seed, epoch, bw, outage"
+                        "drop, seed, epoch, bw, outage, crash"
                     )
             except ValueError as exc:
                 raise PlacementError(
@@ -215,5 +262,9 @@ class FaultPlan:
             parts.append(
                 f"outage[{outage.link}]="
                 f"{outage.start_epoch}-{outage.end_epoch}"
+            )
+        for crash in self.worker_crashes:
+            parts.append(
+                f"crash[{crash.site}]={crash.epoch}:{crash.batch}"
             )
         return " ".join(parts)

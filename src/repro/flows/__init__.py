@@ -13,7 +13,17 @@ This package implements the flow model of Section VI of the paper:
 * **Flowtree** (:mod:`repro.flows.tree`) — the self-adjusting tree of
   generalized flows with the eight operators of Table II (Merge, Compress,
   Diff, Query, Drilldown, Top-k, Above-x, HHH).
+* **Columnar batches** (:mod:`repro.flows.columnar`) — flow records as
+  flat numpy columns plus a vectorized, bit-identical Flowtree ingest;
+  the shared-memory currency of process-parallel ingest
+  (:mod:`repro.parallel`).
 """
+
+from repro.flows.columnar import (
+    HAVE_NUMPY,
+    ColumnarBatch,
+    ColumnarEncodeError,
+)
 
 from repro.flows.features import (
     Feature,
@@ -53,4 +63,7 @@ __all__ = [
     "Flowtree",
     "FlowtreeNode",
     "HHHResult",
+    "ColumnarBatch",
+    "ColumnarEncodeError",
+    "HAVE_NUMPY",
 ]

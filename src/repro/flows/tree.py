@@ -345,11 +345,30 @@ class Flowtree:
         """
         return self.add_many((record.key, record.score()) for record in records)
 
-    def add_many(self, items: Iterable[Tuple[FlowKey, Score]]) -> int:
+    def ingest_columnar(self, batch, finalize: bool = True) -> int:
+        """Ingest a :class:`~repro.flows.columnar.ColumnarBatch`.
+
+        Bit-identical to :meth:`ingest` over the decoded records — same
+        nodes, seq numbers, and compression passes — but the per-depth
+        projector walk runs vectorized over the batch's columns (see
+        :func:`repro.flows.columnar.ingest_batch`).  ``finalize=False``
+        defers the trailing budget-restoring compress, for callers
+        streaming several chunks of one logical batch.
+        """
+        from repro.flows.columnar import ingest_batch
+
+        return ingest_batch(self, batch, finalize=finalize)
+
+    def add_many(
+        self, items: Iterable[Tuple[FlowKey, Score]], finalize: bool = True
+    ) -> int:
         """Batched :meth:`add` over ``(key, score)`` pairs.
 
         Same bounded-overshoot budget behavior as :meth:`ingest`.
-        Returns the number of pairs consumed.
+        Returns the number of pairs consumed.  ``finalize=False`` skips
+        only the final back-to-budget compress (the mid-batch overshoot
+        checks still run) so a caller splitting one logical batch across
+        several calls compresses exactly as a single call would.
         """
         budget = self.node_budget
         count = 0
@@ -398,7 +417,8 @@ class Flowtree:
                     target_nodes=int(budget * self.compress_ratio)
                 )
                 self._compressions += 1
-        self._maybe_self_compress()
+        if finalize:
+            self._maybe_self_compress()
         return count
 
     def _add_record(self, key: FlowKey, score: Score) -> None:
@@ -950,6 +970,103 @@ class Flowtree:
         )
         clone._absorb(self, 1)
         return clone
+
+    def snapshot_state(self) -> dict:
+        """An exact structural snapshot for same-process-family transfer.
+
+        Unlike :meth:`to_dict` (a canonical JSON form that forgets
+        creation order), this preserves every node's ``seq`` and the
+        child-dict insertion order, so a tree restored with
+        :meth:`restore_state` compresses, merges, and serializes
+        *bit-identically* to the original.  This is the contract
+        process-parallel ingest (:mod:`repro.parallel`) relies on when a
+        worker ships its epoch tree back to the parent.  The payload is
+        plain tuples/ints — picklable without the policy (the restorer
+        supplies its own, compatible one).
+        """
+        return {
+            "schema": self.schema.name,
+            "node_budget": self.node_budget,
+            "compress_ratio": self.compress_ratio,
+            "metric": self.metric,
+            "next_seq": self._next_seq,
+            "compressions": self._compressions,
+            "nodes": [
+                (
+                    node.depth,
+                    node.values,
+                    node.seq,
+                    node.own_packets,
+                    node.own_bytes,
+                    node.own_flows,
+                    node.folded_packets,
+                    node.folded_bytes,
+                    node.folded_flows,
+                )
+                for node in sorted(
+                    self._nodes.values(), key=lambda n: n.seq
+                )
+            ],
+        }
+
+    @classmethod
+    def restore_state(
+        cls, policy: GeneralizationPolicy, state: dict
+    ) -> "Flowtree":
+        """Rebuild the exact tree captured by :meth:`snapshot_state`.
+
+        Nodes are recreated in ``seq`` order — a parent's seq always
+        precedes its children's, and creation order *is* dict insertion
+        order — so the restored tree's iteration, compression
+        tie-breaking, and merge behavior match the original exactly.
+        """
+        if state["schema"] != policy.schema.name:
+            raise SchemaMismatchError(
+                f"snapshot schema {state['schema']!r} != policy schema "
+                f"{policy.schema.name!r}"
+            )
+        tree = cls(
+            policy,
+            node_budget=state["node_budget"],
+            compress_ratio=state["compress_ratio"],
+            metric=state["metric"],
+        )
+        nodes = tree._nodes
+        projectors = tree._projectors
+        created: List[FlowtreeNode] = []
+        for entry in state["nodes"]:
+            depth, values, seq = entry[0], tuple(entry[1]), entry[2]
+            if depth == 0:
+                node = tree._root
+                node.seq = seq
+            else:
+                parent = nodes[(depth - 1, projectors[depth - 1](values))]
+                node = FlowtreeNode(depth, values, seq, parent)
+                nodes[(depth, values)] = node
+                parent.children[values] = node
+            (
+                node.own_packets,
+                node.own_bytes,
+                node.own_flows,
+                node.folded_packets,
+                node.folded_bytes,
+                node.folded_flows,
+            ) = entry[3:9]
+            node.subtree_packets = node.own_packets + node.folded_packets
+            node.subtree_bytes = node.own_bytes + node.folded_bytes
+            node.subtree_flows = node.own_flows + node.folded_flows
+            created.append(node)
+        # children carry higher seqs than their parents, so one reverse
+        # sweep accumulates every subtree bottom-up
+        for node in reversed(created):
+            parent = node.parent
+            if parent is not None:
+                parent.subtree_packets += node.subtree_packets
+                parent.subtree_bytes += node.subtree_bytes
+                parent.subtree_flows += node.subtree_flows
+        tree._next_seq = state["next_seq"]
+        tree._compressions = state["compressions"]
+        return tree
 
     def to_dict(self) -> dict:
         """A JSON-safe representation, used for export and replication."""

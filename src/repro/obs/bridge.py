@@ -160,6 +160,33 @@ def install_runtime_metrics(
         ("site",),
     )
 
+    # -- parallel ingest workers (sourced from the pool's shm counters) -------
+    worker_queue = registry.gauge(
+        "repro_parallel_queue_depth",
+        "Batches submitted to an ingest worker but not yet applied",
+        ("worker",),
+    )
+    worker_records = registry.counter(
+        "repro_parallel_worker_records_total",
+        "Records applied by each ingest worker",
+        ("worker",),
+    )
+    worker_busy = registry.counter(
+        "repro_parallel_worker_busy_seconds_total",
+        "Seconds each ingest worker spent applying batches",
+        ("worker",),
+    )
+    worker_restarts = registry.counter(
+        "repro_parallel_worker_restarts_total",
+        "Times each ingest worker was respawned after a crash",
+        ("worker",),
+    )
+    worker_replays = registry.counter(
+        "repro_parallel_replayed_batches_total",
+        "Batches replayed to respawned ingest workers",
+        ("worker",),
+    )
+
     # -- event-fed latency histograms (observed at the call sites) ------------
     registry.histogram(
         ROLLUP_SECONDS,
@@ -258,5 +285,22 @@ def install_runtime_metrics(
             store_bytes.labels(site=site).set_from_source(
                 store.ingest_stats.bytes
             )
+        pool = getattr(runtime, "_pool", None)
+        if pool is not None:
+            for ws in pool.worker_stats():
+                worker = str(ws.worker)
+                worker_queue.labels(worker=worker).set(ws.queue_depth)
+                worker_records.labels(worker=worker).set_from_source(
+                    ws.records_done
+                )
+                worker_busy.labels(worker=worker).set_from_source(
+                    ws.busy_seconds
+                )
+                worker_restarts.labels(worker=worker).set_from_source(
+                    ws.restarts
+                )
+                worker_replays.labels(worker=worker).set_from_source(
+                    ws.replayed_batches
+                )
 
     registry.add_collector(collect)

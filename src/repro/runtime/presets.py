@@ -16,7 +16,7 @@ The legacy systems become level tables over the same runtime:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.errors import PlacementError
 from repro.faults import FaultPlan, RetryPolicy
@@ -28,6 +28,7 @@ from repro.hierarchy.topology import (
     Hierarchy,
 )
 from repro.obs import Observability
+from repro.parallel import ParallelIngestConfig
 from repro.runtime.config import LevelConfig
 from repro.runtime.runtime import HierarchyRuntime
 
@@ -43,6 +44,7 @@ def flat_runtime(
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
+    parallel: Union[None, bool, int, ParallelIngestConfig] = None,
 ) -> HierarchyRuntime:
     """Edge stores at every site path, exporting straight to FlowDB."""
     if not sites:
@@ -75,6 +77,7 @@ def flat_runtime(
         faults=faults,
         retry_policy=retry_policy,
         observability=observability,
+        parallel=parallel,
     )
 
 
@@ -90,6 +93,7 @@ def tiered_runtime(
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
+    parallel: Union[None, bool, int, ParallelIngestConfig] = None,
 ) -> HierarchyRuntime:
     """Router stores merging into region stores before the WAN hop."""
     if not sites:
@@ -120,6 +124,7 @@ def tiered_runtime(
         faults=faults,
         retry_policy=retry_policy,
         observability=observability,
+        parallel=parallel,
     )
 
 
@@ -138,6 +143,7 @@ def network_4level_runtime(
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
+    parallel: Union[None, bool, int, ParallelIngestConfig] = None,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
@@ -183,6 +189,7 @@ def network_4level_runtime(
         faults=faults,
         retry_policy=retry_policy,
         observability=observability,
+        parallel=parallel,
     )
 
 
@@ -201,6 +208,7 @@ def factory_4level_runtime(
     faults: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
+    parallel: Union[None, bool, int, ParallelIngestConfig] = None,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
@@ -248,4 +256,5 @@ def factory_4level_runtime(
         faults=faults,
         retry_policy=retry_policy,
         observability=observability,
+        parallel=parallel,
     )

@@ -29,7 +29,7 @@ Per-hop volume and latency land in :class:`~repro.runtime.stats.VolumeStats`.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.control.controller import Controller
 from repro.control.manager import Manager
@@ -49,6 +49,7 @@ from repro.faults import (
 from repro.flowdb.db import FlowDB
 from repro.flowql.executor import FlowQLExecutor
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
+from repro.flows.tree import Flowtree
 from repro.hierarchy.network import NetworkFabric
 from repro.hierarchy.topology import Hierarchy, HierarchyNode
 from repro.obs import Observability
@@ -56,6 +57,11 @@ from repro.obs.bridge import (
     INGEST_SECONDS,
     ROLLUP_SECONDS,
     install_runtime_metrics,
+)
+from repro.parallel import (
+    ParallelIngestConfig,
+    ShardedIngestPool,
+    SiteShardSpec,
 )
 from repro.query.plan import QueryOutcome
 from repro.query.planner import FederatedQueryPlanner
@@ -82,6 +88,7 @@ class HierarchyRuntime:
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         observability: Optional[Observability] = None,
+        parallel: Union[None, bool, int, ParallelIngestConfig] = None,
     ) -> None:
         if not levels:
             raise PlacementError(
@@ -163,6 +170,27 @@ class HierarchyRuntime:
                 if child is not node
             ):
                 self._ingestible[self._labels[node.location.path]] = store
+        # sharded parallel ingest (opt-in): resolve which edge sites are
+        # pooled now, but fork the worker pool lazily on the first
+        # pooled ingest so parallel-off runs never pay for it
+        if isinstance(parallel, bool):
+            parallel = ParallelIngestConfig() if parallel else None
+        elif isinstance(parallel, int):
+            parallel = ParallelIngestConfig(workers=parallel)
+        self.parallel_config: Optional[ParallelIngestConfig] = parallel
+        self._pool: Optional[ShardedIngestPool] = None
+        self._pool_aggs: Dict[str, str] = {}
+        if parallel is not None:
+            for node, config, store in self._plan:
+                label = self._labels[node.location.path]
+                if label not in self._ingestible or not config.parallel:
+                    continue
+                if config.aggregator is None:
+                    continue
+                name = config.resolved_aggregator_name
+                primitive = store.aggregator(name).primitive
+                if isinstance(primitive, FlowtreePrimitive):
+                    self._pool_aggs[label] = name
         # the unified query plane: FlowQL routes through the planner
         # (cloud executor, federated fan-out, cache, replication feed)
         self.planner = FederatedQueryPlanner(self)
@@ -349,7 +377,19 @@ class HierarchyRuntime:
         started = time.perf_counter()
         size = self.raw_record_bytes if size_bytes is None else size_bytes
         batch = [(record, record.first_seen) for record in records]
-        count = store.ingest(stream_id, batch, size_bytes=size)
+        pool_agg = self._pool_aggs.get(site)
+        if pool_agg is not None and store.aggregator(pool_agg).wants(stream_id):
+            # the pooled aggregator is fed through its worker process;
+            # the store call still covers stats, triggers, and any other
+            # subscribed aggregators
+            count = store.ingest(
+                stream_id, batch, size_bytes=size, exclude=pool_agg
+            )
+            self._ensure_pool().submit(
+                site, [record for record, _ in batch]
+            )
+        else:
+            count = store.ingest(stream_id, batch, size_bytes=size)
         node = self.hierarchy.node(store.location)
         volume = self.stats.level(node.level.name)
         volume.raw_items += count
@@ -390,6 +430,14 @@ class HierarchyRuntime:
         with self.obs.span(
             "close_epoch", epoch=self.stats.epochs_closed, at=now
         ) as root:
+            if self._pool is not None:
+                # the epoch barrier: drain every ingest worker and fold
+                # the shard trees into the edge aggregators before the
+                # (unchanged) deepest-first rollup sees them
+                with self.obs.span(
+                    "parallel_drain", epoch=self.stats.epochs_closed
+                ):
+                    self._install_shards(self._pool.flush())
             for node, config, store in self._rollup_order:
                 started = time.perf_counter()
                 level = node.level.name
@@ -414,12 +462,105 @@ class HierarchyRuntime:
                 elapsed = time.perf_counter() - started
                 volume.rollup_seconds += elapsed
                 self.obs.observe(ROLLUP_SECONDS, elapsed, level=level)
+            if self._pool is not None:
+                # adaptation may have resized edge trees during rollup;
+                # push the current parameters to the workers so the next
+                # epoch's shards are built to match
+                self._sync_pool_specs()
             self.stats.epochs_closed += 1
             self._last_close = now
             # new data invalidates cached answers and advances query time
             self.planner.on_epoch_closed(now)
             root.set_attr("exported", exported)
         return exported
+
+    # -- parallel ingest -----------------------------------------------------
+
+    def _site_shard_spec(self, site: str) -> SiteShardSpec:
+        primitive = self._ingestible[site].aggregator(
+            self._pool_aggs[site]
+        ).primitive
+        return SiteShardSpec(
+            node_budget=primitive.node_budget,
+            compress_ratio=primitive.tree.compress_ratio,
+            metric=primitive.metric,
+        )
+
+    def _ensure_pool(self) -> ShardedIngestPool:
+        """The sharded ingest pool, forked on first pooled ingest."""
+        if self._pool is None:
+            crash_points = {}
+            if self.faults is not None:
+                for site in self._pool_aggs:
+                    points = self.faults.crash_points(site)
+                    if points:
+                        crash_points[site] = points
+            self._pool = ShardedIngestPool(
+                self.policy,
+                {site: self._site_shard_spec(site) for site in self._pool_aggs},
+                self.parallel_config,
+                base_epoch=self.stats.epochs_closed,
+                crash_points=crash_points or None,
+            )
+        return self._pool
+
+    def _install_shards(
+        self, summaries: Mapping[str, Dict[str, object]]
+    ) -> None:
+        """Fold the workers' epoch shards into the edge aggregators.
+
+        An aggregator that saw nothing in-process this epoch adopts the
+        shard tree wholesale — node seqs and compression counters
+        included, which is what keeps parallel mode bit-identical to
+        serial ingest.  Anything already ingested in-process (mixed
+        serial/parallel use of one site) merges instead.
+        """
+        for site, summary in summaries.items():
+            aggregator = self._ingestible[site].aggregator(
+                self._pool_aggs[site]
+            )
+            primitive = aggregator.primitive
+            shard = Flowtree.restore_state(self.policy, summary["state"])
+            tree = primitive.tree
+            if (
+                primitive.items_ingested == 0
+                and tree._next_seq == 1
+                and tree._compressions == 0
+            ):
+                primitive.tree = shard
+            else:
+                tree.merge(shard)
+            primitive.items_ingested += summary["items"]
+            start = summary["epoch_start"]
+            end = summary["epoch_end"]
+            if start is not None and (
+                primitive._epoch_start is None
+                or start < primitive._epoch_start
+            ):
+                primitive._epoch_start = start
+            if end is not None and (
+                primitive._epoch_end is None or end > primitive._epoch_end
+            ):
+                primitive._epoch_end = end
+            aggregator.items_this_epoch += summary["items"]
+            if aggregator.epoch_opened_at is None:
+                aggregator.epoch_opened_at = summary["opened_at"]
+
+    def _sync_pool_specs(self) -> None:
+        for site in self._pool.sites:
+            self._pool.sync_site(site, self._site_shard_spec(site))
+
+    def shutdown(self) -> None:
+        """Stop the parallel ingest workers, if any were started."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "HierarchyRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     def _forward(
         self,
