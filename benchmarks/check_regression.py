@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Guard the perf-sensitive paths against regressions.
 
-Four committed baselines are checked:
+Five committed baselines are checked:
 
 * ``BENCH_flowtree.json`` — re-runs the optimized Flowtree ingest (and
   merge) over the exact recorded trace and fails when fresh throughput
@@ -26,8 +26,13 @@ Four committed baselines are checked:
   instrumentation changes any structural output (WAN/raw/export
   counts), or when the registry exposition drifts from the
   ``VolumeStats``/fabric counters it mirrors.
+* ``BENCH_elastic.json`` — replays the scripted reconfiguration storm
+  (join, live leave, split, merge, migrate under traffic, clean and
+  drop=0.3 fabrics) and fails when root mass stops matching the
+  ingested total, when pending migrations fail to drain, or when ops
+  stop bumping the topology generation exactly once.
 
-``--only {all,flowtree,query,faults,obs}`` selects one gate (CI runs
+``--only {all,flowtree,query,faults,obs,elastic}`` selects one gate (CI runs
 them in separate jobs).  The default tolerance is deliberately generous —
 CI machines vary a lot — so a failure means a real algorithmic
 regression, not scheduler noise.
@@ -47,6 +52,7 @@ PYTHONPATH=src python benchmarks/bench_flowtree_hotpath.py
 PYTHONPATH=src python benchmarks/bench_query_planner.py
 PYTHONPATH=src python benchmarks/bench_faults.py
 PYTHONPATH=src python benchmarks/bench_obs.py
+PYTHONPATH=src python benchmarks/bench_elastic.py
 ```
 """
 
@@ -69,6 +75,7 @@ DEFAULT_QUERY_BASELINE = REPO_ROOT / "BENCH_query.json"
 DEFAULT_FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 DEFAULT_HIERARCHY_BASELINE = REPO_ROOT / "BENCH_hierarchy.json"
 DEFAULT_OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
+DEFAULT_ELASTIC_BASELINE = REPO_ROOT / "BENCH_elastic.json"
 DEFAULT_TOLERANCE = 0.5
 #: the zero-drop run is deterministic; allow only float-formatting drift
 WAN_MATCH_TOLERANCE = 0.01
@@ -365,6 +372,60 @@ def check_obs(baseline_path: Path) -> int:
     return 0
 
 
+def check_elastic(baseline_path: Path) -> int:
+    """Replay the reconfiguration storm; elasticity must stay lossless.
+
+    Deterministic invariants, not timings: at both drop rates root mass
+    equals the ingested total once recovery closes drain the parked
+    exports and migrations, every op bumps the topology generation
+    exactly once, and the clean-fabric run migrates a nonzero ledger-
+    tracked byte volume.  The migrated volume is also compared against
+    the committed number (the migration protocol is deterministic on a
+    clean fabric).  Returns an exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        trace = committed["trace"]
+        committed_rates = committed["rates"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read elastic baseline {baseline_path}: {exc}")
+        return 2
+
+    from benchmarks.bench_elastic import check_claims, run_sweep
+
+    print(
+        f"\nre-running reconfig storm: {trace['flows_per_epoch']} "
+        f"flows/epoch, drop rates {trace['drop_rates']}"
+    )
+    fresh = run_sweep(trace["flows_per_epoch"], trace["seed"])
+    for rate, metrics in sorted(fresh.items(), key=lambda kv: float(kv[0])):
+        committed_metrics = committed_rates.get(rate, {})
+        print(
+            f"drop={rate}: root {metrics['root_mass_flows']} / "
+            f"expected {metrics['expected_flows']} flows, "
+            f"migrated {metrics['migrated_bytes']} B "
+            f"(committed {committed_metrics.get('migrated_bytes')} B), "
+            f"gen {metrics['generation']}, "
+            f"lag {metrics['recovery_lag_epochs']} epochs"
+        )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: elastic-topology claims no longer hold ({exc!r})")
+        return 1
+    committed_migrated = committed_rates.get("0", {}).get("migrated_bytes")
+    if committed_migrated is not None:
+        fresh_migrated = fresh["0"]["migrated_bytes"]
+        if fresh_migrated != committed_migrated:
+            print(
+                f"REGRESSION: clean-fabric migrated volume changed "
+                f"({fresh_migrated} B vs committed {committed_migrated} B)"
+            )
+            return 1
+    print("OK: reconfiguration is delayed, never lossy")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -410,8 +471,17 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--elastic-baseline",
+        type=Path,
+        default=DEFAULT_ELASTIC_BASELINE,
+        help=(
+            "committed elastic-topology baseline JSON "
+            f"(default: {DEFAULT_ELASTIC_BASELINE})"
+        ),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "flowtree", "query", "faults", "obs"),
+        choices=("all", "flowtree", "query", "faults", "obs", "elastic"),
         default="all",
         help="run a single regression gate (default: all)",
     )
@@ -444,6 +514,8 @@ def main(argv=None) -> int:
         return check_faults(args.faults_baseline, args.hierarchy_baseline)
     if args.only == "obs":
         return check_obs(args.obs_baseline)
+    if args.only == "elastic":
+        return check_elastic(args.elastic_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -489,7 +561,10 @@ def main(argv=None) -> int:
     status = check_faults(args.faults_baseline, args.hierarchy_baseline)
     if status != 0:
         return status
-    return check_obs(args.obs_baseline)
+    status = check_obs(args.obs_baseline)
+    if status != 0:
+        return status
+    return check_elastic(args.elastic_baseline)
 
 
 if __name__ == "__main__":

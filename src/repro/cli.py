@@ -164,6 +164,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the last N span trees (0 = none)",
     )
 
+    topology = subparsers.add_parser(
+        "topology",
+        help=(
+            "drive a rollup (optionally with reconfig drills) and print "
+            "the live topology census"
+        ),
+    )
+    topology.add_argument(
+        "--preset", choices=("network", "factory"), default="network",
+        help="4-level hierarchy preset to build",
+    )
+    topology.add_argument("--epochs", type=int, default=2)
+    topology.add_argument("--flows-per-epoch", type=int, default=500)
+    topology.add_argument("--seed", type=int, default=42)
+    topology.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help=(
+            "fault plan spec; reconfig drills reshape the topology "
+            "live, e.g. 'reconfig=leave:network1/region1/router2:0'"
+        ),
+    )
+    topology.add_argument(
+        "--adaptive-budgets", action="store_true",
+        help="let the controller resize node budgets from pressure",
+    )
+
     replication = subparsers.add_parser(
         "replication", help="compare replication policies on a trace"
     )
@@ -493,6 +519,99 @@ def _run_factory(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# topology (live census)
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+    if args.preset == "network":
+        runtime = network_4level_runtime(retain_partitions=True)
+    else:
+        runtime = factory_4level_runtime(retain_partitions=True)
+    try:
+        if args.faults:
+            try:
+                plan = FaultPlan.from_spec(args.faults)
+            except ReproError as error:
+                print(f"error: {error}")
+                return 2
+            runtime.inject_faults(plan)
+            print(f"fault plan: {plan.describe()}")
+        if args.adaptive_budgets:
+            runtime.enable_adaptive_budgets()
+        generator = TrafficGenerator(
+            TrafficConfig(
+                sites=tuple(runtime.ingest_sites()),
+                flows_per_epoch=args.flows_per_epoch,
+            ),
+            seed=args.seed,
+        )
+        epoch_s = runtime.epoch_seconds
+        for epoch in range(args.epochs):
+            # re-read the site list each epoch: reconfig drills may
+            # have added, removed, or renamed sites at the last close
+            for site in runtime.ingest_sites():
+                try:
+                    records = generator.epoch(site, epoch)
+                except (ReproError, KeyError):
+                    continue  # site joined after the trace was drawn
+                runtime.ingest(site, records)
+            try:
+                runtime.close_epoch((epoch + 1) * epoch_s)
+            except ReproError as error:
+                print(f"error: reconfig drill failed: {error}")
+                return 1
+        census = runtime.model.census()
+        print(f"\ntopology census (root {census['root']!r})")
+        print(f"  generation: {census['generation']}")
+        print(f"  {'level':<12}{'nodes':>7}{'budget':>10}{'deadline':>10}")
+        for row in census["levels"]:
+            budget = row["node_budget"]
+            deadline = row["deadline_seconds"]
+            print(
+                f"  {row['level']:<12}{row['nodes']:>7}"
+                f"{budget if budget is not None else '-':>10}"
+                f"{f'{deadline:g}s' if deadline is not None else '-':>10}"
+            )
+        if census["op_counts"]:
+            ops = ", ".join(
+                f"{op}={count}"
+                for op, count in sorted(census["op_counts"].items())
+            )
+            print(f"  reconfig ops: {ops}")
+        pending = census["pending_migrations"]
+        print(
+            f"  migrated: {census['migrated_bytes']:,} B in "
+            f"{census['migrated_summaries']} summaries | "
+            f"pending migrations: {len(pending)}"
+        )
+        for entry in pending:
+            print(
+                f"    {entry['op']}: {entry['origin']} -> "
+                f"{entry['target']} ({entry['size_bytes']:,} B)"
+            )
+        tuner = runtime._budget_tuner
+        if tuner is not None and tuner.decisions:
+            print("  budget decisions:")
+            for decision in tuner.decisions:
+                print(
+                    f"    {decision.level}: {decision.old_budget} -> "
+                    f"{decision.new_budget} (pressure="
+                    f"{decision.pressure:.1f} fullness="
+                    f"{decision.fullness:.2f})"
+                )
+        return 0
+    finally:
+        runtime.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # replication
 
 
@@ -548,6 +667,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     if args.command == "replication":
         return _run_replication(args)
+    if args.command == "topology":
+        return _run_topology(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -72,6 +72,15 @@ class Manager:
         """Make a data store known to the control plane."""
         self._stores[store.location.path] = store
 
+    def deregister_store(self, path: str) -> Optional[DataStore]:
+        """Forget the store registered at a path (reconfiguration).
+
+        Returns the store that was registered there, or ``None``.  Used
+        by the elastic topology ops when a site leaves or a store's
+        location path is rewritten by a reparenting migration.
+        """
+        return self._stores.pop(path, None)
+
     def store_at(self, location: Location) -> DataStore:
         """The store at exactly this location."""
         try:

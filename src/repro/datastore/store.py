@@ -102,6 +102,29 @@ class DataStore:
         self.ingest_stats = IngestStats()
         self.evictions: List[Partition] = []
 
+    def relocate(self, location: Location, now: float = 0.0) -> Location:
+        """Move this store to a new hierarchy location (reparenting).
+
+        The store keeps every aggregator, partition, and replica — only
+        its address changes.  Live primitives are re-addressed too, so
+        summaries cut after the move carry the new location.  Returns
+        the old location; callers re-key any path-indexed state
+        (runtime store maps, pending queues, peer tables).
+        """
+        old = self.location
+        self.location = location
+        for aggregator in self._aggregators.values():
+            primitive = aggregator.primitive
+            if getattr(primitive, "location", None) is not None:
+                primitive.location = location
+        self.lineage.record(
+            operation="relocate",
+            location=location,
+            timestamp=now,
+            detail=f"{old.path}->{location.path}",
+        )
+        return old
+
     # ------------------------------------------------------------------
     # aggregators
 

@@ -14,6 +14,7 @@ from repro.faults.plan import (
     REASON_OUTAGE,
     FaultPlan,
     LinkOutage,
+    ReconfigDrill,
     WorkerCrash,
 )
 from repro.faults.retry import RetryPolicy
@@ -23,6 +24,7 @@ __all__ = [
     "REASON_OUTAGE",
     "FaultPlan",
     "LinkOutage",
+    "ReconfigDrill",
     "WorkerCrash",
     "PendingExport",
     "PendingExportQueue",

@@ -92,6 +92,47 @@ class WorkerCrash:
             )
 
 
+#: Reconfiguration ops a drill may trigger (elastic-topology faults).
+RECONFIG_OPS = ("join", "leave", "migrate")
+
+
+@dataclass(frozen=True)
+class ReconfigDrill:
+    """One scheduled live-reconfiguration op (topology faults).
+
+    After the close of epoch ``epoch`` (0-based), the runtime applies
+    ``op`` to the site at root-relative ``path``: ``join`` attaches a
+    new site there, ``leave`` drains it out (migrating its state), and
+    ``migrate`` re-homes it under ``new_parent``.  Drills exercise the
+    elastic-topology machinery *under* whatever link faults the rest of
+    the plan schedules — the combination the root-mass conservation
+    property pins.
+    """
+
+    op: str
+    path: str
+    epoch: int
+    new_parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in RECONFIG_OPS:
+            raise PlacementError(
+                f"unknown reconfig op {self.op!r}; known: "
+                f"{list(RECONFIG_OPS)}"
+            )
+        if self.epoch < 0:
+            raise PlacementError(
+                f"reconfig epoch must be non-negative, got {self.epoch}"
+            )
+        if not self.path:
+            raise PlacementError("reconfig drill needs a site path")
+        if self.op == "migrate" and self.new_parent is None:
+            raise PlacementError(
+                "reconfig op 'migrate' needs a new parent "
+                "(migrate:<path>><new_parent>:<epoch>)"
+            )
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of link faults.
@@ -107,6 +148,8 @@ class FaultPlan:
       when the plan is injected without an explicit value.
     * ``worker_crashes`` — ingest-worker process kills at exact
       (site, epoch, batch) points, consumed by the sharded ingest pool.
+    * ``reconfigs`` — scheduled live-topology ops (join/leave/migrate)
+      applied by the runtime after the named epoch's close.
     """
 
     seed: int = 0
@@ -116,6 +159,7 @@ class FaultPlan:
     bandwidth_factors: Dict[str, float] = field(default_factory=dict)
     epoch_seconds: Optional[float] = None
     worker_crashes: List[WorkerCrash] = field(default_factory=list)
+    reconfigs: List[ReconfigDrill] = field(default_factory=list)
     _attempts: Dict[Tuple[str, str], int] = field(
         default_factory=dict, repr=False
     )
@@ -201,6 +245,11 @@ class FaultPlan:
         ``bw=region1:0.25``.  ``crash`` may repeat too; its value is
         ``<site>:<epoch>[:<batch>]`` — kill the ingest worker owning
         ``site`` right before that epoch's batch (default batch 0).
+        ``reconfig`` may repeat; its value is
+        ``<op>:<path>[><new_parent>]:<epoch>`` — apply a live topology
+        op (``join``/``leave``/``migrate``) after that epoch's close,
+        e.g. ``reconfig=leave:region1/router2:1`` or
+        ``reconfig=migrate:region1/router1>region2:2``.
         """
         plan = cls()
         for item in filter(None, (part.strip() for part in spec.split(","))):
@@ -239,10 +288,27 @@ class FaultPlan:
                     plan.worker_crashes.append(
                         WorkerCrash(site, int(epoch), int(batch or 0))
                     )
+                elif key == "reconfig":
+                    op, _, rest = value.partition(":")
+                    path, sep, epoch = rest.rpartition(":")
+                    if not sep:
+                        raise PlacementError(
+                            f"reconfig spec {value!r} needs "
+                            "<op>:<path>[><new_parent>]:<epoch>"
+                        )
+                    target, gt, new_parent = path.partition(">")
+                    plan.reconfigs.append(
+                        ReconfigDrill(
+                            op=op,
+                            path=target,
+                            epoch=int(epoch),
+                            new_parent=new_parent if gt else None,
+                        )
+                    )
                 else:
                     raise PlacementError(
                         f"unknown fault spec key {key!r}; known: "
-                        "drop, seed, epoch, bw, outage, crash"
+                        "drop, seed, epoch, bw, outage, crash, reconfig"
                     )
             except ValueError as exc:
                 raise PlacementError(
@@ -267,4 +333,9 @@ class FaultPlan:
             parts.append(
                 f"crash[{crash.site}]={crash.epoch}:{crash.batch}"
             )
+        for drill in self.reconfigs:
+            where = drill.path
+            if drill.new_parent:
+                where += f">{drill.new_parent}"
+            parts.append(f"reconfig[{where}]={drill.op}@{drill.epoch}")
         return " ".join(parts)

@@ -69,6 +69,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 HAVE_NUMPY = np is not None
 
+#: batches at or below this size take the scalar ``add_many`` walk
+#: instead of the window planner: the planner's fixed per-chunk cost
+#: (grouping, hashing, mask projection) exceeds its vectorization win
+#: below the measured crossover (~512 records on the reference box;
+#: 256 keeps a safety margin).  Both paths are bit-identical, so this
+#: is purely a latency knob — ``bench_flowtree_hotpath`` pins the
+#: crossover so drift shows up in review.
+SCALAR_FALLBACK_RECORDS = 256
+
 #: slot header: record count + feature arity, little-endian int64s
 _HEADER = struct.Struct("<qq")
 
@@ -524,6 +533,17 @@ def ingest_batch(
         root.own_bytes += tbt
         root.own_flows += n
         return n
+    if n <= SCALAR_FALLBACK_RECORDS:
+        # the window planner's per-chunk overhead (grouping, hashing,
+        # mask projection) dominates below the measured crossover; the
+        # scalar walk is faster and bit-identical by construction
+        return tree.add_many(
+            (
+                (record.key, record.score())
+                for record in batch.decode(tree.schema)
+            ),
+            finalize=finalize,
+        )
     mults = _hash_multipliers(batch.arity)
     values = np.ascontiguousarray(batch.values)
     packets = batch.packets

@@ -103,27 +103,55 @@ class NetworkFabric:
     ) -> None:
         self.hierarchy = hierarchy
         self.faults = faults
-        bandwidths = dict(DEFAULT_BANDWIDTH_BPS)
+        self._bandwidths = dict(DEFAULT_BANDWIDTH_BPS)
         if bandwidth_by_level:
-            bandwidths.update(bandwidth_by_level)
-        latencies = dict(DEFAULT_LATENCY_S)
+            self._bandwidths.update(bandwidth_by_level)
+        self._latencies = dict(DEFAULT_LATENCY_S)
         if latency_by_level:
-            latencies.update(latency_by_level)
+            self._latencies.update(latency_by_level)
         self._links: Dict[Tuple[str, str], Link] = {}
+        #: links removed by a topology reconfiguration; their historical
+        #: byte counters stay in the totals (the bytes really crossed)
+        self._retired: List[Link] = []
         for node in hierarchy.nodes():
             for child in node.children:
-                link = Link(
-                    upper=node.location,
-                    lower=child.location,
-                    bandwidth_bps=bandwidths.get(
-                        node.level.name, _FALLBACK_BANDWIDTH_BPS
-                    ),
-                    latency_s=latencies.get(
-                        node.level.name, _FALLBACK_LATENCY_S
-                    ),
-                )
+                link = self._make_link(node, child)
                 self._links[link.key] = link
         self.transfers: List[TransferRecord] = []
+
+    def _make_link(self, node, child) -> Link:
+        return Link(
+            upper=node.location,
+            lower=child.location,
+            bandwidth_bps=self._bandwidths.get(
+                node.level.name, _FALLBACK_BANDWIDTH_BPS
+            ),
+            latency_s=self._latencies.get(
+                node.level.name, _FALLBACK_LATENCY_S
+            ),
+        )
+
+    def resync(self) -> None:
+        """Re-derive the link set after a topology reconfiguration.
+
+        New parent–child pairs get fresh links at the level's default
+        (or overridden) bandwidth/latency; links whose pair no longer
+        exists are retired — their accumulated counters remain part of
+        :meth:`total_bytes` / :meth:`wan_bytes` / :meth:`wasted_bytes`,
+        because retiring a link cannot un-spend the bytes it carried.
+        """
+        current: Dict[Tuple[str, str], Link] = {}
+        for node in self.hierarchy.nodes():
+            for child in node.children:
+                key = (node.location.path, child.location.path)
+                link = self._links.get(key)
+                if link is None:
+                    link = self._make_link(node, child)
+                current[key] = link
+        for key, link in self._links.items():
+            if key not in current:
+                self._retired.append(link)
+        self._links = current
 
     def link_between(self, a: Location, b: Location) -> Link:
         """The direct link between a parent and child location."""
@@ -137,8 +165,15 @@ class NetworkFabric:
         return link
 
     def links(self) -> List[Link]:
-        """All links in the fabric."""
+        """All live links in the fabric."""
         return list(self._links.values())
+
+    def retired_links(self) -> List[Link]:
+        """Links removed by reconfiguration, with their history intact."""
+        return list(self._retired)
+
+    def _all_links(self) -> List[Link]:
+        return list(self._links.values()) + self._retired
 
     def inject_faults(self, faults: Optional[FaultPlan]) -> None:
         """Install (or clear, with ``None``) the active fault schedule."""
@@ -211,8 +246,8 @@ class NetworkFabric:
         return record
 
     def total_bytes(self) -> int:
-        """Bytes carried across all links (each hop counts)."""
-        return sum(link.bytes_carried for link in self._links.values())
+        """Bytes carried across all links, retired ones included."""
+        return sum(link.bytes_carried for link in self._all_links())
 
     def wan_bytes(self) -> int:
         """Bytes that crossed a link whose upper endpoint is the root.
@@ -223,34 +258,34 @@ class NetworkFabric:
         root_path = self.hierarchy.root.location.path
         return sum(
             link.bytes_carried
-            for link in self._links.values()
+            for link in self._all_links()
             if link.upper.path == root_path
         )
 
     def wasted_bytes(self) -> int:
         """Bytes burned by failed transfer attempts across all links."""
-        return sum(link.wasted_bytes for link in self._links.values())
+        return sum(link.wasted_bytes for link in self._all_links())
 
     def wan_wasted_bytes(self) -> int:
         """Failed-attempt bytes on links whose upper endpoint is the root."""
         root_path = self.hierarchy.root.location.path
         return sum(
             link.wasted_bytes
-            for link in self._links.values()
+            for link in self._all_links()
             if link.upper.path == root_path
         )
 
     def attempted_hops(self) -> int:
         """Hop traversals attempted (successful + faulted)."""
-        return sum(link.attempts for link in self._links.values())
+        return sum(link.attempts for link in self._all_links())
 
     def failed_hops(self) -> int:
         """Hop traversals refused by the fault plan."""
-        return sum(link.failures for link in self._links.values())
+        return sum(link.failures for link in self._all_links())
 
     def reset_accounting(self) -> None:
         """Zero all counters (between experiment phases)."""
-        for link in self._links.values():
+        for link in self._all_links():
             link.bytes_carried = 0
             link.transfers = 0
             link.attempts = 0

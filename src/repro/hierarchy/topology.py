@@ -11,7 +11,7 @@ Figure 3 benchmark compares control-loop latencies against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.summary import Location
 from repro.errors import PlacementError
@@ -66,6 +66,22 @@ class HierarchyNode:
             node = node.parent
         return chain
 
+    def rebase(self, location: Location) -> Dict[str, str]:
+        """Rewrite this subtree's locations under a new base path.
+
+        Returns ``{old_path: new_path}`` for every node touched, so
+        callers can re-key stores, labels, and pending queues.
+        """
+        renames: Dict[str, str] = {}
+        stack: List[Tuple["HierarchyNode", Location]] = [(self, location)]
+        while stack:
+            node, where = stack.pop()
+            renames[node.location.path] = where.path
+            node.location = where
+            for child in node.children:
+                stack.append((child, where.child(child.location.parts[-1])))
+        return renames
+
 
 class Hierarchy:
     """A location tree with lookup and path operations."""
@@ -112,6 +128,67 @@ class Hierarchy:
     def nodes_at_level(self, level_name: str) -> List[HierarchyNode]:
         """All nodes whose level has the given name."""
         return [n for n in self.root.walk() if n.level.name == level_name]
+
+    # -- structural mutation (the elastic-topology primitives) --------------
+
+    def add_site(
+        self, parent: Location, name: str, level: LevelSpec
+    ) -> HierarchyNode:
+        """Attach a new child site under an existing node and reindex."""
+        parent_node = self.node(parent)
+        if any(
+            child.location.parts[-1] == name
+            for child in parent_node.children
+        ):
+            raise PlacementError(
+                f"{parent.path!r} already has a child named {name!r}"
+            )
+        child = parent_node.add_child(name, level)
+        self.reindex()
+        return child
+
+    def remove(self, location: Location) -> HierarchyNode:
+        """Detach a subtree from its parent and reindex.
+
+        The returned node keeps its children (and their locations) — it
+        can be re-attached elsewhere with :meth:`graft`.  Removing the
+        root is a :class:`~repro.errors.PlacementError`.
+        """
+        node = self.node(location)
+        if node.parent is None:
+            raise PlacementError("cannot remove the hierarchy root")
+        node.parent.children.remove(node)
+        node.parent = None
+        self.reindex()
+        return node
+
+    def graft(
+        self, node: HierarchyNode, new_parent: Location
+    ) -> Dict[str, str]:
+        """Attach a detached subtree under a new parent, rewriting paths.
+
+        Every location in the subtree is rebased under the new parent;
+        returns ``{old_path: new_path}`` for the whole subtree so
+        callers can re-key any state indexed by path.
+        """
+        if node.parent is not None:
+            raise PlacementError(
+                f"{node.location.path!r} is still attached; remove it first"
+            )
+        parent_node = self.node(new_parent)
+        name = node.location.parts[-1]
+        if any(
+            child.location.parts[-1] == name
+            for child in parent_node.children
+        ):
+            raise PlacementError(
+                f"{new_parent.path!r} already has a child named {name!r}"
+            )
+        renames = node.rebase(parent_node.location.child(name))
+        node.parent = parent_node
+        parent_node.children.append(node)
+        self.reindex()
+        return renames
 
     @classmethod
     def from_site_paths(

@@ -187,6 +187,25 @@ def install_runtime_metrics(
         ("worker",),
     )
 
+    # -- elastic topology (sourced from the TopologyModel) --------------------
+    topology_generation = registry.gauge(
+        "repro_topology_generation",
+        "Live topology generation (bumped by every reconfiguration)",
+    )
+    reconfig_ops = registry.counter(
+        "repro_reconfig_total",
+        "Live reconfiguration ops applied, by op",
+        ("op",),
+    )
+    reconfig_migrated = registry.counter(
+        "repro_reconfig_migrated_bytes_total",
+        "Summary and partition bytes migrated by reconfiguration ops",
+    )
+    reconfig_pending = registry.gauge(
+        "repro_reconfig_pending_migrations",
+        "Migration summaries parked on pending queues awaiting redelivery",
+    )
+
     # -- event-fed latency histograms (observed at the call sites) ------------
     registry.histogram(
         ROLLUP_SECONDS,
@@ -285,6 +304,15 @@ def install_runtime_metrics(
             store_bytes.labels(site=site).set_from_source(
                 store.ingest_stats.bytes
             )
+        model = getattr(runtime, "model", None)
+        if model is not None:
+            topology_generation.labels().set(model.generation)
+            for op, count in model.ledger.op_counts.items():
+                reconfig_ops.labels(op=op).set_from_source(count)
+            reconfig_migrated.labels().set_from_source(
+                model.ledger.migrated_bytes
+            )
+            reconfig_pending.labels().set(len(model.ledger.pending))
         pool = getattr(runtime, "_pool", None)
         if pool is not None:
             for ws in pool.worker_stats():

@@ -380,12 +380,16 @@ class ShardedIngestPool:
         config: Optional[ParallelIngestConfig] = None,
         base_epoch: int = 0,
         crash_points: Optional[Mapping[str, Iterable[Tuple[int, int]]]] = None,
+        generation: int = 0,
     ) -> None:
         if not sites:
             raise ValueError("a sharded ingest pool needs at least one site")
         self.policy = policy
         self.schema = policy.schema
         self.config = config or ParallelIngestConfig()
+        #: topology generation this pool was forked under; the runtime
+        #: drains and replaces a pool whose generation lags the model's
+        self.generation = generation
         self._specs = dict(sites)
         self._epoch = base_epoch
         self._crash_points: Dict[str, frozenset] = {

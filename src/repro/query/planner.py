@@ -91,6 +91,11 @@ class FederatedQueryPlanner:
         #: the routing decision of the most recent execute()
         self.last_plan: Optional[QueryPlan] = None
 
+    def _topology_generation(self) -> int:
+        """The runtime's live topology generation (0 when static)."""
+        model = getattr(self.runtime, "model", None)
+        return 0 if model is None else model.generation
+
     # -- plan selection ------------------------------------------------------
 
     def plan(self, query: FlowQLQuery) -> QueryPlan:
@@ -272,6 +277,11 @@ class FederatedQueryPlanner:
                 # where) a federated plan reads; keying on the replica
                 # generation retires entries cached before the promotion
                 "replica_gen": len(self.replica_store.replicas.all()),
+                # live reconfiguration (join/leave/split/merge/migrate)
+                # changes which stores exist and where; keying on the
+                # topology generation retires entries cached under the
+                # previous shape
+                "topology_gen": self._topology_generation(),
             },
         )
 

@@ -62,6 +62,12 @@ class LevelConfig:
     export: str = EXPORT_AUTO
     retain_partitions: bool = True
     parallel: bool = True
+    #: bounds for adaptive budget resizing (the runtime's BudgetTuner);
+    #: ``None`` defers to the tuner's global clamp.  ``node_budget``
+    #: itself is *live* state once a tuner runs — resizes write back
+    #: here so newly provisioned stores at this level match.
+    min_node_budget: Optional[int] = None
+    max_node_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.export not in _EXPORT_POLICIES:
@@ -72,6 +78,15 @@ class LevelConfig:
         if self.storage is None and self.storage_bytes <= 0:
             raise PlacementError(
                 f"storage_bytes must be positive, got {self.storage_bytes}"
+            )
+        if (
+            self.min_node_budget is not None
+            and self.max_node_budget is not None
+            and self.max_node_budget < self.min_node_budget
+        ):
+            raise PlacementError(
+                f"max_node_budget {self.max_node_budget} below "
+                f"min_node_budget {self.min_node_budget}"
             )
 
     @property

@@ -45,6 +45,7 @@ def flat_runtime(
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
+    adaptive_budgets: bool = False,
 ) -> HierarchyRuntime:
     """Edge stores at every site path, exporting straight to FlowDB."""
     if not sites:
@@ -67,7 +68,7 @@ def flat_runtime(
             storage_bytes=store_budget_bytes,
         )
     }
-    return HierarchyRuntime(
+    runtime = HierarchyRuntime(
         hierarchy,
         levels,
         schema=schema,
@@ -79,6 +80,9 @@ def flat_runtime(
         observability=observability,
         parallel=parallel,
     )
+    if adaptive_budgets:
+        runtime.enable_adaptive_budgets()
+    return runtime
 
 
 def tiered_runtime(
@@ -94,6 +98,7 @@ def tiered_runtime(
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
+    adaptive_budgets: bool = False,
 ) -> HierarchyRuntime:
     """Router stores merging into region stores before the WAN hop."""
     if not sites:
@@ -114,7 +119,7 @@ def tiered_runtime(
             storage_bytes=store_budget_bytes,
         ),
     }
-    return HierarchyRuntime(
+    runtime = HierarchyRuntime(
         hierarchy,
         levels,
         schema=schema,
@@ -126,6 +131,9 @@ def tiered_runtime(
         observability=observability,
         parallel=parallel,
     )
+    if adaptive_budgets:
+        runtime.enable_adaptive_budgets()
+    return runtime
 
 
 def network_4level_runtime(
@@ -144,6 +152,7 @@ def network_4level_runtime(
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
+    adaptive_budgets: bool = False,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
@@ -179,7 +188,7 @@ def network_4level_runtime(
             aggregator="flowtree", node_budget=network_node_budget
         ),
     }
-    return HierarchyRuntime(
+    runtime = HierarchyRuntime(
         hierarchy,
         levels,
         schema=schema,
@@ -191,6 +200,9 @@ def network_4level_runtime(
         observability=observability,
         parallel=parallel,
     )
+    if adaptive_budgets:
+        runtime.enable_adaptive_budgets()
+    return runtime
 
 
 def factory_4level_runtime(
@@ -209,6 +221,7 @@ def factory_4level_runtime(
     retry_policy: Optional[RetryPolicy] = None,
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
+    adaptive_budgets: bool = False,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
@@ -246,7 +259,7 @@ def factory_4level_runtime(
             aggregator="flowtree", node_budget=factory_node_budget
         ),
     }
-    return HierarchyRuntime(
+    runtime = HierarchyRuntime(
         hierarchy,
         levels,
         schema=schema,
@@ -258,3 +271,6 @@ def factory_4level_runtime(
         observability=observability,
         parallel=parallel,
     )
+    if adaptive_budgets:
+        runtime.enable_adaptive_budgets()
+    return runtime

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from repro.control.controller import Controller
+from repro.control.controller import BudgetTuner, Controller
 from repro.control.manager import Manager
 from repro.core.flowtree import FlowtreePrimitive
 from repro.core.registry import PrimitiveRegistry, default_registry
@@ -46,12 +46,13 @@ from repro.faults import (
     PendingExportQueue,
     RetryPolicy,
 )
+from repro.elastic import TopologyModel
 from repro.flowdb.db import FlowDB
 from repro.flowql.executor import FlowQLExecutor
 from repro.flows.flowkey import FIVE_TUPLE, FeatureSchema, GeneralizationPolicy
 from repro.flows.tree import Flowtree
 from repro.hierarchy.network import NetworkFabric
-from repro.hierarchy.topology import Hierarchy, HierarchyNode
+from repro.hierarchy.topology import Hierarchy, HierarchyNode, LevelSpec
 from repro.obs import Observability
 from repro.obs.bridge import (
     INGEST_SECONDS,
@@ -101,8 +102,9 @@ class HierarchyRuntime:
                 f"levels {unknown} do not exist in the hierarchy; "
                 f"known: {sorted(known_levels)}"
             )
-        self.hierarchy = hierarchy
-        self.levels: Dict[str, LevelConfig] = dict(levels)
+        #: the single mutable topology seam: hierarchy + level table +
+        #: generation; every derived view below rebuilds from it
+        self.model = TopologyModel(hierarchy, dict(levels))
         self.policy = policy or GeneralizationPolicy.default_for(schema)
         self.epoch_seconds = epoch_seconds
         self.raw_record_bytes = raw_record_bytes
@@ -125,51 +127,6 @@ class HierarchyRuntime:
         self.registry = registry or default_registry()
         self.controllers: Dict[str, Controller] = {}
         self._root = hierarchy.root.location
-        # provision one store per configured node, hierarchy order
-        self._plan: List[Tuple[HierarchyNode, LevelConfig, DataStore]] = []
-        self._stores: Dict[str, DataStore] = {}  # by location path
-        self._labels: Dict[str, str] = {}  # location path -> site label
-        self._by_label: Dict[str, DataStore] = {}  # site label -> store
-        for node in hierarchy.nodes():
-            config = self.levels.get(node.level.name)
-            if config is None:
-                continue
-            store = DataStore(
-                node.location,
-                config.make_storage(),
-                fabric=self.fabric,
-                privacy=config.privacy,
-            )
-            if config.aggregator is not None:
-                store.install_aggregator(
-                    Aggregator(
-                        config.resolved_aggregator_name,
-                        self._make_primitive(config, node.location),
-                    )
-                )
-            self.manager.register_store(store)
-            self._plan.append((node, config, store))
-            self._stores[node.location.path] = store
-            self._labels[node.location.path] = self._label_of(node)
-            self._by_label[self._labels[node.location.path]] = store
-        self.stats = VolumeStats(
-            [node.level.name for node, _, _ in self._plan]
-        )
-        # rollup bottom-up: deepest stores first; DFS order breaks ties,
-        # so siblings close in provisioning order (deterministic)
-        self._rollup_order = sorted(
-            self._plan, key=lambda entry: -len(entry[0].ancestors())
-        )
-        # data enters at the edge: store-bearing nodes with no
-        # store-bearing descendant are the ingest targets
-        self._ingestible: Dict[str, DataStore] = {}
-        for node, _, store in self._plan:
-            if not any(
-                child.location.path in self._stores
-                for child in node.walk()
-                if child is not node
-            ):
-                self._ingestible[self._labels[node.location.path]] = store
         # sharded parallel ingest (opt-in): resolve which edge sites are
         # pooled now, but fork the worker pool lazily on the first
         # pooled ingest so parallel-off runs never pay for it
@@ -179,8 +136,102 @@ class HierarchyRuntime:
             parallel = ParallelIngestConfig(workers=parallel)
         self.parallel_config: Optional[ParallelIngestConfig] = parallel
         self._pool: Optional[ShardedIngestPool] = None
-        self._pool_aggs: Dict[str, str] = {}
-        if parallel is not None:
+        #: adaptive budget tuner (opt-in via enable_adaptive_budgets)
+        self._budget_tuner = None
+        #: reconfig drills already applied, by drill identity
+        self._applied_drills: set = set()
+        # provision one store per configured node, hierarchy order
+        self._stores: Dict[str, DataStore] = {}  # by location path
+        for node in hierarchy.nodes():
+            config = self.model.levels.get(node.level.name)
+            if config is None:
+                continue
+            self._provision_store(node, config)
+        self._rebuild_views()
+        self.stats = VolumeStats(
+            [node.level.name for node, _, _ in self._plan]
+        )
+        # the unified query plane: FlowQL routes through the planner
+        # (cloud executor, federated fan-out, cache, replication feed)
+        self.planner = FederatedQueryPlanner(self)
+        install_runtime_metrics(self.obs, self)
+
+    # -- the topology seam ---------------------------------------------------
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The live (mutable, generation-versioned) hierarchy."""
+        return self.model.hierarchy
+
+    @property
+    def levels(self) -> Dict[str, LevelConfig]:
+        """The live per-level config table (the model's, not a copy)."""
+        return self.model.levels
+
+    def _provision_store(
+        self, node: HierarchyNode, config: LevelConfig
+    ) -> DataStore:
+        """Create, equip, and register the store for one node."""
+        store = DataStore(
+            node.location,
+            config.make_storage(),
+            fabric=self.fabric,
+            privacy=config.privacy,
+        )
+        if config.aggregator is not None:
+            store.install_aggregator(
+                Aggregator(
+                    config.resolved_aggregator_name,
+                    self._make_primitive(config, node.location),
+                )
+            )
+        self.manager.register_store(store)
+        self._stores[node.location.path] = store
+        return store
+
+    def _rebuild_views(self) -> None:
+        """Re-derive every topology-indexed view from the model.
+
+        Called once at construction and again after every
+        reconfiguration op.  The derivations are pure functions of the
+        hierarchy's DFS order and the store map, so a zero-reconfig run
+        produces exactly the views the pre-elastic inline construction
+        did — provisioning order, rollup order, labels, and ingestible
+        set are all bit-identical.
+        """
+        plan: List[Tuple[HierarchyNode, LevelConfig, DataStore]] = []
+        labels: Dict[str, str] = {}
+        by_label: Dict[str, DataStore] = {}
+        for node in self.model.hierarchy.nodes():
+            store = self._stores.get(node.location.path)
+            if store is None:
+                continue
+            config = self.model.levels.get(node.level.name)
+            if config is None:
+                continue
+            plan.append((node, config, store))
+            labels[node.location.path] = self._label_of(node)
+            by_label[labels[node.location.path]] = store
+        self._plan = plan
+        self._labels = labels
+        self._by_label = by_label
+        # rollup bottom-up: deepest stores first; DFS order breaks ties,
+        # so siblings close in provisioning order (deterministic)
+        self._rollup_order = sorted(
+            self._plan, key=lambda entry: -len(entry[0].ancestors())
+        )
+        # data enters at the edge: store-bearing nodes with no
+        # store-bearing descendant are the ingest targets
+        self._ingestible = {}
+        for node, _, store in self._plan:
+            if not any(
+                child.location.path in self._stores
+                for child in node.walk()
+                if child is not node
+            ):
+                self._ingestible[self._labels[node.location.path]] = store
+        self._pool_aggs = {}
+        if self.parallel_config is not None:
             for node, config, store in self._plan:
                 label = self._labels[node.location.path]
                 if label not in self._ingestible or not config.parallel:
@@ -191,10 +242,72 @@ class HierarchyRuntime:
                 primitive = store.aggregator(name).primitive
                 if isinstance(primitive, FlowtreePrimitive):
                     self._pool_aggs[label] = name
-        # the unified query plane: FlowQL routes through the planner
-        # (cloud executor, federated fan-out, cache, replication feed)
-        self.planner = FederatedQueryPlanner(self)
-        install_runtime_metrics(self.obs, self)
+        stats = getattr(self, "stats", None)
+        if stats is not None:
+            for node, _, _ in self._plan:
+                stats.level(node.level.name)
+
+    # -- live reconfiguration (the elastic ops) ------------------------------
+
+    def site_join(
+        self,
+        site: str,
+        level: Union[None, str, "LevelSpec"] = None,
+        deadline: Optional[float] = None,
+    ) -> HierarchyNode:
+        """Attach a new site between epoch closes; see elastic.ops."""
+        from repro.elastic import ops
+
+        return ops.site_join(self, site, level=level, deadline=deadline)
+
+    def site_leave(self, site: str, now: Optional[float] = None) -> int:
+        """Drain a site out, migrating its summaries to a sibling."""
+        from repro.elastic import ops
+
+        return ops.site_leave(self, site, now=now)
+
+    def level_split(
+        self,
+        level: str,
+        new_level: str,
+        groups: Mapping[str, Iterable[str]],
+        deadline: Optional[float] = None,
+        config: Optional[LevelConfig] = None,
+    ) -> List[HierarchyNode]:
+        """Insert a new level below ``level`` by grouping its children."""
+        from repro.elastic import ops
+
+        return ops.level_split(
+            self, level, new_level,
+            {name: list(members) for name, members in groups.items()},
+            deadline=deadline, config=config,
+        )
+
+    def level_merge(self, level: str, now: Optional[float] = None) -> int:
+        """Dissolve a level, reattaching its children one level up."""
+        from repro.elastic import ops
+
+        return ops.level_merge(self, level, now=now)
+
+    def migrate_store(
+        self, site: str, new_parent: str, now: Optional[float] = None
+    ) -> Dict[str, str]:
+        """Re-home a store (and subtree) under a new parent node."""
+        from repro.elastic import ops
+
+        return ops.migrate_store(self, site, new_parent, now=now)
+
+    def enable_adaptive_budgets(
+        self, tuner: Optional[BudgetTuner] = None
+    ) -> BudgetTuner:
+        """Let the control plane resize Flowtree budgets each close.
+
+        Opt-in: without a tuner, level budgets stay exactly the static
+        ``LevelConfig`` values and runs are bit-identical to the
+        pre-elastic runtime.
+        """
+        self._budget_tuner = tuner or BudgetTuner()
+        return self._budget_tuner
 
     # -- provisioning helpers ----------------------------------------------
 
@@ -438,6 +551,13 @@ class HierarchyRuntime:
                     "parallel_drain", epoch=self.stats.epochs_closed
                 ):
                     self._install_shards(self._pool.flush())
+            # compression pressure must be sampled before the rollup
+            # resets the live trees for the next epoch
+            pressure = (
+                self._sample_pressure()
+                if self._budget_tuner is not None
+                else None
+            )
             for node, config, store in self._rollup_order:
                 started = time.perf_counter()
                 level = node.level.name
@@ -462,6 +582,8 @@ class HierarchyRuntime:
                 elapsed = time.perf_counter() - started
                 volume.rollup_seconds += elapsed
                 self.obs.observe(ROLLUP_SECONDS, elapsed, level=level)
+            if pressure is not None:
+                self._adapt_budgets(pressure, now)
             if self._pool is not None:
                 # adaptation may have resized edge trees during rollup;
                 # push the current parameters to the workers so the next
@@ -472,7 +594,100 @@ class HierarchyRuntime:
             # new data invalidates cached answers and advances query time
             self.planner.on_epoch_closed(now)
             root.set_attr("exported", exported)
+        # reconfiguration drills fire *between* closes: the epoch is
+        # fully rolled up, the next one has not opened
+        self._apply_reconfig_drills(now)
         return exported
+
+    # -- adaptive budgets ----------------------------------------------------
+
+    def _sample_pressure(self) -> Dict[str, Tuple[float, float]]:
+        """Per-level (pressure, fullness) from the live edge trees.
+
+        Pressure is the mean number of budget-overflow compress passes
+        this epoch across the level's Flowtree stores; fullness is the
+        mean end-of-epoch node count relative to the budget.
+        """
+        sums: Dict[str, List[float]] = {}
+        for node, config, store in self._plan:
+            if config.aggregator is None or config.node_budget is None:
+                continue
+            primitive = store.aggregator(
+                config.resolved_aggregator_name
+            ).primitive
+            if not isinstance(primitive, FlowtreePrimitive):
+                continue
+            tree = primitive.tree
+            bucket = sums.setdefault(node.level.name, [0.0, 0.0, 0.0])
+            bucket[0] += tree._compressions
+            bucket[1] += tree.node_count / max(1, primitive.node_budget)
+            bucket[2] += 1.0
+        return {
+            level: (total / count, fullness / count)
+            for level, (total, fullness, count) in sums.items()
+            if count
+        }
+
+    def _adapt_budgets(
+        self, pressure: Mapping[str, Tuple[float, float]], now: float
+    ) -> None:
+        """Apply the tuner's proposals to live trees and the model."""
+        tuner = self._budget_tuner
+        floor = self.policy.depth + 1
+        for level, (level_pressure, fullness) in pressure.items():
+            config = self.model.levels.get(level)
+            if config is None or config.node_budget is None:
+                continue
+            proposed = tuner.propose(
+                level,
+                config.node_budget,
+                level_pressure,
+                fullness,
+                floor,
+                min_budget=config.min_node_budget,
+                max_budget=config.max_node_budget,
+                now=now,
+            )
+            if proposed is None:
+                continue
+            config.node_budget = proposed
+            for node, node_config, store in self._plan:
+                if node.level.name != level or node_config.aggregator is None:
+                    continue
+                primitive = store.aggregator(
+                    node_config.resolved_aggregator_name
+                ).primitive
+                if isinstance(primitive, FlowtreePrimitive):
+                    primitive.set_granularity(proposed)
+            self.model.ledger.record("budget_resize")
+
+    # -- reconfiguration drills (FaultPlan reconfig= grammar) -----------------
+
+    def _apply_reconfig_drills(self, now: float) -> None:
+        """Run the fault plan's scheduled reconfig ops for this boundary.
+
+        A drill with ``epoch=e`` fires after the close that completed
+        epoch ``e`` (0-based), exactly once.
+        """
+        plan = self.faults
+        if plan is None or not getattr(plan, "reconfigs", None):
+            return
+        boundary = self.stats.epochs_closed - 1
+        for drill in plan.reconfigs:
+            if drill.epoch != boundary or drill in self._applied_drills:
+                continue
+            self._applied_drills.add(drill)
+            with self.obs.span(
+                "reconfig_drill", op=drill.op, path=drill.path, at=now
+            ):
+                if drill.op == "join":
+                    self.site_join(drill.path)
+                elif drill.op == "leave":
+                    self.site_leave(drill.path, now=now)
+                elif drill.op == "migrate":
+                    self.migrate_store(
+                        drill.path, drill.new_parent or "", now=now
+                    )
 
     # -- parallel ingest -----------------------------------------------------
 
@@ -487,7 +702,19 @@ class HierarchyRuntime:
         )
 
     def _ensure_pool(self) -> ShardedIngestPool:
-        """The sharded ingest pool, forked on first pooled ingest."""
+        """The sharded ingest pool, forked on first pooled ingest.
+
+        A pool forked under an older topology generation is drained
+        (its shards fold into the edge aggregators) and replaced, so
+        the worker site assignment always matches the live topology.
+        """
+        if (
+            self._pool is not None
+            and self._pool.generation != self.model.generation
+        ):
+            self._install_shards(self._pool.flush())
+            self._pool.shutdown()
+            self._pool = None
         if self._pool is None:
             crash_points = {}
             if self.faults is not None:
@@ -501,6 +728,7 @@ class HierarchyRuntime:
                 self.parallel_config,
                 base_epoch=self.stats.epochs_closed,
                 crash_points=crash_points or None,
+                generation=self.model.generation,
             )
         return self._pool
 
@@ -728,6 +956,8 @@ class HierarchyRuntime:
                 queue.requeue(entry)
                 break
             queue.mark_delivered(entry.export_id)
+            # a delivered re-homed migration is no longer in flight
+            self.model.ledger.resolve(entry.export_id)
         return exported
 
     def _deliver_forward(
@@ -767,8 +997,14 @@ class HierarchyRuntime:
         # retained partition keeps the original interval)
         primitive._epoch_start = self._last_close
         primitive._epoch_end = now
-        target = parent_store.aggregator(entry.label)
-        target.primitive.combine(primitive)
+        if parent_store.owns(entry.label):
+            target = parent_store.aggregator(entry.label)
+            target.primitive.combine(primitive)
+        else:
+            # a reconfigured parent may lack the aggregator (re-homed
+            # migration landing at a store of another kind): adopt it
+            target = Aggregator(entry.label, primitive)
+            parent_store.install_aggregator(target)
         target.items_this_epoch += entry.items
         if target.epoch_opened_at is None:
             target.epoch_opened_at = now

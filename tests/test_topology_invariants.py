@@ -1,0 +1,202 @@
+"""Hypothesis invariants for the mutable :class:`Hierarchy`.
+
+The elastic-topology refactor made the hierarchy a live, mutable
+structure: ``add_site``/``remove``/``graft`` reshape it between epoch
+closes, with ``reindex`` keeping the location index coherent.  These
+properties pin the structural contract under arbitrary construction
+and mutation sequences:
+
+* ``from_site_paths`` covers every requested site exactly once, shares
+  prefixes, and labels depths consistently;
+* the location index is always exactly the DFS walk (after any
+  mutation sequence);
+* parent/child links stay mutually consistent and every location path
+  equals its parent's path plus its own final segment;
+* ``path_between`` routes are valid tree walks: consecutive nodes are
+  parent/child pairs, endpoints match, and the route is symmetric in
+  length.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.summary import Location
+from repro.errors import PlacementError
+from repro.hierarchy.topology import Hierarchy, LevelSpec
+
+_NAME = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+_SITE_PATHS = st.lists(
+    st.lists(_NAME, min_size=1, max_size=3).map("/".join),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+def _assert_structurally_sound(hierarchy: Hierarchy) -> None:
+    """The shared invariant bundle checked after every operation."""
+    nodes = hierarchy.nodes()
+    # the index is exactly the DFS walk, with unique paths
+    paths = [node.location.path for node in nodes]
+    assert len(set(paths)) == len(paths)
+    assert set(hierarchy._by_location) == set(paths)
+    for node in nodes:
+        assert hierarchy.node(node.location) is node
+        # parent/child links are mutual and paths nest
+        for child in node.children:
+            assert child.parent is node
+            assert child.location.path == (
+                f"{node.location.path}/{child.location.parts[-1]}"
+            )
+        if node.parent is not None:
+            assert node in node.parent.children
+    assert nodes[0] is hierarchy.root
+    assert hierarchy.root.parent is None
+
+
+class TestFromSitePaths:
+    @given(sites=_SITE_PATHS)
+    @settings(max_examples=60, deadline=None)
+    def test_covers_every_site_and_shares_prefixes(self, sites):
+        hierarchy = Hierarchy.from_site_paths(sites)
+        _assert_structurally_sound(hierarchy)
+        root = hierarchy.root.location.path
+        for site in sites:
+            assert Location(f"{root}/{site}") in hierarchy
+        # levels are a pure function of depth
+        for node in hierarchy.nodes():
+            depth = len(node.ancestors())
+            expected = "cloud" if depth == 0 else f"level{depth}"
+            assert node.level.name == expected
+
+    @given(sites=_SITE_PATHS)
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent_over_duplicate_prefixes(self, sites):
+        doubled = list(sites) + list(sites)
+        a = Hierarchy.from_site_paths(sites)
+        b = Hierarchy.from_site_paths(doubled)
+        assert sorted(n.location.path for n in a.nodes()) == sorted(
+            n.location.path for n in b.nodes()
+        )
+
+
+class TestPathBetween:
+    @given(sites=_SITE_PATHS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_routes_are_valid_tree_walks(self, sites, data):
+        hierarchy = Hierarchy.from_site_paths(sites)
+        nodes = hierarchy.nodes()
+        a = data.draw(st.sampled_from(nodes), label="origin")
+        b = data.draw(st.sampled_from(nodes), label="destination")
+        route = hierarchy.path_between(a.location, b.location)
+        assert route[0] is a and route[-1] is b
+        for left, right in zip(route, route[1:]):
+            assert left.parent is right or right.parent is left
+        # symmetric length, and a self-route is the single node
+        back = hierarchy.path_between(b.location, a.location)
+        assert len(back) == len(route)
+        assert hierarchy.path_between(a.location, a.location) == [a]
+
+
+def _mutation_ops(draw, hierarchy: Hierarchy) -> None:
+    """Apply one random structural mutation, mirroring the elastic ops."""
+    op = draw(st.sampled_from(["add", "remove", "graft"]))
+    nodes = hierarchy.nodes()
+    if op == "add" or len(nodes) == 1:
+        parent = draw(st.sampled_from(nodes))
+        name = draw(_NAME)
+        if any(
+            child.location.parts[-1] == name for child in parent.children
+        ):
+            with pytest.raises(PlacementError):
+                hierarchy.add_site(
+                    parent.location, name, LevelSpec("grown", None)
+                )
+        else:
+            hierarchy.add_site(parent.location, name, LevelSpec("grown", None))
+        return
+    victim = draw(
+        st.sampled_from([node for node in nodes if node.parent is not None])
+    )
+    if op == "remove":
+        hierarchy.remove(victim.location)
+        return
+    # graft: move the subtree under a node outside it (if any exists)
+    subtree = {id(member) for member in victim.walk()}
+    candidates = [
+        node
+        for node in nodes
+        if id(node) not in subtree
+        and not any(
+            child.location.parts[-1] == victim.location.parts[-1]
+            and id(child) not in subtree
+            for child in node.children
+        )
+    ]
+    if not candidates:
+        return
+    new_parent = draw(st.sampled_from(candidates))
+    detached = hierarchy.remove(victim.location)
+    renames = hierarchy.graft(detached, new_parent.location)
+    # the rename map covers exactly the moved subtree, old -> new
+    assert set(renames.values()) == {
+        member.location.path for member in detached.walk()
+    }
+    assert renames[list(renames)[0]].startswith(new_parent.location.path)
+
+
+class TestMutationInvariants:
+    @given(sites=_SITE_PATHS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sound_after_arbitrary_mutations(self, sites, data):
+        hierarchy = Hierarchy.from_site_paths(sites)
+        steps = data.draw(st.integers(min_value=1, max_value=6), label="steps")
+        for _ in range(steps):
+            _mutation_ops(data.draw, hierarchy)
+            _assert_structurally_sound(hierarchy)
+
+    @given(sites=_SITE_PATHS, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_remove_then_graft_preserves_subtree_shape(self, sites, data):
+        hierarchy = Hierarchy.from_site_paths(sites)
+        movable = [n for n in hierarchy.nodes() if n.parent is not None]
+        victim = data.draw(st.sampled_from(movable), label="victim")
+        shape = [
+            node.location.path[len(victim.location.path):]
+            for node in victim.walk()
+        ]
+        size_before = len(hierarchy.nodes())
+        subtree_size = len(list(victim.walk()))
+        detached = hierarchy.remove(victim.location)
+        assert len(hierarchy.nodes()) == size_before - subtree_size
+        # graft back where it came from: shape and total size restore
+        parent = hierarchy.node(
+            Location("/".join(victim.location.parts[:-1]))
+        )
+        hierarchy.graft(detached, parent.location)
+        _assert_structurally_sound(hierarchy)
+        assert len(hierarchy.nodes()) == size_before
+        assert [
+            node.location.path[len(victim.location.path):]
+            for node in victim.walk()
+        ] == shape
+
+    def test_cannot_remove_root_or_graft_attached(self):
+        hierarchy = Hierarchy.from_site_paths(["a/b", "a/c"])
+        with pytest.raises(PlacementError):
+            hierarchy.remove(hierarchy.root.location)
+        attached = hierarchy.node(Location("cloud/a/b"))
+        with pytest.raises(PlacementError):
+            hierarchy.graft(attached, hierarchy.root.location)
+
+    def test_duplicate_graft_name_rejected(self):
+        hierarchy = Hierarchy.from_site_paths(["a/x", "b/x"])
+        detached = hierarchy.remove(Location("cloud/a/x"))
+        with pytest.raises(PlacementError):
+            hierarchy.graft(detached, Location("cloud/b"))
+        # the hierarchy is still sound after the refused graft
+        _assert_structurally_sound(hierarchy)
