@@ -1,0 +1,315 @@
+"""Durable storage: close-epoch overhead, recovery time, crash drills.
+
+The storage seam must be free when unused and cheap when used: the
+default :class:`~repro.storage.MemoryEngine` adds only bookkeeping to
+an epoch close, while :class:`~repro.storage.SegmentLogEngine` pays
+serialization + fsync per close to make every epoch boundary a
+durability point.  The measured claims:
+
+* **bit-identical queries** — the merged root tree read back from the
+  segment log equals the in-memory run's tree exactly (same trace, same
+  canonical ``to_dict`` form), serial and parallel;
+* **crash recovery** — a full-runtime kill + recover drill
+  (``restart=cloud:<epoch>``) at *every* epoch boundary still produces
+  the uninterrupted run's root tree: delivered mass is 100%, recovery
+  re-indexes from the manifest + record log;
+* **close-epoch overhead** — the segment engine's extra wall-clock per
+  close (serialize + fsync) is recorded as a curve against the memory
+  engine (informational: the gate checks structure, not timings);
+* **recovery time** — reopening a data directory scales with the
+  segment count; the curve (segments vs reopen seconds vs records) is
+  recorded per epoch count.
+
+Run as a script to execute the full trace (the exact
+``BENCH_hierarchy.json`` depth-4 trace, so the memory engine's WAN
+volume must reproduce the committed 707616 B) and (re)write
+``BENCH_durability.json`` at the repo root:
+
+```bash
+PYTHONPATH=src python benchmarks/bench_durability.py
+```
+
+The pytest entry point uses a smaller trace so ``pytest benchmarks/``
+stays quick.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.faults import FaultPlan
+from repro.runtime.presets import network_4level_runtime
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+from repro.storage import SegmentLogEngine
+
+try:  # script mode runs without pytest on the path
+    from benchmarks.conftest import report
+except ImportError:  # pragma: no cover
+    def report(title, rows, columns=None):
+        print(f"\n=== {title} ===")
+        if columns:
+            print("  " + " | ".join(str(c) for c in columns))
+        for row in rows:
+            print("  " + " | ".join(str(cell) for cell in row))
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+)
+
+#: the exact trace of BENCH_hierarchy.json, so WAN volume is comparable
+SITES = (
+    "region1/router1",
+    "region1/router2",
+    "region2/router1",
+    "region2/router2",
+)
+NODE_BUDGET = 4096
+SEED = 2019
+
+
+def build_runtime(storage=None, faults=None, node_budget: int = NODE_BUDGET):
+    return network_4level_runtime(
+        networks=1,
+        regions_per_network=2,
+        routers_per_region=2,
+        router_node_budget=node_budget,
+        region_node_budget=node_budget,
+        network_node_budget=node_budget,
+        retain_partitions=True,
+        storage=storage,
+        faults=faults,
+    )
+
+
+def root_digest(runtime) -> str:
+    """A canonical hash of the merged root tree (bit-identity probe)."""
+    document = json.dumps(
+        runtime.db.merged_tree().to_dict(),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def run_trace(
+    flows_per_epoch: int,
+    epochs: int,
+    seed: int = SEED,
+    storage=None,
+    faults=None,
+    node_budget: int = NODE_BUDGET,
+) -> dict:
+    """Drive the depth-4 trace once; returns structure + close timings."""
+    runtime = build_runtime(
+        storage=storage, faults=faults, node_budget=node_budget
+    )
+    generator = TrafficGenerator(
+        TrafficConfig(sites=SITES, flows_per_epoch=flows_per_epoch),
+        seed=seed,
+    )
+    close_seconds = 0.0
+    for epoch in range(epochs):
+        for site in SITES:
+            runtime.ingest(f"network1/{site}", generator.epoch(site, epoch))
+        started = time.perf_counter()
+        runtime.close_epoch((epoch + 1) * 60.0)
+        close_seconds += time.perf_counter() - started
+    mass = runtime.query("SELECT TOTAL FROM ALL").scalar
+    return {
+        "engine": runtime.engine.name,
+        "digest": root_digest(runtime),
+        "wan_bytes": runtime.wan_bytes(),
+        "root_mass_bytes": mass.bytes,
+        "root_mass_flows": mass.flows,
+        "entries": len(runtime.db),
+        "pending_exports": runtime.pending_exports(),
+        "restarts": runtime._restarts,
+        "close_seconds": round(close_seconds, 6),
+        "close_ms_per_epoch": round(close_seconds * 1000 / epochs, 3),
+        "storage": runtime.storage_stats(),
+    }
+
+
+def measure_recovery(flows_per_epoch: int, epochs: int) -> list:
+    """Reopen time vs segment count: one data dir per epoch count."""
+    curve = []
+    for count in range(1, epochs + 1):
+        data_dir = tempfile.mkdtemp(prefix="repro-bench-recover-")
+        try:
+            run_trace(
+                flows_per_epoch, count, storage=SegmentLogEngine(data_dir)
+            )
+            started = time.perf_counter()
+            reopened = build_runtime(storage=SegmentLogEngine(data_dir))
+            reopen_seconds = time.perf_counter() - started
+            curve.append(
+                {
+                    "epochs": count,
+                    "segments": len(reopened.engine.segments()),
+                    "records": reopened._recovered_records,
+                    "reopen_seconds": round(reopen_seconds, 6),
+                }
+            )
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    return curve
+
+
+def run_crash_drills(flows_per_epoch: int, epochs: int) -> dict:
+    """Kill + recover the whole runtime at every epoch boundary."""
+    drills = {}
+    for boundary in range(epochs):
+        data_dir = tempfile.mkdtemp(prefix="repro-bench-crash-")
+        try:
+            metrics = run_trace(
+                flows_per_epoch,
+                epochs,
+                storage=SegmentLogEngine(data_dir),
+                faults=FaultPlan.from_spec(f"restart=cloud:{boundary}"),
+            )
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+        drills[str(boundary)] = {
+            "digest": metrics["digest"],
+            "root_mass_bytes": metrics["root_mass_bytes"],
+            "restarts": metrics["restarts"],
+        }
+    return drills
+
+
+def measure(flows_per_epoch: int, epochs: int) -> dict:
+    """The full durability sweep: overhead, recovery, crash drills."""
+    memory = run_trace(flows_per_epoch, epochs)
+    data_dir = tempfile.mkdtemp(prefix="repro-bench-seg-")
+    try:
+        segment = run_trace(
+            flows_per_epoch, epochs, storage=SegmentLogEngine(data_dir)
+        )
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+    drills = run_crash_drills(flows_per_epoch, epochs)
+    results = {
+        "memory": memory,
+        "segment": segment,
+        "close_overhead_ms_per_epoch": round(
+            segment["close_ms_per_epoch"] - memory["close_ms_per_epoch"], 3
+        ),
+        "recovery_curve": measure_recovery(flows_per_epoch, epochs),
+        "crash_drills": drills,
+    }
+    for drill in drills.values():
+        drill["delivered_mass_pct"] = round(
+            100.0 * drill["root_mass_bytes"] / memory["root_mass_bytes"], 3
+        )
+    return results
+
+
+def check_claims(results: dict) -> None:
+    """The qualitative claims any run of the sweep must satisfy."""
+    memory, segment = results["memory"], results["segment"]
+    # the segment log answers queries bit-identically to process memory
+    assert segment["digest"] == memory["digest"]
+    assert segment["wan_bytes"] == memory["wan_bytes"]
+    assert segment["entries"] == memory["entries"]
+    assert segment["pending_exports"] == 0
+    assert segment["storage"]["segments"] >= 1
+    assert segment["storage"]["manifest_writes"] >= 1
+    # a crash at every boundary recovers to the uninterrupted run
+    for boundary, drill in results["crash_drills"].items():
+        assert drill["restarts"] == 1, boundary
+        assert drill["digest"] == memory["digest"], boundary
+        assert drill["delivered_mass_pct"] == 100.0, boundary
+    # recovery re-indexes everything sealed so far, lazily
+    curve = results["recovery_curve"]
+    records = [point["records"] for point in curve]
+    assert records == sorted(records)
+    assert records[-1] == memory["entries"]
+
+
+def rows_of(results: dict):
+    rows = [
+        (
+            name,
+            metrics["engine"],
+            metrics["entries"],
+            metrics["wan_bytes"],
+            metrics["close_ms_per_epoch"],
+            metrics["digest"][:12],
+        )
+        for name, metrics in (
+            ("memory", results["memory"]),
+            ("segment", results["segment"]),
+        )
+    ]
+    for boundary, drill in sorted(results["crash_drills"].items()):
+        rows.append(
+            (
+                f"crash@{boundary}",
+                "segment-log",
+                "-",
+                "-",
+                f"{drill['delivered_mass_pct']}%",
+                drill["digest"][:12],
+            )
+        )
+    return rows
+
+
+COLUMNS = ("run", "engine", "entries", "wan B", "close ms | mass", "digest")
+
+
+def test_durability_survives_crash_at_every_boundary(benchmark):
+    """Crash drills recover bit-identical root state (small trace)."""
+    results = benchmark.pedantic(
+        lambda: measure(flows_per_epoch=400, epochs=2),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Durability: engines, overhead, crash drills",
+        rows_of(results),
+        columns=COLUMNS,
+    )
+    benchmark.extra_info.update(
+        {
+            "close_overhead_ms": results["close_overhead_ms_per_epoch"],
+            "segments": results["segment"]["storage"]["segments"],
+        }
+    )
+    check_claims(results)
+
+
+def main() -> None:
+    results = measure(flows_per_epoch=3000, epochs=3)
+    report(
+        "Durability: engines, overhead, crash drills (full trace)",
+        rows_of(results),
+        columns=COLUMNS,
+    )
+    check_claims(results)
+    baseline = {
+        "trace": {
+            "sites": list(SITES),
+            "flows_per_epoch": 3000,
+            "epochs": 3,
+            "seed": SEED,
+            "node_budget": NODE_BUDGET,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"\nwrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

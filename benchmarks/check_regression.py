@@ -31,9 +31,15 @@ Five committed baselines are checked:
   drop=0.3 fabrics) and fails when root mass stops matching the
   ingested total, when pending migrations fail to drain, or when ops
   stop bumping the topology generation exactly once.
+* ``BENCH_durability.json`` — replays the durability sweep and fails
+  when the segment log stops answering bit-identically to the memory
+  engine, when a crash drill at any epoch boundary loses mass, when
+  the memory engine's WAN volume drifts from the committed depth-4
+  number (the storage seam must be free when unused), or when a
+  parallel memory-engine run diverges from serial.
 
-``--only {all,flowtree,query,faults,obs,elastic}`` selects one gate (CI runs
-them in separate jobs).  The default tolerance is deliberately generous —
+``--only {all,flowtree,query,faults,obs,elastic,durability}`` selects
+one gate (CI runs them in separate jobs).  The default tolerance is deliberately generous —
 CI machines vary a lot — so a failure means a real algorithmic
 regression, not scheduler noise.
 
@@ -53,6 +59,7 @@ PYTHONPATH=src python benchmarks/bench_query_planner.py
 PYTHONPATH=src python benchmarks/bench_faults.py
 PYTHONPATH=src python benchmarks/bench_obs.py
 PYTHONPATH=src python benchmarks/bench_elastic.py
+PYTHONPATH=src python benchmarks/bench_durability.py
 ```
 """
 
@@ -76,6 +83,7 @@ DEFAULT_FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 DEFAULT_HIERARCHY_BASELINE = REPO_ROOT / "BENCH_hierarchy.json"
 DEFAULT_OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_ELASTIC_BASELINE = REPO_ROOT / "BENCH_elastic.json"
+DEFAULT_DURABILITY_BASELINE = REPO_ROOT / "BENCH_durability.json"
 DEFAULT_TOLERANCE = 0.5
 #: the zero-drop run is deterministic; allow only float-formatting drift
 WAN_MATCH_TOLERANCE = 0.01
@@ -426,6 +434,76 @@ def check_elastic(baseline_path: Path) -> int:
     return 0
 
 
+def check_durability(baseline_path: Path) -> int:
+    """Replay the durability sweep; recovery must stay bit-identical.
+
+    Deterministic invariants, not timings: the segment log answers the
+    merged-root query bit-identically to the memory engine, a
+    full-runtime crash drill at every epoch boundary recovers 100% of
+    the uninterrupted mass, the memory engine reproduces the committed
+    WAN volume exactly (the seam is free when unused), and a parallel
+    memory-engine run matches serial.  Returns an exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        trace = committed["trace"]
+        committed_results = committed["results"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read durability baseline {baseline_path}: {exc}")
+        return 2
+
+    from benchmarks.bench_durability import check_claims, measure
+
+    print(
+        f"\nre-running durability sweep: {trace['flows_per_epoch']} "
+        f"flows/epoch x {trace['epochs']} epochs, seed={trace['seed']}"
+    )
+    fresh = measure(trace["flows_per_epoch"], trace["epochs"])
+    print(
+        f"close overhead: committed "
+        f"{committed_results['close_overhead_ms_per_epoch']} ms/epoch, "
+        f"fresh {fresh['close_overhead_ms_per_epoch']} ms/epoch "
+        "(informational)"
+    )
+    for boundary, drill in sorted(fresh["crash_drills"].items()):
+        print(
+            f"crash@{boundary}: delivered {drill['delivered_mass_pct']}% "
+            f"(digest {drill['digest'][:12]})"
+        )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: durability claims no longer hold ({exc!r})")
+        return 1
+    committed_wan = committed_results["memory"]["wan_bytes"]
+    fresh_wan = fresh["memory"]["wan_bytes"]
+    if fresh_wan != committed_wan:
+        print(
+            f"REGRESSION: memory-engine WAN volume changed "
+            f"({fresh_wan} B vs committed {committed_wan} B) — the "
+            "storage seam is no longer free when unused"
+        )
+        return 1
+    print(f"zero-overhead check: memory WAN {fresh_wan} B matches committed")
+
+    from repro.flows.columnar import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        serial = _runtime_outcome(None)
+        pooled = _runtime_outcome(2)
+        if serial != pooled:
+            print(
+                "REGRESSION: parallel memory-engine run diverged from "
+                "serial (root mass / WAN bytes)"
+            )
+            return 1
+        print("parallel drive: bit-identical to serial")
+    else:
+        print("note: numpy unavailable; skipping the parallel drive check")
+    print("OK: crash recovery bit-identical at every epoch boundary")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -480,8 +558,20 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--durability-baseline",
+        type=Path,
+        default=DEFAULT_DURABILITY_BASELINE,
+        help=(
+            "committed durability baseline JSON "
+            f"(default: {DEFAULT_DURABILITY_BASELINE})"
+        ),
+    )
+    parser.add_argument(
         "--only",
-        choices=("all", "flowtree", "query", "faults", "obs", "elastic"),
+        choices=(
+            "all", "flowtree", "query", "faults", "obs", "elastic",
+            "durability",
+        ),
         default="all",
         help="run a single regression gate (default: all)",
     )
@@ -516,6 +606,8 @@ def main(argv=None) -> int:
         return check_obs(args.obs_baseline)
     if args.only == "elastic":
         return check_elastic(args.elastic_baseline)
+    if args.only == "durability":
+        return check_durability(args.durability_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -564,7 +656,10 @@ def main(argv=None) -> int:
     status = check_obs(args.obs_baseline)
     if status != 0:
         return status
-    return check_elastic(args.elastic_baseline)
+    status = check_elastic(args.elastic_baseline)
+    if status != 0:
+        return status
+    return check_durability(args.durability_baseline)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,8 @@ Six subcommands mirror the example scripts in scriptable form::
     repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
     repro query --preset network --query "SELECT TOTAL FROM ALL"
     repro run --faults "drop=0.2,seed=7" --epochs 4
+    repro run --data-dir /tmp/flowdb --faults "restart=cloud:1"
+    repro segments /tmp/flowdb
     repro factory --hours 6 --no-apps
     repro replication --partitions 400 --distribution pareto
     repro metrics --faults "drop=0.3,seed=7" --format prometheus
@@ -124,6 +126,27 @@ def _build_parser() -> argparse.ArgumentParser:
             "shard edge ingest across N worker processes "
             "(0 = serial in-process ingest)"
         ),
+    )
+    run.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help=(
+            "durable storage: seal each epoch into an on-disk segment "
+            "log under DIR and recover from it when DIR already holds "
+            "a manifest (default: in-memory engine)"
+        ),
+    )
+
+    segments = subparsers.add_parser(
+        "segments",
+        help="print the segment census of a durable data directory",
+    )
+    segments.add_argument(
+        "data_dir", metavar="DIR",
+        help="data directory written by 'repro run --data-dir DIR'",
+    )
+    segments.add_argument(
+        "--compact", action="store_true",
+        help="compact the segment log before printing the census",
     )
 
     metrics = subparsers.add_parser(
@@ -335,14 +358,28 @@ def _run_run(args: argparse.Namespace) -> int:
     )
 
     parallel = args.workers if args.workers > 0 else None
-    if args.preset == "network":
-        runtime = network_4level_runtime(
-            retain_partitions=True, parallel=parallel
-        )
-    else:
-        runtime = factory_4level_runtime(
-            retain_partitions=True, parallel=parallel
-        )
+    storage = None
+    if args.data_dir:
+        from repro.storage import SegmentLogEngine
+
+        storage = SegmentLogEngine(args.data_dir)
+    preset = (
+        network_4level_runtime
+        if args.preset == "network"
+        else factory_4level_runtime
+    )
+    runtime = preset(
+        retain_partitions=True, parallel=parallel, storage=storage
+    )
+    if storage is not None:
+        if runtime._recoveries:
+            print(
+                f"recovered from {args.data_dir}: "
+                f"{runtime._recovered_records} summaries, "
+                f"epoch {runtime.stats.epochs_closed}"
+            )
+        else:
+            print(f"durable storage: segment log at {args.data_dir}")
     try:
         return _drive_run(args, runtime)
     finally:
@@ -425,7 +462,69 @@ def _drive_run(args: argparse.Namespace, runtime) -> int:
                 f"records={ws.records_done:,} busy={ws.busy_seconds:.2f}s "
                 f"restarts={ws.restarts} replayed={ws.replayed_batches}"
             )
+    if runtime.engine.durable or runtime._restarts:
+        storage = runtime.storage_stats()
+        print(
+            f"  storage[{storage['engine']}]: "
+            f"records={storage['records']} "
+            f"segments={storage['segments']} "
+            f"({storage['segment_bytes']:,} B) "
+            f"manifests={storage['manifest_writes']} "
+            f"restarts={storage['restarts']}"
+        )
     return 0 if runtime.pending_exports() == 0 else 1
+
+
+# ---------------------------------------------------------------------------
+# segments (durable storage census)
+
+
+def _run_segments(args: argparse.Namespace) -> int:
+    from repro.storage import SegmentLogEngine
+
+    try:
+        engine = SegmentLogEngine(args.data_dir)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    manifest = engine.read_manifest()
+    if manifest is None:
+        print(f"no manifest under {args.data_dir} (nothing sealed yet)")
+        return 1
+    if args.compact:
+        outcome = engine.compact()
+        print(
+            f"compacted: removed {outcome['segments_removed']} segments, "
+            f"reclaimed {outcome['reclaimed_bytes']:,} B"
+        )
+    stats = engine.stats()
+    print(
+        f"segment log at {args.data_dir}: {stats['records']} records in "
+        f"{stats['segments']} segments ({stats['segment_bytes']:,} B)"
+    )
+    print(
+        f"  manifest: epoch {manifest.get('epochs_closed', 0)}, "
+        f"generation {manifest.get('generation', 0)}, "
+        f"{len(manifest.get('pending', {}))} pending queues"
+    )
+    if stats.get("orphan_segments"):
+        print(f"  orphan segments ignored: {stats['orphan_segments']}")
+    print(f"  {'segment':<16}{'epoch':>7}{'records':>9}{'bytes':>12}")
+    for row in engine.segments():
+        shards = row.get("shards")
+        extra = (
+            "  shards=" + ",".join(
+                f"{site}:{items}" for site, items in sorted(shards.items())
+            )
+            if shards
+            else ""
+        )
+        compacted = "  (compacted)" if row.get("compacted") else ""
+        print(
+            f"  {row['file']:<16}{row.get('epoch', '-'):>7}"
+            f"{row['records']:>9}{row['bytes']:>12,}{extra}{compacted}"
+        )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -669,6 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replication(args)
     if args.command == "topology":
         return _run_topology(args)
+    if args.command == "segments":
+        return _run_segments(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

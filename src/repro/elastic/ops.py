@@ -92,6 +92,11 @@ def _apply_renames(
         queue = runtime._pending.pop(old, None)
         if queue is not None:
             runtime._pending[new] = queue
+        # FlowDB entries (and the engine's on-disk records) follow the
+        # rename so queries by the new label see the site's history
+        runtime.db.relabel(
+            runtime._path_label(old), runtime._path_label(new)
+        )
 
 
 def _migration_target(

@@ -15,6 +15,7 @@ from repro.faults.plan import (
     FaultPlan,
     LinkOutage,
     ReconfigDrill,
+    RestartDrill,
     WorkerCrash,
 )
 from repro.faults.retry import RetryPolicy
@@ -25,6 +26,7 @@ __all__ = [
     "FaultPlan",
     "LinkOutage",
     "ReconfigDrill",
+    "RestartDrill",
     "WorkerCrash",
     "PendingExport",
     "PendingExportQueue",

@@ -14,7 +14,7 @@ Delivery is at-least-once per epoch partition; the queue dedups by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 
 @dataclass
@@ -95,3 +95,77 @@ class PendingExportQueue:
     @property
     def pending_items(self) -> int:
         return sum(entry.items for entry in self.entries)
+
+    # -- durability --------------------------------------------------------
+
+    def to_state(
+        self, encode_summary: Callable[[Any], Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """A JSON-safe snapshot of the queue for a storage manifest.
+
+        Everything round-trips through :meth:`from_state`: entry order,
+        every entry field (``size_bytes`` is carried verbatim so queue
+        byte accounting is identical after a reload, not re-derived
+        from a re-encoded payload), the queued-id set, and — crucially
+        for at-least-once delivery — the delivered-id set, so a replay
+        after recovery cannot double-count mass.  Entries whose summary
+        has no durable codec are skipped and counted in ``"skipped"``.
+        """
+        entries = []
+        skipped = 0
+        for entry in self.entries:
+            try:
+                summary = encode_summary(entry.summary)
+            except Exception:
+                skipped += 1
+                continue
+            entries.append(
+                {
+                    "export_id": entry.export_id,
+                    "kind": entry.kind,
+                    "summary": summary,
+                    "items": entry.items,
+                    "size_bytes": entry.size_bytes,
+                    "origin": entry.origin,
+                    "label": entry.label,
+                    "created_at": entry.created_at,
+                    "attempts": entry.attempts,
+                }
+            )
+        return {
+            "entries": entries,
+            "queued_ids": sorted(self._queued_ids),
+            "delivered_ids": sorted(self._delivered_ids),
+            "skipped": skipped,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, Any],
+        decode_summary: Callable[[Dict[str, Any]], Any],
+    ) -> "PendingExportQueue":
+        """Rebuild a queue snapshotted with :meth:`to_state`."""
+        queue = cls()
+        for record in state.get("entries", []):
+            queue.entries.append(
+                PendingExport(
+                    export_id=record["export_id"],
+                    kind=record["kind"],
+                    summary=decode_summary(record["summary"]),
+                    items=record["items"],
+                    size_bytes=record["size_bytes"],
+                    origin=record["origin"],
+                    label=record["label"],
+                    created_at=record["created_at"],
+                    attempts=record.get("attempts", 0),
+                )
+            )
+        queue._queued_ids = set(state.get("queued_ids", []))
+        queue._delivered_ids = set(state.get("delivered_ids", []))
+        # ids of skipped (non-durable) entries must not linger as
+        # queued: they are gone, and a future park of the same id
+        # should be allowed to re-queue
+        present = {entry.export_id for entry in queue.entries}
+        queue._queued_ids &= present
+        return queue

@@ -92,6 +92,32 @@ class WorkerCrash:
             )
 
 
+@dataclass(frozen=True)
+class RestartDrill:
+    """A scheduled process kill + recovery (durability faults).
+
+    After the close of epoch ``epoch`` (0-based) — i.e. at an epoch
+    boundary, the system's durability point — the store at
+    root-relative ``site`` is killed and reopened from the runtime's
+    storage engine: live aggregator state, catalogs, and the pending
+    queue are discarded, then recovered from the last manifest.  Naming
+    the hierarchy *root* restarts the whole runtime (FlowDB index,
+    every store, every queue), which is the ROADMAP crash drill: root
+    mass after recovery must be bit-identical to an uninterrupted run.
+    """
+
+    site: str
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise PlacementError(
+                f"restart epoch must be non-negative, got {self.epoch}"
+            )
+        if not self.site:
+            raise PlacementError("restart drill needs a site path")
+
+
 #: Reconfiguration ops a drill may trigger (elastic-topology faults).
 RECONFIG_OPS = ("join", "leave", "migrate")
 
@@ -150,6 +176,8 @@ class FaultPlan:
       (site, epoch, batch) points, consumed by the sharded ingest pool.
     * ``reconfigs`` — scheduled live-topology ops (join/leave/migrate)
       applied by the runtime after the named epoch's close.
+    * ``restarts`` — scheduled store kills + recoveries at epoch
+      boundaries, exercising the storage engine's crash-restart path.
     """
 
     seed: int = 0
@@ -160,6 +188,7 @@ class FaultPlan:
     epoch_seconds: Optional[float] = None
     worker_crashes: List[WorkerCrash] = field(default_factory=list)
     reconfigs: List[ReconfigDrill] = field(default_factory=list)
+    restarts: List[RestartDrill] = field(default_factory=list)
     _attempts: Dict[Tuple[str, str], int] = field(
         default_factory=dict, repr=False
     )
@@ -250,6 +279,10 @@ class FaultPlan:
         op (``join``/``leave``/``migrate``) after that epoch's close,
         e.g. ``reconfig=leave:region1/router2:1`` or
         ``reconfig=migrate:region1/router1>region2:2``.
+        ``restart`` may repeat; its value is ``<site>:<epoch>`` — kill
+        the named store (or the whole runtime, when ``site`` is the
+        hierarchy root) after that epoch's close and recover it from
+        the storage engine.
         """
         plan = cls()
         for item in filter(None, (part.strip() for part in spec.split(","))):
@@ -305,10 +338,18 @@ class FaultPlan:
                             new_parent=new_parent if gt else None,
                         )
                     )
+                elif key == "restart":
+                    site, sep, epoch = value.rpartition(":")
+                    if not sep:
+                        raise PlacementError(
+                            f"restart spec {value!r} needs <site>:<epoch>"
+                        )
+                    plan.restarts.append(RestartDrill(site, int(epoch)))
                 else:
                     raise PlacementError(
                         f"unknown fault spec key {key!r}; known: "
-                        "drop, seed, epoch, bw, outage, crash, reconfig"
+                        "drop, seed, epoch, bw, outage, crash, reconfig, "
+                        "restart"
                     )
             except ValueError as exc:
                 raise PlacementError(
@@ -338,4 +379,6 @@ class FaultPlan:
             if drill.new_parent:
                 where += f">{drill.new_parent}"
             parts.append(f"reconfig[{where}]={drill.op}@{drill.epoch}")
+        for restart in self.restarts:
+            parts.append(f"restart[{restart.site}]@{restart.epoch}")
         return " ".join(parts)

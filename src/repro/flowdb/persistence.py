@@ -1,26 +1,40 @@
-"""FlowDB persistence: save/load the summary index to disk.
+"""FlowDB persistence: the format-v1 JSON compat layer.
 
-FlowDB "stores and indexes" summaries; for a library that means the
-index must survive a process restart.  The format is a single JSON
-document — one header (format version, policy shape) plus one record
-per entry with the serialized Flowtree (via
-:meth:`repro.flows.tree.Flowtree.to_dict`).  Schemas hold feature
-objects that do not round-trip through JSON, so loading takes the
-:class:`~repro.flows.flowkey.GeneralizationPolicy` explicitly and
-validates it against the stored shape.
+Historically this module *was* the durability story — one JSON document
+holding the whole index.  The real story now lives in
+:mod:`repro.storage` (per-epoch segment logs, manifests, recovery);
+what remains here is a thin compat wrapper kept for two jobs:
+
+* **save**: the same single-document format v1, but written through
+  :func:`repro.storage.codec.atomic_write_json` — the temp file is
+  fsynced before the rename and the directory after it, closing the
+  crash window the old implementation had (an ``os.replace`` without
+  fsync can surface an empty file after power loss on some
+  filesystems).
+* **load / migrate**: format-v1 documents still load, and
+  ``load_flowdb(..., engine=SegmentLogEngine(dir))`` replays a v1
+  snapshot into a durable engine — each entry is inserted through the
+  normal FlowDB path, so it lands in the engine's record log; seal and
+  write a manifest afterwards to finish the migration.
+
+Schemas hold feature objects that do not round-trip through JSON, so
+loading takes the :class:`~repro.flows.flowkey.GeneralizationPolicy`
+explicitly and validates it against the stored shape.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Optional
+
+import json
 
 from repro.core.summary import TimeInterval
 from repro.errors import SchemaMismatchError, StorageError
 from repro.flowdb.db import FlowDB
 from repro.flows.flowkey import GeneralizationPolicy
 from repro.flows.tree import Flowtree
+from repro.storage.codec import atomic_write_json
+from repro.storage.engine import StorageEngine
 
 FORMAT_VERSION = 1
 
@@ -28,8 +42,9 @@ FORMAT_VERSION = 1
 def save_flowdb(db: FlowDB, path: str) -> int:
     """Write the whole FlowDB to ``path``; returns entries written.
 
-    Writes to a temporary file first and renames, so a crash mid-save
-    never leaves a truncated index behind.
+    Uses the durable write protocol (fsync temp file, rename, fsync
+    directory), so a crash at any point leaves either the previous
+    document or the new one — never a truncated or empty file.
     """
     entries = db.entries()
     document = {
@@ -45,10 +60,7 @@ def save_flowdb(db: FlowDB, path: str) -> int:
             for entry in entries
         ],
     }
-    temp_path = f"{path}.tmp"
-    with open(temp_path, "w") as handle:
-        json.dump(document, handle)
-    os.replace(temp_path, path)
+    atomic_write_json(path, document)
     return len(entries)
 
 
@@ -56,11 +68,15 @@ def load_flowdb(
     path: str,
     policy: GeneralizationPolicy,
     merge_node_budget: Optional[int] = None,
+    engine: Optional[StorageEngine] = None,
 ) -> FlowDB:
     """Load a FlowDB saved with :func:`save_flowdb`.
 
     ``policy`` must match the shape the trees were built with (checked
     tree by tree).  ``merge_node_budget`` overrides the saved value.
+    Passing a durable ``engine`` migrates the v1 snapshot into it: every
+    entry goes through :meth:`FlowDB.insert`, which logs it to the
+    engine's record store.
     """
     try:
         with open(path) as handle:
@@ -80,7 +96,8 @@ def load_flowdb(
             merge_node_budget
             if merge_node_budget is not None
             else document.get("merge_node_budget")
-        )
+        ),
+        engine=engine,
     )
     for record in document["entries"]:
         try:

@@ -206,6 +206,44 @@ def install_runtime_metrics(
         "Migration summaries parked on pending queues awaiting redelivery",
     )
 
+    # -- storage engine / durability (sourced from engine.stats()) ------------
+    storage_records = registry.gauge(
+        "repro_storage_records",
+        "Summary records held by the storage engine",
+    )
+    storage_segments = registry.gauge(
+        "repro_storage_segments",
+        "Sealed segments the storage engine currently lists",
+    )
+    storage_segment_bytes = registry.gauge(
+        "repro_storage_segment_bytes",
+        "On-disk bytes across the engine's sealed segments",
+    )
+    storage_manifest_writes = registry.counter(
+        "repro_storage_manifest_writes_total",
+        "Manifest checkpoints committed by the storage engine",
+    )
+    storage_compactions = registry.counter(
+        "repro_storage_compactions_total",
+        "Segment compactions run by the storage engine",
+    )
+    storage_reclaimed = registry.counter(
+        "repro_storage_reclaimed_bytes_total",
+        "Bytes reclaimed by segment compactions",
+    )
+    storage_restarts = registry.counter(
+        "repro_storage_restarts_total",
+        "Store/runtime kill+recover drills executed",
+    )
+    storage_recoveries = registry.counter(
+        "repro_storage_recoveries_total",
+        "Full recoveries (open-from-manifest or whole-runtime restart)",
+    )
+    storage_recovered_records = registry.counter(
+        "repro_storage_recovered_records_total",
+        "FlowDB records re-indexed from the engine during recoveries",
+    )
+
     # -- event-fed latency histograms (observed at the call sites) ------------
     registry.histogram(
         ROLLUP_SECONDS,
@@ -313,6 +351,30 @@ def install_runtime_metrics(
                 model.ledger.migrated_bytes
             )
             reconfig_pending.labels().set(len(model.ledger.pending))
+        engine = getattr(runtime, "engine", None)
+        if engine is not None:
+            engine_stats = engine.stats()
+            storage_records.labels().set(engine_stats["records"])
+            storage_segments.labels().set(engine_stats["segments"])
+            storage_segment_bytes.labels().set(
+                engine_stats["segment_bytes"]
+            )
+            storage_manifest_writes.labels().set_from_source(
+                engine_stats["manifest_writes"]
+            )
+            storage_compactions.labels().set_from_source(
+                engine_stats["compactions"]
+            )
+            storage_reclaimed.labels().set_from_source(
+                engine_stats["reclaimed_bytes"]
+            )
+            storage_restarts.labels().set_from_source(runtime._restarts)
+            storage_recoveries.labels().set_from_source(
+                runtime._recoveries
+            )
+            storage_recovered_records.labels().set_from_source(
+                runtime._recovered_records
+            )
         pool = getattr(runtime, "_pool", None)
         if pool is not None:
             for ws in pool.worker_stats():

@@ -31,6 +31,7 @@ from repro.obs import Observability
 from repro.parallel import ParallelIngestConfig
 from repro.runtime.config import LevelConfig
 from repro.runtime.runtime import HierarchyRuntime
+from repro.storage import StorageEngine
 
 
 def flat_runtime(
@@ -46,6 +47,7 @@ def flat_runtime(
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
     adaptive_budgets: bool = False,
+    storage: Optional[StorageEngine] = None,
 ) -> HierarchyRuntime:
     """Edge stores at every site path, exporting straight to FlowDB."""
     if not sites:
@@ -79,6 +81,7 @@ def flat_runtime(
         retry_policy=retry_policy,
         observability=observability,
         parallel=parallel,
+        storage=storage,
     )
     if adaptive_budgets:
         runtime.enable_adaptive_budgets()
@@ -99,6 +102,7 @@ def tiered_runtime(
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
     adaptive_budgets: bool = False,
+    storage: Optional[StorageEngine] = None,
 ) -> HierarchyRuntime:
     """Router stores merging into region stores before the WAN hop."""
     if not sites:
@@ -130,6 +134,7 @@ def tiered_runtime(
         retry_policy=retry_policy,
         observability=observability,
         parallel=parallel,
+        storage=storage,
     )
     if adaptive_budgets:
         runtime.enable_adaptive_budgets()
@@ -153,6 +158,7 @@ def network_4level_runtime(
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
     adaptive_budgets: bool = False,
+    storage: Optional[StorageEngine] = None,
 ) -> HierarchyRuntime:
     """The Figure 1b topology: router → region → network → cloud.
 
@@ -199,6 +205,7 @@ def network_4level_runtime(
         retry_policy=retry_policy,
         observability=observability,
         parallel=parallel,
+        storage=storage,
     )
     if adaptive_budgets:
         runtime.enable_adaptive_budgets()
@@ -222,6 +229,7 @@ def factory_4level_runtime(
     observability: Optional[Observability] = None,
     parallel: Union[None, bool, int, ParallelIngestConfig] = None,
     adaptive_budgets: bool = False,
+    storage: Optional[StorageEngine] = None,
 ) -> HierarchyRuntime:
     """The Figure 1a topology: machine → line → factory → cloud (hq).
 
@@ -270,6 +278,7 @@ def factory_4level_runtime(
         retry_policy=retry_policy,
         observability=observability,
         parallel=parallel,
+        storage=storage,
     )
     if adaptive_budgets:
         runtime.enable_adaptive_budgets()

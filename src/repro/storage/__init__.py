@@ -1,0 +1,28 @@
+"""Pluggable storage engines for FlowDB and the hierarchy runtime.
+
+The seam between "what the hierarchy computed" and "where that state
+lives": :class:`MemoryEngine` keeps everything in process (the
+historical behavior, bit-identical), :class:`SegmentLogEngine` appends
+sealed Flowtree summaries to CRC'd on-disk segment files at every epoch
+close and checkpoints runtime state (pending exports, replicas, epoch
+counters, topology generation) in an fsync-before-rename manifest — so
+a killed process reopens at the last epoch boundary with nothing lost.
+"""
+
+from repro.storage.codec import (
+    atomic_write_json,
+    decode_summary,
+    encode_summary,
+)
+from repro.storage.engine import MemoryEngine, StorageEngine, SummaryRecord
+from repro.storage.segment import SegmentLogEngine
+
+__all__ = [
+    "StorageEngine",
+    "MemoryEngine",
+    "SegmentLogEngine",
+    "SummaryRecord",
+    "atomic_write_json",
+    "encode_summary",
+    "decode_summary",
+]
