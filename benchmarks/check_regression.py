@@ -37,8 +37,16 @@ Five committed baselines are checked:
   the memory engine's WAN volume drifts from the committed depth-4
   number (the storage seam must be free when unused), or when a
   parallel memory-engine run diverges from serial.
+* ``BENCH_serve.json`` — validates the committed ≥1000-client
+  closed-loop serving storm (completed requests, p50/p99, queries/s,
+  zero unhandled server errors) and re-runs a reduced 128-client storm
+  whose structural claims must all hold: every request completes,
+  HTTP answers are payload-identical to in-process ones (degraded
+  partials under a fault plan included), and the under-provisioned
+  admission arm sheds with 429 + Retry-After while admitted answers
+  stay correct.
 
-``--only {all,flowtree,query,faults,obs,elastic,durability}`` selects
+``--only {all,flowtree,query,faults,obs,elastic,durability,serve}`` selects
 one gate (CI runs them in separate jobs).  The default tolerance is deliberately generous —
 CI machines vary a lot — so a failure means a real algorithmic
 regression, not scheduler noise.
@@ -84,6 +92,7 @@ DEFAULT_HIERARCHY_BASELINE = REPO_ROOT / "BENCH_hierarchy.json"
 DEFAULT_OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_ELASTIC_BASELINE = REPO_ROOT / "BENCH_elastic.json"
 DEFAULT_DURABILITY_BASELINE = REPO_ROOT / "BENCH_durability.json"
+DEFAULT_SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
 DEFAULT_TOLERANCE = 0.5
 #: the zero-drop run is deterministic; allow only float-formatting drift
 WAN_MATCH_TOLERANCE = 0.01
@@ -504,6 +513,75 @@ def check_durability(baseline_path: Path) -> int:
     return 0
 
 
+def check_serve(baseline_path: Path) -> int:
+    """Validate the committed serving storm + re-run a reduced one.
+
+    The committed baseline must record a ≥1000-client closed-loop run
+    that completed every request with zero unhandled server errors and
+    carries the p50/p99/throughput numbers the serving plane is judged
+    by.  A fresh reduced-fleet storm (128 clients, CI-sized) must then
+    satisfy every structural claim live: all requests complete, remote
+    answers payload-identical to in-process ones (degraded partials
+    included), and the under-provisioned admission arm sheds load with
+    429 + Retry-After while admitted answers stay correct.  Returns an
+    exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        committed_results = committed["results"]
+        committed_latency = committed_results["latency_ms"]
+        committed_qps = float(committed_results["throughput_qps"])
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read serve baseline {baseline_path}: {exc}")
+        return 2
+    if committed_results.get("clients", 0) < 1000:
+        print(
+            "REGRESSION: committed serve baseline ran fewer than 1000 "
+            f"concurrent clients ({committed_results.get('clients')})"
+        )
+        return 1
+    if committed_results.get("server_errors") != 0:
+        print(
+            "REGRESSION: committed serve baseline recorded unhandled "
+            f"server errors ({committed_results.get('server_errors')})"
+        )
+        return 1
+    for key in ("p50", "p99"):
+        if not committed_latency.get(key, 0) > 0:
+            print(f"serve baseline is missing latency_ms[{key!r}]")
+            return 2
+    if not committed_qps > 0:
+        print("serve baseline is missing throughput_qps")
+        return 2
+    print(
+        f"\ncommitted storm: {committed_results['clients']} clients, "
+        f"{committed_qps} q/s, p50 {committed_latency['p50']} ms, "
+        f"p99 {committed_latency['p99']} ms, "
+        f"{committed_results['server_errors']} server errors"
+    )
+
+    from benchmarks.bench_serve import check_claims, measure
+
+    print("re-running reduced storm: 128 clients x 3 requests")
+    fresh = measure(clients=128, requests_per_client=3)
+    print(
+        f"fresh storm: {fresh['throughput_qps']} q/s, "
+        f"p50 {fresh['latency_ms']['p50']} ms, "
+        f"p99 {fresh['latency_ms']['p99']} ms (informational), "
+        f"identity {fresh['identity']['matched']}/"
+        f"{fresh['identity']['queries']}, shedding "
+        f"{fresh['shedding']['rejected']}/"
+        f"{fresh['shedding']['burst_requests']} rejected"
+    )
+    try:
+        check_claims(fresh)
+    except AssertionError as exc:
+        print(f"REGRESSION: serving-plane claims no longer hold ({exc!r})")
+        return 1
+    print("OK: the serving plane completes, matches, and sheds honestly")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -567,10 +645,19 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve-baseline",
+        type=Path,
+        default=DEFAULT_SERVE_BASELINE,
+        help=(
+            "committed serving-plane baseline JSON "
+            f"(default: {DEFAULT_SERVE_BASELINE})"
+        ),
+    )
+    parser.add_argument(
         "--only",
         choices=(
             "all", "flowtree", "query", "faults", "obs", "elastic",
-            "durability",
+            "durability", "serve",
         ),
         default="all",
         help="run a single regression gate (default: all)",
@@ -608,6 +695,8 @@ def main(argv=None) -> int:
         return check_elastic(args.elastic_baseline)
     if args.only == "durability":
         return check_durability(args.durability_baseline)
+    if args.only == "serve":
+        return check_serve(args.serve_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -659,7 +748,10 @@ def main(argv=None) -> int:
     status = check_elastic(args.elastic_baseline)
     if status != 0:
         return status
-    return check_durability(args.durability_baseline)
+    status = check_durability(args.durability_baseline)
+    if status != 0:
+        return status
+    return check_serve(args.serve_baseline)
 
 
 if __name__ == "__main__":

@@ -77,7 +77,9 @@ from repro.hierarchy import (
     network_monitoring_hierarchy,
     smart_factory_hierarchy,
 )
+from repro.client import FlowQLClient
 from repro.control import Controller, Manager
+from repro.errors import AdmissionError
 from repro.faults import FaultPlan, LinkOutage, RetryPolicy
 from repro.flowdb import FlowDB
 from repro.flowql import FlowQLExecutor
@@ -103,6 +105,7 @@ from repro.scenarios import (
     FactoryScenario,
     NetworkScenario,
 )
+from repro.serve import ServePlane
 from repro.simulation import (
     Simulator,
     TrafficConfig,
@@ -150,6 +153,9 @@ __all__ = [
     "QueryOutcome",
     "QueryPlan",
     "Degradation",
+    "FlowQLClient",
+    "ServePlane",
+    "AdmissionError",
     "FaultPlan",
     "LinkOutage",
     "RetryPolicy",

@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Six subcommands mirror the example scripts in scriptable form::
+Nine subcommands mirror the example scripts in scriptable form::
 
     repro flowql --epochs 3 --query "SELECT TOPK(5) FROM ALL BY bytes"
     repro query --preset network --query "SELECT TOTAL FROM ALL"
+    repro query --endpoint http://127.0.0.1:8080 --query "SELECT TOTAL FROM ALL"
     repro run --faults "drop=0.2,seed=7" --epochs 4
     repro run --data-dir /tmp/flowdb --faults "restart=cloud:1"
+    repro serve --epochs 2 --smoke 8
     repro segments /tmp/flowdb
     repro factory --hours 6 --no-apps
     repro replication --partitions 400 --distribution pareto
@@ -14,224 +16,111 @@ Six subcommands mirror the example scripts in scriptable form::
 Run ``repro <subcommand> --help`` for the full flag set.  Everything is
 deterministic per ``--seed`` (and, for fault plans, per the plan's own
 seed).
+
+Subcommands are registered declaratively: one
+:class:`Subcommand` row in :data:`SUBCOMMANDS` names the command, its
+help line, an argparse configurator, and a runner.  Adding a
+subcommand means adding one row — not threading a new name through a
+parser builder *and* a dispatch chain.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ReproError
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Distributed mega-datasets reproduction: Flowstream/FlowQL, "
-            "the smart-factory loop, and adaptive replication."
-        ),
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+@dataclass(frozen=True)
+class Subcommand:
+    """One declaratively-registered CLI subcommand."""
 
-    flowql = subparsers.add_parser(
-        "flowql", help="load synthetic traffic and run FlowQL queries"
-    )
-    flowql.add_argument(
-        "--sites", nargs="+",
-        default=["region1/router1", "region2/router1"],
-        help="router sites (region/router paths)",
-    )
-    flowql.add_argument("--epochs", type=int, default=3)
-    flowql.add_argument("--flows-per-epoch", type=int, default=1500)
-    flowql.add_argument("--seed", type=int, default=42)
-    flowql.add_argument("--node-budget", type=int, default=4096)
-    flowql.add_argument(
-        "--query", action="append", default=None,
-        help="FlowQL text (repeatable); default runs a small demo set",
-    )
-    flowql.add_argument(
-        "--save", metavar="PATH", default=None,
-        help="persist the loaded FlowDB to a JSON file",
-    )
+    name: str
+    help: str
+    #: installs the subcommand's arguments on its subparser
+    configure: Callable[[argparse.ArgumentParser], None]
+    #: executes the subcommand; returns the process exit code
+    run: Callable[[argparse.Namespace], int]
 
-    factory = subparsers.add_parser(
-        "factory", help="run the smart-factory scenario"
-    )
-    factory.add_argument("--hours", type=float, default=6.0)
-    factory.add_argument("--lines", type=int, default=2)
-    factory.add_argument("--machines-per-line", type=int, default=3)
-    factory.add_argument("--seed", type=int, default=17)
-    factory.add_argument(
-        "--no-apps", action="store_true",
-        help="disable predictive maintenance (baseline run)",
-    )
 
-    query = subparsers.add_parser(
-        "query", help="route FlowQL through the federated query planner"
-    )
-    query.add_argument(
+# ---------------------------------------------------------------------------
+# shared argument groups
+
+
+def _add_drive_args(
+    parser: argparse.ArgumentParser,
+    epochs: int,
+    flows_per_epoch: int,
+    seed: int = 42,
+) -> None:
+    """The preset/epochs/flows/seed block every runtime driver shares."""
+    parser.add_argument(
         "--preset", choices=("network", "factory"), default="network",
         help="4-level hierarchy preset to build",
     )
-    query.add_argument("--epochs", type=int, default=2)
-    query.add_argument("--flows-per-epoch", type=int, default=800)
-    query.add_argument("--seed", type=int, default=42)
-    query.add_argument(
-        "--query", action="append", default=None,
-        help=(
-            "FlowQL text (repeatable); default demos cloud routing and "
-            "an edge drilldown"
-        ),
+    parser.add_argument("--epochs", type=int, default=epochs)
+    parser.add_argument(
+        "--flows-per-epoch", type=int, default=flows_per_epoch
     )
-    query.add_argument(
-        "--repeat", type=int, default=2,
-        help="times each query is issued (repeats show cache hits)",
-    )
-    query.add_argument(
-        "--no-retain", action="store_true",
-        help="drop interior epoch partitions (disables edge drilldown)",
-    )
+    parser.add_argument("--seed", type=int, default=seed)
 
-    run = subparsers.add_parser(
-        "run",
-        help="drive a 4-level rollup, optionally under a fault plan",
-    )
-    run.add_argument(
-        "--preset", choices=("network", "factory"), default="network",
-        help="4-level hierarchy preset to build",
-    )
-    run.add_argument("--epochs", type=int, default=4)
-    run.add_argument("--flows-per-epoch", type=int, default=800)
-    run.add_argument("--seed", type=int, default=42)
-    run.add_argument(
+
+def _add_faults_arg(
+    parser: argparse.ArgumentParser, example: str
+) -> None:
+    parser.add_argument(
         "--faults", metavar="SPEC", default=None,
-        help=(
-            "fault plan spec, e.g. "
-            "'drop=0.2,seed=7,outage=region1/router1:1-2,bw=0.5'"
-        ),
+        help=f"fault plan spec, e.g. {example!r}",
     )
-    run.add_argument(
-        "--recovery-epochs", type=int, default=3,
-        help="extra empty epoch closes to drain parked exports",
-    )
-    run.add_argument(
+
+
+def _add_query_arg(parser: argparse.ArgumentParser, extra: str) -> None:
+    parser.add_argument(
         "--query", action="append", default=None,
-        help="FlowQL text to run after the rollup (repeatable)",
-    )
-    run.add_argument(
-        "--workers", type=int, default=0, metavar="N",
-        help=(
-            "shard edge ingest across N worker processes "
-            "(0 = serial in-process ingest)"
-        ),
-    )
-    run.add_argument(
-        "--data-dir", metavar="DIR", default=None,
-        help=(
-            "durable storage: seal each epoch into an on-disk segment "
-            "log under DIR and recover from it when DIR already holds "
-            "a manifest (default: in-memory engine)"
-        ),
+        help=f"FlowQL text (repeatable); {extra}",
     )
 
-    segments = subparsers.add_parser(
-        "segments",
-        help="print the segment census of a durable data directory",
-    )
-    segments.add_argument(
-        "data_dir", metavar="DIR",
-        help="data directory written by 'repro run --data-dir DIR'",
-    )
-    segments.add_argument(
-        "--compact", action="store_true",
-        help="compact the segment log before printing the census",
-    )
 
-    metrics = subparsers.add_parser(
-        "metrics",
-        help=(
-            "drive a rollup (optionally under faults) and emit the "
-            "observability exposition"
-        ),
-    )
-    metrics.add_argument(
-        "--preset", choices=("network", "factory"), default="network",
-        help="4-level hierarchy preset to build",
-    )
-    metrics.add_argument("--epochs", type=int, default=3)
-    metrics.add_argument("--flows-per-epoch", type=int, default=500)
-    metrics.add_argument("--seed", type=int, default=42)
-    metrics.add_argument(
-        "--faults", metavar="SPEC", default=None,
-        help="fault plan spec, e.g. 'drop=0.3,seed=7'",
-    )
-    metrics.add_argument(
-        "--recovery-epochs", type=int, default=3,
-        help="extra empty epoch closes to drain parked exports",
-    )
-    metrics.add_argument(
-        "--query", action="append", default=None,
-        help=(
-            "FlowQL text run twice after the rollup (repeatable; the "
-            "repeat exercises the query cache)"
-        ),
-    )
-    metrics.add_argument(
-        "--format", choices=("prometheus", "json"), default="prometheus",
-        help="exposition format to print",
-    )
-    metrics.add_argument(
-        "--traces", type=int, default=0, metavar="N",
-        help="also print the last N span trees (0 = none)",
-    )
+def _load_traffic(runtime, epochs: int, flows_per_epoch: int, seed: int):
+    """Drive ``epochs`` deterministic traffic epochs into a runtime."""
+    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
-    topology = subparsers.add_parser(
-        "topology",
-        help=(
-            "drive a rollup (optionally with reconfig drills) and print "
-            "the live topology census"
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(
+            sites=tuple(sites), flows_per_epoch=flows_per_epoch
         ),
+        seed=seed,
     )
-    topology.add_argument(
-        "--preset", choices=("network", "factory"), default="network",
-        help="4-level hierarchy preset to build",
-    )
-    topology.add_argument("--epochs", type=int, default=2)
-    topology.add_argument("--flows-per-epoch", type=int, default=500)
-    topology.add_argument("--seed", type=int, default=42)
-    topology.add_argument(
-        "--faults", metavar="SPEC", default=None,
-        help=(
-            "fault plan spec; reconfig drills reshape the topology "
-            "live, e.g. 'reconfig=leave:network1/region1/router2:0'"
-        ),
-    )
-    topology.add_argument(
-        "--adaptive-budgets", action="store_true",
-        help="let the controller resize node budgets from pressure",
-    )
-
-    replication = subparsers.add_parser(
-        "replication", help="compare replication policies on a trace"
-    )
-    replication.add_argument("--partitions", type=int, default=400)
-    replication.add_argument(
-        "--partition-mb", type=float, default=10.0,
-        help="replication cost per partition in MB",
-    )
-    replication.add_argument("--mean-result-mb", type=float, default=1.0)
-    replication.add_argument(
-        "--distribution", choices=("pareto", "geometric", "lognormal"),
-        default="pareto",
-    )
-    replication.add_argument("--seed", type=int, default=3)
-    return parser
+    for epoch in range(epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * runtime.epoch_seconds)
+    return sites
 
 
 # ---------------------------------------------------------------------------
 # flowql
+
+
+def _configure_flowql(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sites", nargs="+",
+        default=["region1/router1", "region2/router1"],
+        help="router sites (region/router paths)",
+    )
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--flows-per-epoch", type=int, default=1500)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--node-budget", type=int, default=4096)
+    _add_query_arg(parser, "default runs a small demo set")
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="persist the loaded FlowDB to a JSON file",
+    )
 
 
 def _run_flowql(args: argparse.Namespace) -> int:
@@ -280,17 +169,99 @@ def _run_flowql(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
-# query (federated planner)
+# query (federated planner / served endpoint, via the unified client)
+
+
+def _configure_query(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=2, flows_per_epoch=800)
+    _add_query_arg(
+        parser, "default demos cloud routing and an edge drilldown"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="times each query is issued (repeats show cache hits)",
+    )
+    parser.add_argument(
+        "--no-retain", action="store_true",
+        help="drop interior epoch partitions (disables edge drilldown)",
+    )
+    parser.add_argument(
+        "--endpoint", metavar="URL", default=None,
+        help=(
+            "query a running 'repro serve' gateway over HTTP instead "
+            "of building a local runtime (the same FlowQLClient API "
+            "either way)"
+        ),
+    )
+    parser.add_argument(
+        "--client-id", default="cli",
+        help="client identity the gateway meters admission by",
+    )
+
+
+def _print_outcome(outcome, repeats_left: bool = False) -> None:
+    print(f"  plan: {outcome.plan.describe()}")
+    if outcome.is_degraded:
+        print(f"  degraded: {outcome.degradation.describe()}")
+        if outcome.degradation.attempted_paths:
+            attempted = ", ".join(outcome.degradation.attempted_paths)
+            print(f"  attempted: {attempted}")
+    if repeats_left:
+        return
+    if outcome.scalar is not None:
+        print(f"  {outcome.scalar}")
+    else:
+        for row in outcome.rows[:10]:
+            print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+
+
+def _run_query_remote(args: argparse.Namespace) -> int:
+    from repro.client import FlowQLClient
+    from repro.errors import AdmissionError
+
+    queries = args.query or ["SELECT TOTAL FROM ALL"]
+    with FlowQLClient(
+        endpoint=args.endpoint, client_id=args.client_id
+    ) as client:
+        for text in queries:
+            print(f"\nflowql> {text}")
+            for repeat in range(max(1, args.repeat)):
+                try:
+                    outcome = client.query(text)
+                except AdmissionError as error:
+                    print(
+                        f"  rejected ({error.reason}): retry after "
+                        f"{error.retry_after_s:.3f}s"
+                    )
+                    return 3
+                except ReproError as error:
+                    print(f"  error: {error}")
+                    return 1
+                _print_outcome(
+                    outcome,
+                    repeats_left=repeat + 1 < max(1, args.repeat),
+                )
+        health = client.health()
+    print(
+        f"\nserved by {args.endpoint}: routed="
+        f"{health['requests_routed']} generation="
+        f"{health['generation']} server_errors="
+        f"{health['server_errors']}"
+    )
+    return 0
 
 
 def _run_query(args: argparse.Namespace) -> int:
+    if args.endpoint is not None:
+        return _run_query_remote(args)
+
+    from repro.client import FlowQLClient
     from repro.replication.engine import AdaptiveReplicationEngine
     from repro.replication.ski_rental import BreakEvenPolicy
     from repro.runtime.presets import (
         factory_4level_runtime,
         network_4level_runtime,
     )
-    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
     retain = not args.no_retain
     if args.preset == "network":
@@ -300,39 +271,32 @@ def _run_query(args: argparse.Namespace) -> int:
     runtime.manager.enable_adaptive_replication(
         AdaptiveReplicationEngine(BreakEvenPolicy())
     )
-    sites = runtime.ingest_sites()
-    generator = TrafficGenerator(
-        TrafficConfig(
-            sites=tuple(sites), flows_per_epoch=args.flows_per_epoch
-        ),
-        seed=args.seed,
+    sites = _load_traffic(
+        runtime, args.epochs, args.flows_per_epoch, args.seed
     )
-    for epoch in range(args.epochs):
-        for site in sites:
-            runtime.ingest(site, generator.epoch(site, epoch))
-        runtime.close_epoch((epoch + 1) * 60.0)
     print(
         f"{args.preset} preset: {args.epochs} epochs x {len(sites)} edge "
         f"sites, FlowDB locations: {', '.join(runtime.db.locations())}"
     )
+    client = FlowQLClient(runtime=runtime, client_id=args.client_id)
     queries = args.query or [
         "SELECT TOTAL FROM ALL",
         f"SELECT TOPK(3) FROM ALL AT {sites[0]} BY bytes",
     ]
     for text in queries:
         print(f"\nflowql> {text}")
-        result = None
+        outcome = None
         for _ in range(max(1, args.repeat)):
             try:
-                result = runtime.query(text)
+                outcome = client.query(text)
             except ReproError as error:
                 print(f"  error: {error}")
                 return 1
-            print(f"  plan: {runtime.planner.last_plan.describe()}")
-        if result.scalar is not None:
-            print(f"  {result.scalar}")
+            print(f"  plan: {outcome.plan.describe()}")
+        if outcome.scalar is not None:
+            print(f"  {outcome.scalar}")
         else:
-            for row in result.rows[:10]:
+            for row in outcome.rows[:10]:
                 print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
     stats = runtime.stats
     cache = runtime.planner.cache
@@ -348,7 +312,156 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve (the networked FlowQL serving plane)
+
+
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=2, flows_per_epoch=500)
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="gateway TCP port (0 = ephemeral, printed at boot)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="admission tokens per client per second",
+    )
+    parser.add_argument(
+        "--burst", type=float, default=50.0,
+        help="admission token-bucket burst ceiling",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-node bounded request queue (full = HTTP 429)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="per-request deadline; overruns degrade to partial outcomes",
+    )
+    parser.add_argument(
+        "--smoke", type=int, default=0, metavar="N",
+        help="run N self-check queries through the gateway, then report",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving this long after boot (0 = exit after smoke)",
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.client import FlowQLClient
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+    from repro.serve import ServePlane
+
+    preset = (
+        network_4level_runtime
+        if args.preset == "network"
+        else factory_4level_runtime
+    )
+    runtime = preset(retain_partitions=True)
+    sites = _load_traffic(
+        runtime, args.epochs, args.flows_per_epoch, args.seed
+    )
+    plane = ServePlane(
+        runtime,
+        gateway_port=args.port,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout,
+        admission_rate_per_s=args.rate,
+        admission_burst=args.burst,
+    )
+    try:
+        with plane:
+            endpoint = plane.start_background()
+            print(
+                f"serving {args.preset} preset at {endpoint} "
+                f"({len(plane.nodes)} node servers, root "
+                f"{plane.root_label!r})"
+            )
+            print(
+                f"  admission: {args.rate:g}/s per client "
+                f"(burst {args.burst:g}) | queue limit "
+                f"{args.queue_limit} | timeout {args.timeout:g}s"
+            )
+            if args.smoke > 0:
+                demo = [
+                    "SELECT TOTAL FROM ALL",
+                    f"SELECT TOPK(3) FROM ALL AT {sites[0]} BY bytes",
+                ]
+                latencies = []
+                with FlowQLClient(
+                    endpoint=endpoint, client_id="serve-smoke"
+                ) as client:
+                    for index in range(args.smoke):
+                        text = demo[index % len(demo)]
+                        started = _time.perf_counter()
+                        try:
+                            outcome = client.query(text)
+                        except ReproError as error:
+                            print(f"  smoke error: {error}")
+                            return 1
+                        latencies.append(
+                            _time.perf_counter() - started
+                        )
+                        if outcome.is_degraded:
+                            print(
+                                "  smoke degraded: "
+                                f"{outcome.degradation.describe()}"
+                            )
+                latencies.sort()
+                print(
+                    f"  smoke: {args.smoke} queries ok, p50 "
+                    f"{latencies[len(latencies) // 2] * 1000:.2f} ms, "
+                    f"max {latencies[-1] * 1000:.2f} ms"
+                )
+            if args.duration > 0:
+                print(f"  serving for {args.duration:g}s ...")
+                _time.sleep(args.duration)
+            census = plane.census()
+            print(
+                f"  served: routed={census['requests_routed']} "
+                f"admission rejected="
+                f"{census['admission']['rejected']} "
+                f"server_errors={census['server_errors']}"
+            )
+            return 0 if census["server_errors"] == 0 else 1
+    finally:
+        runtime.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # run (rollup under faults)
+
+
+def _configure_run(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=4, flows_per_epoch=800)
+    _add_faults_arg(
+        parser, "drop=0.2,seed=7,outage=region1/router1:1-2,bw=0.5"
+    )
+    parser.add_argument(
+        "--recovery-epochs", type=int, default=3,
+        help="extra empty epoch closes to drain parked exports",
+    )
+    _add_query_arg(parser, "run after the rollup")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help=(
+            "shard edge ingest across N worker processes "
+            "(0 = serial in-process ingest)"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help=(
+            "durable storage: seal each epoch into an on-disk segment "
+            "log under DIR and recover from it when DIR already holds "
+            "a manifest (default: in-memory engine)"
+        ),
+    )
 
 
 def _run_run(args: argparse.Namespace) -> int:
@@ -387,6 +500,7 @@ def _run_run(args: argparse.Namespace) -> int:
 
 
 def _drive_run(args: argparse.Namespace, runtime) -> int:
+    from repro.client import FlowQLClient
     from repro.faults import FaultPlan
     from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
@@ -423,21 +537,15 @@ def _drive_run(args: argparse.Namespace, runtime) -> int:
             f"recovery close {recovery}: "
             f"pending={runtime.pending_exports()}"
         )
+    client = FlowQLClient(runtime=runtime, client_id="cli-run")
     for text in args.query or []:
         print(f"\nflowql> {text}")
         try:
-            outcome = runtime.query(text)
+            outcome = client.query(text)
         except ReproError as error:
             print(f"  error: {error}")
             return 1
-        print(f"  plan: {outcome.plan.describe()}")
-        if outcome.is_degraded:
-            print(f"  degraded: {outcome.degradation.describe()}")
-        if outcome.scalar is not None:
-            print(f"  {outcome.scalar}")
-        else:
-            for row in outcome.rows[:10]:
-                print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+        _print_outcome(outcome)
     stats = runtime.stats
     print(
         f"\nfault census: attempts={stats.transfer_attempts} "
@@ -477,6 +585,17 @@ def _drive_run(args: argparse.Namespace, runtime) -> int:
 
 # ---------------------------------------------------------------------------
 # segments (durable storage census)
+
+
+def _configure_segments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "data_dir", metavar="DIR",
+        help="data directory written by 'repro run --data-dir DIR'",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="compact the segment log before printing the census",
+    )
 
 
 def _run_segments(args: argparse.Namespace) -> int:
@@ -531,16 +650,38 @@ def _run_segments(args: argparse.Namespace) -> int:
 # metrics (observability exposition)
 
 
+def _configure_metrics(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=3, flows_per_epoch=500)
+    _add_faults_arg(parser, "drop=0.3,seed=7")
+    parser.add_argument(
+        "--recovery-epochs", type=int, default=3,
+        help="extra empty epoch closes to drain parked exports",
+    )
+    _add_query_arg(
+        parser,
+        "run twice after the rollup (the repeat exercises the query "
+        "cache)",
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="exposition format to print",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="also print the last N span trees (0 = none)",
+    )
+
+
 def _run_metrics(args: argparse.Namespace) -> int:
     import json
 
+    from repro.client import FlowQLClient
     from repro.faults import FaultPlan
     from repro.obs import render_prometheus
     from repro.runtime.presets import (
         factory_4level_runtime,
         network_4level_runtime,
     )
-    from repro.simulation.traffic import TrafficConfig, TrafficGenerator
 
     if args.preset == "network":
         runtime = network_4level_runtime(retain_partitions=True)
@@ -552,27 +693,18 @@ def _run_metrics(args: argparse.Namespace) -> int:
         except ReproError as error:
             print(f"error: {error}")
             return 2
-    sites = runtime.ingest_sites()
-    generator = TrafficGenerator(
-        TrafficConfig(
-            sites=tuple(sites), flows_per_epoch=args.flows_per_epoch
-        ),
-        seed=args.seed,
-    )
-    epoch_s = runtime.epoch_seconds
-    for epoch in range(args.epochs):
-        for site in sites:
-            runtime.ingest(site, generator.epoch(site, epoch))
-        runtime.close_epoch((epoch + 1) * epoch_s)
+    _load_traffic(runtime, args.epochs, args.flows_per_epoch, args.seed)
     recovery = 0
+    epoch_s = runtime.epoch_seconds
     while runtime.pending_exports() and recovery < args.recovery_epochs:
         recovery += 1
         runtime.close_epoch((args.epochs + recovery) * epoch_s)
+    client = FlowQLClient(runtime=runtime, client_id="cli-metrics")
     for text in args.query or []:
         # twice each: the repeat turns a miss into a cache hit
         for _ in range(2):
             try:
-                runtime.query(text)
+                client.query(text)
             except ReproError as error:
                 print(f"error: {error}")
                 return 1
@@ -589,6 +721,17 @@ def _run_metrics(args: argparse.Namespace) -> int:
 
 # ---------------------------------------------------------------------------
 # factory
+
+
+def _configure_factory(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--lines", type=int, default=2)
+    parser.add_argument("--machines-per-line", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--no-apps", action="store_true",
+        help="disable predictive maintenance (baseline run)",
+    )
 
 
 def _run_factory(args: argparse.Namespace) -> int:
@@ -619,6 +762,21 @@ def _run_factory(args: argparse.Namespace) -> int:
 
 # ---------------------------------------------------------------------------
 # topology (live census)
+
+
+def _configure_topology(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=2, flows_per_epoch=500)
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help=(
+            "fault plan spec; reconfig drills reshape the topology "
+            "live, e.g. 'reconfig=leave:network1/region1/router2:0'"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive-budgets", action="store_true",
+        help="let the controller resize node budgets from pressure",
+    )
 
 
 def _run_topology(args: argparse.Namespace) -> int:
@@ -714,6 +872,20 @@ def _run_topology(args: argparse.Namespace) -> int:
 # replication
 
 
+def _configure_replication(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--partitions", type=int, default=400)
+    parser.add_argument(
+        "--partition-mb", type=float, default=10.0,
+        help="replication cost per partition in MB",
+    )
+    parser.add_argument("--mean-result-mb", type=float, default=1.0)
+    parser.add_argument(
+        "--distribution", choices=("pareto", "geometric", "lognormal"),
+        default="pareto",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+
+
 def _run_replication(args: argparse.Namespace) -> int:
     from repro.replication.engine import (
         offline_optimal_cost,
@@ -751,26 +923,94 @@ def _run_replication(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# the registry: one row per subcommand
+
+
+SUBCOMMANDS: Tuple[Subcommand, ...] = (
+    Subcommand(
+        "flowql",
+        "load synthetic traffic and run FlowQL queries",
+        _configure_flowql,
+        _run_flowql,
+    ),
+    Subcommand(
+        "query",
+        "route FlowQL through the federated planner or a served "
+        "endpoint",
+        _configure_query,
+        _run_query,
+    ),
+    Subcommand(
+        "serve",
+        "boot the networked FlowQL serving plane (gateway + node "
+        "servers)",
+        _configure_serve,
+        _run_serve,
+    ),
+    Subcommand(
+        "run",
+        "drive a 4-level rollup, optionally under a fault plan",
+        _configure_run,
+        _run_run,
+    ),
+    Subcommand(
+        "segments",
+        "print the segment census of a durable data directory",
+        _configure_segments,
+        _run_segments,
+    ),
+    Subcommand(
+        "metrics",
+        "drive a rollup (optionally under faults) and emit the "
+        "observability exposition",
+        _configure_metrics,
+        _run_metrics,
+    ),
+    Subcommand(
+        "factory",
+        "run the smart-factory scenario",
+        _configure_factory,
+        _run_factory,
+    ),
+    Subcommand(
+        "topology",
+        "drive a rollup (optionally with reconfig drills) and print "
+        "the live topology census",
+        _configure_topology,
+        _run_topology,
+    ),
+    Subcommand(
+        "replication",
+        "compare replication policies on a trace",
+        _configure_replication,
+        _run_replication,
+    ),
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed mega-datasets reproduction: Flowstream/FlowQL, "
+            "the smart-factory loop, adaptive replication, and the "
+            "networked serving plane."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in SUBCOMMANDS:
+        command.configure(
+            subparsers.add_parser(command.name, help=command.help)
+        )
+    return parser
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "flowql":
-        return _run_flowql(args)
-    if args.command == "query":
-        return _run_query(args)
-    if args.command == "run":
-        return _run_run(args)
-    if args.command == "factory":
-        return _run_factory(args)
-    if args.command == "metrics":
-        return _run_metrics(args)
-    if args.command == "replication":
-        return _run_replication(args)
-    if args.command == "topology":
-        return _run_topology(args)
-    if args.command == "segments":
-        return _run_segments(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    runners = {command.name: command.run for command in SUBCOMMANDS}
+    return runners[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,191 @@
+"""``FlowQLClient``: the one query API, local or networked.
+
+Scenario apps, the CLI, and tests used to reach into the runtime (or
+its planner) directly, which hard-wired them to in-process execution.
+:class:`FlowQLClient` is the typed facade that hides *where* a query
+runs:
+
+* ``FlowQLClient(runtime=rt)`` executes through the runtime's
+  federated planner in-process, exactly as ``rt.query`` does.
+* ``FlowQLClient(endpoint="http://host:port")`` POSTs the query to a
+  ``repro serve`` gateway and rebuilds the typed
+  :class:`~repro.query.plan.QueryOutcome` from the versioned wire
+  envelope — including cache provenance and degradation — so calling
+  code cannot tell a remote answer from a local one.
+
+Either way, :meth:`query` returns a :class:`QueryOutcome` and raises
+the same typed errors (:class:`~repro.errors.FlowQLSyntaxError`,
+:class:`~repro.errors.FlowQLPlanningError`); rate-limited or
+backpressured requests raise :class:`~repro.errors.AdmissionError`
+carrying the server's ``Retry-After`` hint.  ``SUBSCRIBE`` is reserved
+API surface for the standing-queries roadmap item and raises
+``NotImplementedError`` for now.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ServeError, WireSchemaError
+from repro.query.plan import QueryOutcome
+from repro.serve import wire
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runtime import HierarchyRuntime
+
+
+class FlowQLClient:
+    """One typed FlowQL facade over a runtime or a served endpoint."""
+
+    def __init__(
+        self,
+        runtime: Optional["HierarchyRuntime"] = None,
+        endpoint: Optional[str] = None,
+        client_id: str = "local",
+        timeout_s: float = 30.0,
+    ) -> None:
+        if (runtime is None) == (endpoint is None):
+            raise ServeError(
+                "FlowQLClient needs exactly one of runtime= "
+                "(in-process) or endpoint= (HTTP)"
+            )
+        self.runtime = runtime
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        if endpoint is not None:
+            parsed = urllib.parse.urlparse(endpoint)
+            if parsed.scheme not in ("http", "") or not (
+                parsed.hostname or parsed.path
+            ):
+                raise ServeError(f"bad endpoint URL {endpoint!r}")
+            # accept both "http://host:port" and bare "host:port"
+            if parsed.hostname:
+                self._host = parsed.hostname
+                self._port = parsed.port or 80
+            else:
+                host, _, port = parsed.path.partition(":")
+                self._host = host
+                self._port = int(port) if port else 80
+        self.endpoint = endpoint
+
+    # -- the API -------------------------------------------------------------
+
+    def query(
+        self, flowql: str, now: Optional[float] = None
+    ) -> QueryOutcome:
+        """Run one FlowQL query; returns the typed outcome.
+
+        ``now`` only applies in-process (a served plane keeps its own
+        clock); passing it with an HTTP backend raises.
+        """
+        if self.runtime is not None:
+            return self.runtime.query(flowql, now=now)
+        if now is not None:
+            raise ServeError(
+                "now= is an in-process knob; a served endpoint keeps "
+                "its own clock"
+            )
+        return self._query_http(flowql)
+
+    def subscribe(self, flowql: str):
+        """Reserved: standing queries (``SUBSCRIBE <flowql>``).
+
+        Incremental subscriptions are the next roadmap item; the
+        client reserves the name now so apps written against this
+        facade will not need a new API when deltas land.
+        """
+        raise NotImplementedError(
+            "SUBSCRIBE is reserved for the standing-queries roadmap "
+            "item; only query() is served today"
+        )
+
+    def health(self) -> dict:
+        """The served plane's census (HTTP backends only)."""
+        if self.runtime is not None:
+            raise ServeError("health() needs an HTTP endpoint")
+        status, _headers, body = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeError(f"healthz returned HTTP {status}")
+        return body
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (HTTP backends)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "FlowQLClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- HTTP transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: object = None):
+        payload = (
+            None
+            if body is None
+            else json.dumps(body, separators=(",", ":"))
+        )
+        headers = {
+            "Content-Type": "application/json",
+            "X-Repro-Client": self.client_id,
+        }
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self.timeout_s
+                )
+            try:
+                self._connection.request(
+                    method, path, body=payload, headers=headers
+                )
+                response = self._connection.getresponse()
+                raw = response.read()
+                parsed = (
+                    json.loads(raw.decode("utf-8")) if raw else None
+                )
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    parsed,
+                )
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # stale keep-alive: reconnect once, then report
+                self.close()
+                if attempt:
+                    raise ServeError(
+                        f"cannot reach serve endpoint "
+                        f"{self._host}:{self._port}"
+                    )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _query_http(self, flowql: str) -> QueryOutcome:
+        status, _headers, body = self._request(
+            "POST",
+            "/v1/query",
+            {"query": flowql, "client_id": self.client_id},
+        )
+        if status == 200:
+            return wire.decode_outcome(body)
+        try:
+            kind, envelope_body = wire.open_envelope(body)
+        except WireSchemaError:
+            raise ServeError(
+                f"serve endpoint returned HTTP {status} with an "
+                "unreadable body"
+            )
+        if kind == wire.KIND_REJECTED:
+            raise wire.decode_rejection(envelope_body)
+        if kind == wire.KIND_ERROR:
+            raise wire.decode_error(envelope_body)
+        raise ServeError(
+            f"unexpected {kind!r} envelope with HTTP {status}"
+        )

@@ -86,6 +86,41 @@ class TransferError(ReproError):
         self.size_bytes = size_bytes
 
 
+class WireSchemaError(ReproError):
+    """A wire envelope could not be decoded (bad version, shape, kind).
+
+    The serving plane speaks a versioned JSON wire schema
+    (:mod:`repro.serve.wire`); decoders raise this instead of
+    ``KeyError``/``TypeError`` so clients can distinguish protocol
+    drift from transport failures.
+    """
+
+
+class ServeError(ReproError):
+    """A serving-plane operation failed (boot, transport, protocol)."""
+
+
+class AdmissionError(ServeError):
+    """The gateway refused a request (rate limit or backpressure).
+
+    Carries the server's ``Retry-After`` hint so closed-loop clients
+    can back off precisely instead of hammering the gateway.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        reason: str = "admission",
+    ) -> None:
+        super().__init__(message)
+        #: seconds the server asked the client to wait before retrying
+        self.retry_after_s = retry_after_s
+        #: ``"admission"`` (client over rate) or ``"backpressure"``
+        #: (the target node's request queue was full)
+        self.reason = reason
+
+
 class ReplicationError(ReproError):
     """An adaptive-replication operation failed."""
 

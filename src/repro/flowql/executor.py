@@ -57,6 +57,53 @@ class FlowQLResult:
             scalar=self.scalar,
         )
 
+    # -- wire schema ---------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The result's JSON-safe wire body (see :mod:`repro.serve.wire`)."""
+        return {
+            "operator": self.operator,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "scalar": (
+                {
+                    "packets": self.scalar.packets,
+                    "bytes": self.scalar.bytes,
+                    "flows": self.scalar.flows,
+                }
+                if self.scalar is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "FlowQLResult":
+        """Rebuild a result from its wire body (tuple shapes restored,
+        so a round-tripped result compares equal field-for-field)."""
+        from repro.errors import WireSchemaError
+
+        try:
+            scalar = data.get("scalar")
+            return cls(
+                operator=data["operator"],
+                columns=tuple(data["columns"]),
+                rows=[
+                    (row[0], int(row[1]), int(row[2]), int(row[3]))
+                    for row in data.get("rows", [])
+                ],
+                scalar=(
+                    Score(
+                        packets=int(scalar["packets"]),
+                        bytes=int(scalar["bytes"]),
+                        flows=int(scalar["flows"]),
+                    )
+                    if scalar is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, IndexError, ValueError) as exc:
+            raise WireSchemaError(f"bad FlowQLResult on the wire: {exc}")
+
 
 def compile_pattern(
     tree: Flowtree, restrictions: List[Restriction]

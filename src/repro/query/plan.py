@@ -20,7 +20,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
+from repro.errors import WireSchemaError
 from repro.flowql.executor import FlowQLResult
+
+
+def _wire_key(key: Optional[Hashable]):
+    """Cache keys ride the wire as an opaque JSON-safe token.
+
+    Keys are tuples of plan fingerprints locally; remotely they only
+    need to be *stable and comparable*, so non-primitive keys are
+    rendered to their ``repr``.
+    """
+    if key is None or isinstance(key, (str, int, float, bool)):
+        return key
+    return repr(key)
 
 #: Routing outcomes.
 ROUTE_CLOUD = "cloud"
@@ -44,6 +57,30 @@ class SiteRead:
     def served_locally(self) -> bool:
         """Whether every partition came from a local replica."""
         return bool(self.partitions) and not self.shipped_bytes
+
+    def to_wire(self) -> dict:
+        return {
+            "site": self.site,
+            "level": self.level,
+            "partitions": list(self.partitions),
+            "replica_partitions": list(self.replica_partitions),
+            "shipped_bytes": self.shipped_bytes,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SiteRead":
+        try:
+            return cls(
+                site=data["site"],
+                level=data["level"],
+                partitions=list(data.get("partitions", [])),
+                replica_partitions=list(
+                    data.get("replica_partitions", [])
+                ),
+                shipped_bytes=int(data.get("shipped_bytes", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireSchemaError(f"bad SiteRead on the wire: {exc}")
 
 
 @dataclass
@@ -86,6 +123,36 @@ class QueryPlan:
         detail = f" ({', '.join(parts)})" if parts else ""
         return f"{origin} @ [{sites}]{detail}"
 
+    def to_wire(self) -> dict:
+        return {
+            "route": self.route,
+            "window": list(self.window),
+            "level": self.level,
+            "sites": list(self.sites),
+            "reads": [read.to_wire() for read in self.reads],
+            "cache_hit": self.cache_hit,
+            "cache_key": _wire_key(self.cache_key),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "QueryPlan":
+        try:
+            window = data["window"]
+            return cls(
+                route=data["route"],
+                window=(window[0], window[1]),
+                level=data.get("level"),
+                sites=list(data.get("sites", [])),
+                reads=[
+                    SiteRead.from_wire(read)
+                    for read in data.get("reads", [])
+                ],
+                cache_hit=bool(data.get("cache_hit", False)),
+                cache_key=data.get("cache_key"),
+            )
+        except (KeyError, TypeError, IndexError) as exc:
+            raise WireSchemaError(f"bad QueryPlan on the wire: {exc}")
+
 
 @dataclass
 class Degradation:
@@ -96,22 +163,36 @@ class Degradation:
     ``missing_sites`` lists exactly the store labels whose partitions
     could not be read; ``stale_through`` is the latest epoch timestamp
     through which the served data for those sites *is* complete
-    (``None`` when nothing of theirs was served at all).
+    (``None`` when nothing of theirs was served at all);
+    ``attempted_paths`` records every node path the planner (or a
+    serving node) actually tried before giving up — the fallback
+    replica read and each alternative-coverage candidate — so an
+    operator staring at a partial answer (or a gateway error body) can
+    see *where* the read chain died, not just that it did.
     """
 
     missing_sites: List[str] = field(default_factory=list)
     stale_through: Optional[float] = None
     #: one human-readable reason per failed read (link, drop/outage)
     reasons: List[str] = field(default_factory=list)
+    #: node paths tried while assembling the answer, in attempt order
+    attempted_paths: List[str] = field(default_factory=list)
 
     def note(
-        self, site: str, stale_through: Optional[float], reason: str
+        self,
+        site: str,
+        stale_through: Optional[float],
+        reason: str,
+        attempted: Optional[List[str]] = None,
     ) -> None:
         """Record one unreachable site (idempotent per site)."""
         if site not in self.missing_sites:
             self.missing_sites.append(site)
             self.missing_sites.sort()
             self.reasons.append(reason)
+        for path in attempted or []:
+            if path not in self.attempted_paths:
+                self.attempted_paths.append(path)
         if stale_through is not None:
             self.stale_through = (
                 stale_through
@@ -133,6 +214,26 @@ class Degradation:
         )
         return f"partial: missing [{sites}]{stale}"
 
+    def to_wire(self) -> dict:
+        return {
+            "missing_sites": list(self.missing_sites),
+            "stale_through": self.stale_through,
+            "reasons": list(self.reasons),
+            "attempted_paths": list(self.attempted_paths),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Degradation":
+        try:
+            return cls(
+                missing_sites=list(data.get("missing_sites", [])),
+                stale_through=data.get("stale_through"),
+                reasons=list(data.get("reasons", [])),
+                attempted_paths=list(data.get("attempted_paths", [])),
+            )
+        except TypeError as exc:
+            raise WireSchemaError(f"bad Degradation on the wire: {exc}")
+
 
 @dataclass(frozen=True)
 class CacheInfo:
@@ -140,6 +241,17 @@ class CacheInfo:
 
     hit: bool = False
     key: Optional[Hashable] = None
+
+    def to_wire(self) -> dict:
+        return {"hit": self.hit, "key": _wire_key(self.key)}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "CacheInfo":
+        try:
+            return cls(hit=bool(data.get("hit", False)),
+                       key=data.get("key"))
+        except TypeError as exc:
+            raise WireSchemaError(f"bad CacheInfo on the wire: {exc}")
 
 
 @dataclass
@@ -199,3 +311,39 @@ class QueryOutcome:
             degradation=self.degradation,
             cache=self.cache,
         )
+
+    # -- wire schema ---------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The outcome's JSON-safe wire body (un-enveloped).
+
+        :func:`repro.serve.wire.encode_outcome` wraps this in the
+        versioned envelope the serving plane actually ships.
+        """
+        return {
+            "result": self.result.to_wire(),
+            "plan": self.plan.to_wire(),
+            "degradation": (
+                self.degradation.to_wire()
+                if self.degradation is not None
+                else None
+            ),
+            "cache": self.cache.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "QueryOutcome":
+        try:
+            degradation = data.get("degradation")
+            return cls(
+                result=FlowQLResult.from_wire(data["result"]),
+                plan=QueryPlan.from_wire(data["plan"]),
+                degradation=(
+                    Degradation.from_wire(degradation)
+                    if degradation is not None
+                    else None
+                ),
+                cache=CacheInfo.from_wire(data.get("cache", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise WireSchemaError(f"bad QueryOutcome on the wire: {exc}")

@@ -335,12 +335,16 @@ class FederatedQueryPlanner:
                 )
                 plan.reads.append(read)
             except TransferError as exc:
-                reads, site_trees, covered, stale = self._degraded_read(
+                (
+                    reads, site_trees, covered, stale, attempted,
+                ) = self._degraded_read(
                     label, plan.level, stores[label], partitions, spec, now
                 )
                 plan.reads.extend(reads)
                 if not covered:
-                    degradation.note(label, stale, str(exc))
+                    degradation.note(
+                        label, stale, str(exc), attempted=attempted
+                    )
             trees.extend(site_trees)
         if not trees:
             if degradation.is_degraded:
@@ -372,24 +376,31 @@ class FederatedQueryPlanner:
         partitions: List[Partition],
         spec: TimeSpec,
         now: float,
-    ) -> Tuple[List[SiteRead], List[Flowtree], bool, Optional[float]]:
+    ) -> Tuple[
+        List[SiteRead], List[Flowtree], bool, Optional[float], List[str]
+    ]:
         """Fallback coverage for a store whose remote read failed.
 
         Tries, in order: root-side replicas of the failed store's
         partitions (no fabric traffic), then covering stores at other
         store-bearing levels strictly under the failed store.  Returns
-        ``(reads, trees, fully_covered, stale_through)`` —
+        ``(reads, trees, fully_covered, stale_through, attempted)`` —
         ``fully_covered=False`` means the site must be reported in the
         degradation record, with the served data complete only through
-        ``stale_through``.
+        ``stale_through``; ``attempted`` lists every node path the
+        fallback chain actually tried (the failed store first), which
+        lands in :attr:`Degradation.attempted_paths` for operator
+        debugging and gateway error bodies.
         """
+        attempted = [store.location.path]
         # replicas answer locally even while the link is down
         read, trees = self._read_store(
             label, level, store, partitions, now, replicas_only=True
         )
+        attempted.append(self.replica_store.location.path)
         reads = [read] if read.replica_partitions else []
         if len(read.replica_partitions) == len(partitions):
-            return reads, trees, True, None
+            return reads, trees, True, None, attempted
         # shallower/deeper coverage: stores at other levels holding
         # exactly this site's data (never an ancestor — it overcounts)
         for other_level in self.runtime.store_levels():
@@ -413,6 +424,7 @@ class FederatedQueryPlanner:
                     )
                     if not parts:
                         continue
+                    attempted.append(candidates[lab].location.path)
                     alt_read, alt_site_trees = self._read_store(
                         lab, other_level, candidates[lab], parts, now
                     )
@@ -421,7 +433,10 @@ class FederatedQueryPlanner:
             except TransferError:
                 continue  # that level is unreachable too
             if alt_trees:
-                return reads + alt_reads, trees + alt_trees, True, None
+                return (
+                    reads + alt_reads, trees + alt_trees, True, None,
+                    attempted,
+                )
         # partial at best: the replica subset (possibly nothing)
         replicated = set()
         if read.replica_partitions:
@@ -431,7 +446,7 @@ class FederatedQueryPlanner:
             if partition.partition_id in replicated:
                 end = partition.summary.meta.interval.end
                 stale = end if stale is None else max(stale, end)
-        return reads, trees, False, stale
+        return reads, trees, False, stale, attempted
 
     @staticmethod
     def _window_partitions(
@@ -524,6 +539,34 @@ class FederatedQueryPlanner:
                 "replica_partitions", len(read.replica_partitions)
             )
         return read, [rehydrate(summary).tree for summary in summaries]
+
+    # -- deprecated direct-call shim -----------------------------------------
+
+    #: whether the warn-once deprecation below has already fired
+    _query_shim_warned = False
+
+    def query(
+        self, flowql: Union[str, FlowQLQuery], now: Optional[float] = None
+    ) -> QueryOutcome:
+        """Deprecated: go through :class:`repro.client.FlowQLClient`.
+
+        Applications used to reach into ``runtime.planner.query(...)``
+        directly; the unified client facade (backed by this planner
+        in-process, or by a ``repro serve`` endpoint over HTTP) is the
+        one query API now.  This shim forwards to :meth:`execute` and
+        warns once per process.
+        """
+        if not FederatedQueryPlanner._query_shim_warned:
+            FederatedQueryPlanner._query_shim_warned = True
+            import warnings
+
+            warnings.warn(
+                "FederatedQueryPlanner.query() is deprecated; use "
+                "repro.client.FlowQLClient (or runtime.query) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.execute(flowql, now=now)
 
     # -- drilldown API for applications --------------------------------------
 

@@ -1,0 +1,87 @@
+"""Per-client token-bucket admission control for the gateway.
+
+The in-network resource-allocation line of work (Benoit et al. in
+PAPERS.md) argues serving nodes must *shed* load they cannot absorb
+rather than queue it into uselessness.  The gateway therefore meters
+every client with a token bucket: ``rate_per_s`` tokens refill
+continuously up to a ``burst`` ceiling, each admitted request spends
+one, and an empty bucket yields an HTTP 429 whose ``Retry-After`` is
+the exact time until the next token — so well-behaved closed-loop
+clients converge on the sustainable rate instead of retry-storming.
+
+The clock is injectable (tests pin it); production uses
+``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` tokens, refilled at ``rate_per_s``."""
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "updated_at")
+
+    def __init__(
+        self, rate_per_s: float, burst: float, now: float
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def try_acquire(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; returns ``(admitted, retry_after_s)``."""
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate_per_s)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate_per_s <= 0.0:
+            return False, 60.0  # rate 0: effectively blocked; retry late
+        return False, (1.0 - self.tokens) / self.rate_per_s
+
+
+class AdmissionController:
+    """Per-client token buckets with shared rate/burst defaults."""
+
+    def __init__(
+        self,
+        rate_per_s: float = 200.0,
+        burst: float = 50.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate_per_s < 0 or burst < 1:
+            raise ValueError(
+                "admission needs rate_per_s >= 0 and burst >= 1; got "
+                f"rate_per_s={rate_per_s}, burst={burst}"
+            )
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.clock = clock or time.monotonic
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: census counters the gateway metrics export
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, client_id: str) -> Tuple[bool, float]:
+        """Meter one request; returns ``(admitted, retry_after_s)``."""
+        now = self.clock()
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = self._buckets[client_id] = TokenBucket(
+                self.rate_per_s, self.burst, now
+            )
+        admitted, retry_after = bucket.try_acquire(now)
+        if admitted:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return admitted, retry_after
+
+    def clients(self) -> int:
+        """How many distinct clients have been metered."""
+        return len(self._buckets)

@@ -1,0 +1,267 @@
+"""The FlowQL gateway: one public door, routed to the cheapest node.
+
+:class:`FlowQLGateway` is the load balancer clients actually talk to.
+Per request it:
+
+1. **Meters the client** through the per-client token-bucket
+   :class:`~repro.serve.admission.AdmissionController`; over-rate
+   clients get HTTP 429 with an exact ``Retry-After`` and never touch
+   a node queue.
+2. **Routes** to the shallowest covering node, reusing the federated
+   planner's coverage logic (:meth:`FederatedQueryPlanner.plan`): a
+   query the root FlowDB covers lands on the root coordinator, a
+   single-site drilldown lands on that site's own node server, and a
+   multi-site fan-out lands on the root (which coordinates the fan-out
+   exactly as the in-process planner would).  Decisions are cached in
+   a :class:`RoutingTable` stamped with the topology generation —
+   a live reconfiguration between epochs invalidates the table the
+   same way it invalidates the :class:`~repro.datastore.cache.
+   QueryCache`.
+3. **Forwards** over a keep-alive loopback connection, propagating the
+   query span across the hop via the ``X-Repro-Trace`` header, and
+   relays the node's response (including its 429 backpressure
+   refusals) untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServeError
+from repro.flowql.parser import parse
+from repro.query.plan import ROUTE_CLOUD
+from repro.serve import wire
+from repro.serve.http11 import (
+    HTTPConnectionPool,
+    Request,
+    read_request,
+    response_bytes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.plane import ServePlane
+
+
+class RoutingTable:
+    """Query-text → node-label decisions, keyed to a topology generation.
+
+    A reconfig (join/leave/split/merge/migrate) changes which stores
+    exist and what they cover, so every cached decision made under the
+    previous shape is discarded the first time the table is consulted
+    at the new generation.
+    """
+
+    def __init__(self) -> None:
+        self.generation: Optional[int] = None
+        self._entries: Dict[str, str] = {}
+        #: how many generation bumps forced a rebuild (tests/bench)
+        self.invalidations = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _sync_generation(self, generation: int) -> None:
+        if self.generation is None:
+            self.generation = generation
+        elif generation != self.generation:
+            self._entries.clear()
+            self.generation = generation
+            self.invalidations += 1
+
+    def lookup(self, key: str, generation: int) -> Optional[str]:
+        self._sync_generation(generation)
+        node = self._entries.get(key)
+        if node is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return node
+
+    def record(self, key: str, generation: int, node: str) -> None:
+        self._sync_generation(generation)
+        self._entries[key] = node
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FlowQLGateway:
+    """The admission-controlled, coverage-routed front of the plane."""
+
+    def __init__(
+        self, plane: "ServePlane", host: str = "127.0.0.1"
+    ) -> None:
+        self.plane = plane
+        self.host = host
+        self.port: Optional[int] = None
+        self.routing = RoutingTable()
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: one keep-alive connection pool per node label, so forwards
+        #: to the same node can be in flight concurrently
+        self._connections: Dict[str, HTTPConnectionPool] = {}
+        self._trace_ids = itertools.count(1)
+        self.requests_routed = 0
+        self.admission_rejections = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.plane.gateway_port,
+            backlog=1024,  # thousands of clients may connect at once
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        for connection in self._connections.values():
+            await connection.close()
+        self._connections.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def endpoint(self) -> str:
+        """The URL clients point ``FlowQLClient`` at."""
+        if self.port is None:
+            raise ServeError("gateway not started")
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ServeError as exc:
+                    writer.write(
+                        response_bytes(400, wire.encode_error(exc))
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: Request) -> bytes:
+        if request.method == "GET" and request.path == "/healthz":
+            return response_bytes(200, self.plane.census())
+        if request.method == "GET" and request.path == "/v1/metrics":
+            return response_bytes(
+                200, self.plane.runtime.obs.registry.snapshot()
+            )
+        if request.method == "POST" and request.path == "/v1/query":
+            return await self._handle_query(request)
+        return response_bytes(
+            404,
+            wire.encode_error(
+                ServeError(f"unknown path {request.path!r}")
+            ),
+        )
+
+    # -- the query hop -------------------------------------------------------
+
+    async def _handle_query(self, request: Request) -> bytes:
+        try:
+            body = request.json()
+        except ServeError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        if not isinstance(body, dict) or not isinstance(
+            body.get("query"), str
+        ):
+            return response_bytes(
+                400,
+                wire.encode_error(
+                    ServeError('query body needs {"query": "<flowql>"}')
+                ),
+            )
+        client_id = str(
+            body.get("client_id")
+            or request.headers.get("x-repro-client")
+            or "anonymous"
+        )
+        admitted, retry_after = self.plane.admission.admit(client_id)
+        if not admitted:
+            self.admission_rejections += 1
+            self.plane.metrics.rejection("admission")
+            return response_bytes(
+                429,
+                wire.encode_rejection("admission", retry_after),
+                headers={"Retry-After": f"{retry_after:.3f}"},
+            )
+        query_text = body["query"]
+        try:
+            node = self._route(query_text)
+        except ReproError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        trace_id = (
+            request.headers.get("x-repro-trace")
+            or f"g{next(self._trace_ids)}"
+        )
+        self.requests_routed += 1
+        try:
+            status, headers, payload = await self._forward(
+                node, query_text, client_id, trace_id
+            )
+        except ServeError as exc:
+            return response_bytes(503, wire.encode_error(exc))
+        relay_headers = {"X-Repro-Node": node, "X-Repro-Trace": trace_id}
+        if "retry-after" in headers:
+            relay_headers["Retry-After"] = headers["retry-after"]
+        return response_bytes(status, payload, headers=relay_headers)
+
+    def _route(self, query_text: str) -> str:
+        """The serving node for one query (cached per generation)."""
+        generation = self.plane.generation()
+        before = self.routing.invalidations
+        cached = self.routing.lookup(query_text, generation)
+        if self.routing.invalidations > before:
+            self.plane.metrics.routing_invalidation()
+        if cached is not None:
+            return cached
+        plan = self.plane.runtime.planner.plan(parse(query_text))
+        if plan.route == ROUTE_CLOUD or len(plan.sites) != 1:
+            # the root coordinates cloud answers and multi-site fan-outs
+            node = self.plane.root_label
+        else:
+            node = plan.sites[0]
+        if node not in self.plane.nodes:
+            node = self.plane.root_label
+        self.routing.record(query_text, generation, node)
+        return node
+
+    async def _forward(
+        self, node: str, query_text: str, client_id: str, trace_id: str
+    ) -> Tuple[int, Dict[str, str], object]:
+        connection = self._connections.get(node)
+        if connection is None:
+            server = self.plane.nodes[node]
+            connection = self._connections[node] = HTTPConnectionPool(
+                server.host, server.port
+            )
+        return await connection.request(
+            "POST",
+            "/v1/query",
+            body={"query": query_text, "client_id": client_id},
+            headers={
+                "X-Repro-Trace": trace_id,
+                "X-Repro-Client": client_id,
+            },
+        )

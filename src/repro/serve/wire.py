@@ -1,0 +1,150 @@
+"""The serving plane's versioned JSON wire schema.
+
+Every payload that crosses an HTTP hop — gateway to node, node back to
+gateway, gateway back to the client — is one *envelope*::
+
+    {"wire_version": 1, "kind": "<kind>", "body": {...}}
+
+Kinds:
+
+* ``outcome`` — a full :class:`~repro.query.plan.QueryOutcome`
+  (result + plan + cache provenance + degradation), built from the
+  ``to_wire``/``from_wire`` pairs the query types themselves carry, so
+  a remote answer rebuilds into the *same* typed object an in-process
+  call returns — callers cannot tell the difference.
+* ``error`` — a typed failure (FlowQL syntax/planning error, internal
+  server fault) with the exception class name, message, and — for
+  degraded-path failures — the node paths that were attempted.
+* ``rejected`` — an admission-control or backpressure refusal with the
+  server's ``retry_after_s`` hint (also sent as the HTTP
+  ``Retry-After`` header).
+
+Version handling is strict: decoders accept exactly
+:data:`WIRE_VERSION` and raise :class:`~repro.errors.WireSchemaError`
+on anything else, because a silently misdecoded partial answer is
+worse than a loud protocol error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    AdmissionError,
+    FlowQLPlanningError,
+    FlowQLSyntaxError,
+    ReproError,
+    ServeError,
+    WireSchemaError,
+)
+from repro.query.plan import QueryOutcome
+
+#: The one wire version this build speaks.
+WIRE_VERSION = 1
+
+KIND_OUTCOME = "outcome"
+KIND_ERROR = "error"
+KIND_REJECTED = "rejected"
+
+#: error-body ``type`` values that rebuild into specific exceptions
+_ERROR_TYPES = {
+    "FlowQLSyntaxError": FlowQLSyntaxError,
+    "FlowQLPlanningError": FlowQLPlanningError,
+    "WireSchemaError": WireSchemaError,
+    "ServeError": ServeError,
+}
+
+
+def envelope(kind: str, body: dict) -> dict:
+    """Wrap one wire body in the versioned envelope."""
+    return {"wire_version": WIRE_VERSION, "kind": kind, "body": body}
+
+
+def open_envelope(data: object) -> tuple:
+    """Validate an envelope; returns ``(kind, body)`` or raises."""
+    if not isinstance(data, dict):
+        raise WireSchemaError(
+            f"wire envelope must be an object, got {type(data).__name__}"
+        )
+    version = data.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireSchemaError(
+            f"unsupported wire_version {version!r} "
+            f"(this build speaks {WIRE_VERSION})"
+        )
+    kind = data.get("kind")
+    body = data.get("body")
+    if kind not in (KIND_OUTCOME, KIND_ERROR, KIND_REJECTED):
+        raise WireSchemaError(f"unknown envelope kind {kind!r}")
+    if not isinstance(body, dict):
+        raise WireSchemaError("envelope body must be an object")
+    return kind, body
+
+
+# -- outcomes ----------------------------------------------------------------
+
+
+def encode_outcome(outcome: QueryOutcome) -> dict:
+    """A query outcome as a complete wire envelope."""
+    return envelope(KIND_OUTCOME, outcome.to_wire())
+
+
+def decode_outcome(data: object) -> QueryOutcome:
+    """Rebuild a :class:`QueryOutcome` from an ``outcome`` envelope."""
+    kind, body = open_envelope(data)
+    if kind != KIND_OUTCOME:
+        raise WireSchemaError(
+            f"expected an outcome envelope, got kind {kind!r}"
+        )
+    return QueryOutcome.from_wire(body)
+
+
+# -- errors ------------------------------------------------------------------
+
+
+def encode_error(
+    error: BaseException, attempted_paths: Optional[list] = None
+) -> dict:
+    """A typed failure as a wire envelope (for 4xx/5xx bodies)."""
+    return envelope(
+        KIND_ERROR,
+        {
+            "type": type(error).__name__,
+            "message": str(error),
+            "attempted_paths": list(attempted_paths or []),
+        },
+    )
+
+
+def decode_error(body: dict) -> ReproError:
+    """Rebuild the closest typed exception from an ``error`` body."""
+    error_type = _ERROR_TYPES.get(body.get("type", ""), ServeError)
+    message = body.get("message", "remote error")
+    attempted = body.get("attempted_paths") or []
+    if attempted:
+        message = f"{message} (attempted: {', '.join(attempted)})"
+    if error_type is FlowQLSyntaxError:
+        return FlowQLSyntaxError(message)
+    return error_type(message)
+
+
+# -- rejections --------------------------------------------------------------
+
+
+def encode_rejection(reason: str, retry_after_s: float) -> dict:
+    """An admission/backpressure refusal as a wire envelope."""
+    return envelope(
+        KIND_REJECTED,
+        {"reason": reason, "retry_after_s": retry_after_s},
+    )
+
+
+def decode_rejection(body: dict) -> AdmissionError:
+    """Rebuild the typed refusal a 429 body describes."""
+    reason = body.get("reason", "admission")
+    retry_after = float(body.get("retry_after_s", 1.0))
+    return AdmissionError(
+        f"request rejected ({reason}); retry after {retry_after:g}s",
+        retry_after_s=retry_after,
+        reason=reason,
+    )

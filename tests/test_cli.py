@@ -325,3 +325,61 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeCommand:
+    def test_smoke_serves_and_reports(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--epochs", "1",
+                "--flows-per-epoch", "200",
+                "--smoke", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving network preset at http://" in out
+        assert "node servers" in out
+        assert "smoke: 4 queries ok" in out
+        assert "server_errors=0" in out
+
+    def test_query_endpoint_round_trip(self, capsys):
+        """repro query --endpoint answers from a live repro serve."""
+        import re
+
+        from repro.runtime.presets import network_4level_runtime
+        from repro.serve import ServePlane
+        from repro.simulation.traffic import (
+            TrafficConfig,
+            TrafficGenerator,
+        )
+
+        runtime = network_4level_runtime(retain_partitions=True)
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=200),
+            seed=5,
+        )
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 0))
+        runtime.close_epoch(60.0)
+        try:
+            with ServePlane(runtime) as plane:
+                endpoint = plane.start_background()
+                code = main(
+                    [
+                        "query",
+                        "--endpoint", endpoint,
+                        "--query", "SELECT TOTAL FROM ALL",
+                        "--repeat", "2",
+                    ]
+                )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "plan: cloud FlowDB" in out
+            assert "plan: cache (cloud)" in out  # repeat hit the cache
+            assert re.search(r"Score\(packets=\d+", out)
+            assert "server_errors=0" in out
+        finally:
+            runtime.shutdown()

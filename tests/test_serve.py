@@ -1,0 +1,650 @@
+"""The networked serving plane: wire schema, gateway, admission, client.
+
+The serving plane's contract is *indistinguishability*: a query POSTed
+to a ``repro serve`` gateway must rebuild into the same typed
+:class:`QueryOutcome` the in-process planner returns — including cache
+provenance and honest degradation under faults — while the plane adds
+the things a network front door owes its operators: per-client
+admission control (429 + Retry-After), bounded node queues with
+backpressure, deadline degradation to partial answers, and routing
+tables invalidated by topology generation bumps.  These tests pin each
+of those down, plus the versioned wire schema they all ride on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import FlowQLClient
+from repro.errors import (
+    AdmissionError,
+    FlowQLSyntaxError,
+    ServeError,
+    WireSchemaError,
+)
+from repro.faults import FaultPlan, LinkOutage
+from repro.flowql.executor import FlowQLResult
+from repro.flows.records import Score
+from repro.query.plan import (
+    ROUTE_CLOUD,
+    ROUTE_FEDERATED,
+    CacheInfo,
+    Degradation,
+    QueryOutcome,
+    QueryPlan,
+    SiteRead,
+)
+from repro.query.planner import FederatedQueryPlanner
+from repro.runtime.presets import network_4level_runtime
+from repro.serve import ServePlane, wire
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.gateway import RoutingTable
+from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+ROUTER1 = "network1/region1/router1"
+EPOCH = 60.0
+
+
+def loaded_runtime(
+    networks=1, regions=2, routers=1, epochs=2, flows_per_epoch=120,
+    seed=11,
+):
+    runtime = network_4level_runtime(
+        networks=networks,
+        regions_per_network=regions,
+        routers_per_region=routers,
+        retain_partitions=True,
+    )
+    sites = runtime.ingest_sites()
+    generator = TrafficGenerator(
+        TrafficConfig(sites=tuple(sites), flows_per_epoch=flows_per_epoch),
+        seed=seed,
+    )
+    for epoch in range(epochs):
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, epoch))
+        runtime.close_epoch((epoch + 1) * EPOCH)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# wire schema: round trips, versioning, typed errors
+
+
+def make_outcome(degraded=False, cache_hit=False, scalar=True):
+    result = FlowQLResult(
+        operator="total" if scalar else "topk",
+        rows=[] if scalar else [("flow-a", 3, 300, 1), ("flow-b", 1, 10, 1)],
+        scalar=Score(packets=4, bytes=310, flows=2) if scalar else None,
+    )
+    plan = QueryPlan(
+        route=ROUTE_FEDERATED,
+        window=(0.0, 120.0),
+        level="router",
+        sites=[ROUTER1],
+        reads=[
+            SiteRead(
+                site=ROUTER1, level="router",
+                partitions=["p0", "p1"], shipped_bytes=512,
+            )
+        ],
+        cache_hit=cache_hit,
+        cache_key=("fp", 1, 2),
+    )
+    degradation = None
+    if degraded:
+        degradation = Degradation()
+        degradation.note(
+            ROUTER1, 60.0, "link down",
+            attempted=["cloud/" + ROUTER1, "cloud"],
+        )
+    return QueryOutcome(
+        result=result,
+        plan=plan,
+        degradation=degradation,
+        cache=CacheInfo(hit=cache_hit, key=("fp", 1, 2)),
+    )
+
+
+class TestWireSchema:
+    @pytest.mark.parametrize("degraded", [False, True])
+    @pytest.mark.parametrize("cache_hit", [False, True])
+    @pytest.mark.parametrize("scalar", [False, True])
+    def test_outcome_round_trip_variants(self, degraded, cache_hit, scalar):
+        outcome = make_outcome(degraded, cache_hit, scalar)
+        # through real JSON, exactly like the HTTP hop
+        payload = json.loads(json.dumps(wire.encode_outcome(outcome)))
+        rebuilt = wire.decode_outcome(payload)
+        assert rebuilt.to_wire() == outcome.to_wire()
+        assert rebuilt.result.rows == outcome.result.rows
+        assert rebuilt.scalar == outcome.scalar
+        assert rebuilt.is_degraded == outcome.is_degraded
+        assert rebuilt.cache.hit == cache_hit
+        if degraded:
+            assert rebuilt.degradation.attempted_paths == [
+                "cloud/" + ROUTER1, "cloud",
+            ]
+
+    def test_version_mismatch_raises(self):
+        payload = wire.encode_outcome(make_outcome())
+        payload["wire_version"] = wire.WIRE_VERSION + 1
+        with pytest.raises(WireSchemaError):
+            wire.open_envelope(payload)
+
+    def test_malformed_envelopes_raise(self):
+        for bad in (None, [], "x", {}, {"wire_version": 1},
+                    {"wire_version": 1, "kind": "nope", "body": {}},
+                    {"wire_version": 1, "kind": "outcome", "body": 3}):
+            with pytest.raises(WireSchemaError):
+                wire.open_envelope(bad)
+
+    def test_outcome_decoder_rejects_other_kinds(self):
+        with pytest.raises(WireSchemaError):
+            wire.decode_outcome(wire.encode_rejection("admission", 0.5))
+
+    def test_error_round_trip_is_typed(self):
+        payload = json.loads(json.dumps(
+            wire.encode_error(
+                FlowQLSyntaxError("bad operator"),
+                attempted_paths=["cloud"],
+            )
+        ))
+        kind, body = wire.open_envelope(payload)
+        assert kind == wire.KIND_ERROR
+        error = wire.decode_error(body)
+        assert isinstance(error, FlowQLSyntaxError)
+        assert "bad operator" in str(error)
+        assert "cloud" in str(error)
+
+    def test_unknown_error_type_degrades_to_serve_error(self):
+        error = wire.decode_error({"type": "Surprise", "message": "m"})
+        assert isinstance(error, ServeError)
+
+    def test_rejection_round_trip(self):
+        payload = json.loads(json.dumps(
+            wire.encode_rejection("backpressure", 0.25)
+        ))
+        kind, body = wire.open_envelope(payload)
+        rejection = wire.decode_rejection(body)
+        assert isinstance(rejection, AdmissionError)
+        assert rejection.reason == "backpressure"
+        assert rejection.retry_after_s == 0.25
+
+
+# the hypothesis sweep: every outcome shape the planner can emit
+# survives encode -> JSON -> decode exactly
+
+wire_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=1, max_size=12,
+)
+scores = st.builds(
+    Score,
+    packets=st.integers(min_value=0, max_value=10**6),
+    bytes=st.integers(min_value=0, max_value=10**9),
+    flows=st.integers(min_value=0, max_value=10**4),
+)
+rows = st.lists(
+    st.tuples(
+        wire_text,
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**4),
+    ),
+    max_size=6,
+)
+results = st.builds(
+    FlowQLResult,
+    operator=st.sampled_from(["total", "topk", "groupby", "hhh"]),
+    rows=rows,
+    scalar=st.one_of(st.none(), scores),
+)
+site_reads = st.builds(
+    SiteRead,
+    site=wire_text,
+    level=st.sampled_from(["router", "region", "network"]),
+    partitions=st.lists(wire_text, max_size=3),
+    replica_partitions=st.lists(wire_text, max_size=2),
+    shipped_bytes=st.integers(min_value=0, max_value=10**7),
+)
+windows = st.tuples(
+    st.one_of(st.none(), st.floats(0, 1e6, allow_nan=False)),
+    st.one_of(st.none(), st.floats(0, 1e6, allow_nan=False)),
+)
+cache_keys = st.one_of(
+    st.none(), wire_text, st.integers(),
+    st.tuples(wire_text, st.integers()),
+)
+plans = st.builds(
+    QueryPlan,
+    route=st.sampled_from([ROUTE_CLOUD, ROUTE_FEDERATED]),
+    window=windows,
+    level=st.one_of(st.none(), st.just("router")),
+    sites=st.lists(wire_text, max_size=4),
+    reads=st.lists(site_reads, max_size=3),
+    cache_hit=st.booleans(),
+    cache_key=cache_keys,
+)
+degradations = st.builds(
+    Degradation,
+    missing_sites=st.lists(wire_text, max_size=3, unique=True),
+    stale_through=st.one_of(
+        st.none(), st.floats(0, 1e6, allow_nan=False)
+    ),
+    reasons=st.lists(wire_text, max_size=3),
+    attempted_paths=st.lists(wire_text, max_size=4, unique=True),
+)
+outcomes = st.builds(
+    QueryOutcome,
+    result=results,
+    plan=plans,
+    degradation=st.one_of(st.none(), degradations),
+    cache=st.builds(CacheInfo, hit=st.booleans(), key=cache_keys),
+)
+
+
+class TestWireRoundTripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(outcome=outcomes)
+    def test_encode_json_decode_is_identity(self, outcome):
+        payload = json.loads(json.dumps(wire.encode_outcome(outcome)))
+        rebuilt = wire.decode_outcome(payload)
+        assert rebuilt.to_wire() == outcome.to_wire()
+        # the typed surface survives, not just the dict form
+        assert rebuilt.result.rows == outcome.result.rows
+        assert rebuilt.result.columns == outcome.result.columns
+        assert rebuilt.scalar == outcome.scalar
+        assert rebuilt.plan.route == outcome.plan.route
+        assert rebuilt.missing_sites == outcome.missing_sites
+        assert rebuilt.is_degraded == outcome.is_degraded
+        # ...and a second trip is exactly stable (idempotence)
+        again = wire.decode_outcome(
+            json.loads(json.dumps(wire.encode_outcome(rebuilt)))
+        )
+        assert again.to_wire() == rebuilt.to_wire()
+
+
+# ---------------------------------------------------------------------------
+# admission control units
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=3.0, now=0.0)
+        for _ in range(3):
+            admitted, _ = bucket.try_acquire(0.0)
+            assert admitted
+        admitted, retry_after = bucket.try_acquire(0.0)
+        assert not admitted
+        assert retry_after == pytest.approx(0.1)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=3.0, now=0.0)
+        for _ in range(3):
+            bucket.try_acquire(0.0)  # drain the burst
+        admitted, _ = bucket.try_acquire(0.05)
+        assert not admitted
+        admitted, _ = bucket.try_acquire(0.20)
+        assert admitted
+
+    def test_controller_isolates_clients(self):
+        clock = [0.0]
+        controller = AdmissionController(
+            rate_per_s=1.0, burst=1.0, clock=lambda: clock[0]
+        )
+        assert controller.admit("alice")[0]
+        admitted, retry_after = controller.admit("alice")
+        assert not admitted and retry_after > 0
+        # bob has his own bucket: alice's burn does not starve him
+        assert controller.admit("bob")[0]
+        assert controller.admitted == 2
+        assert controller.rejected == 1
+        assert controller.clients() == 2
+
+
+class TestRoutingTable:
+    def test_generation_bump_invalidates(self):
+        table = RoutingTable()
+        table.record("q1", 0, "cloud")
+        assert table.lookup("q1", 0) == "cloud"
+        assert table.hits == 1
+        # a reconfig bumps the generation: every entry is stale
+        assert table.lookup("q1", 1) is None
+        assert table.invalidations == 1
+        assert len(table) == 0
+        table.record("q1", 1, "node")
+        assert table.lookup("q1", 1) == "node"
+
+    def test_same_generation_keeps_entries(self):
+        table = RoutingTable()
+        table.record("q1", 3, "cloud")
+        table.record("q2", 3, "edge")
+        assert table.lookup("q2", 3) == "edge"
+        assert table.invalidations == 0
+        assert len(table) == 2
+
+
+# ---------------------------------------------------------------------------
+# the served plane: HTTP answers are the in-process answers
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One loaded 4-level runtime behind a running serve plane."""
+    runtime = loaded_runtime(regions=2, routers=1)
+    with ServePlane(runtime) as plane:
+        endpoint = plane.start_background()
+        with FlowQLClient(endpoint=endpoint, client_id="pytest") as client:
+            yield runtime, plane, client
+    runtime.shutdown()
+
+
+class TestServedAnswerIdentity:
+    def test_cloud_query_identical(self, served):
+        runtime, _plane, client = served
+        text = "SELECT TOTAL FROM ALL"
+        remote = client.query(text)
+        local = runtime.query(text)
+        assert remote.result.to_wire() == local.result.to_wire()
+        assert remote.scalar == local.scalar
+        assert remote.plan.route == ROUTE_CLOUD
+
+    def test_federated_drilldown_identical(self, served):
+        runtime, _plane, client = served
+        text = f"SELECT TOPK(3) FROM ALL AT {ROUTER1} BY bytes"
+        remote = client.query(text)
+        local = runtime.query(text)
+        assert remote.result.to_wire() == local.result.to_wire()
+        assert remote.rows == local.rows
+        assert remote.plan.route == ROUTE_FEDERATED
+
+    def test_cache_provenance_crosses_the_wire(self, served):
+        _runtime, _plane, client = served
+        text = "SELECT GROUPBY(dst_port, 16) FROM ALL BY bytes LIMIT 5"
+        first = client.query(text)
+        second = client.query(text)
+        assert second.result.to_wire() == first.result.to_wire()
+        assert second.cache.hit
+        assert second.plan.cache_hit
+
+    def test_degraded_outcome_identical_under_outage(self, served):
+        runtime, _plane, client = served
+        text = "SELECT TOTAL FROM ALL AT network1/region1, network1/region2"
+        runtime.inject_faults(
+            FaultPlan(outages=[LinkOutage("network1/region1", 0, 10**9)])
+        )
+        try:
+            remote = client.query(text)
+            local = runtime.query(text)
+        finally:
+            runtime.inject_faults(None)
+        assert remote.is_degraded and local.is_degraded
+        assert remote.missing_sites == local.missing_sites
+        assert remote.scalar == local.scalar
+        assert (
+            remote.degradation.attempted_paths
+            == local.degradation.attempted_paths
+        )
+        assert remote.degradation.attempted_paths  # satellite: non-empty
+
+    def test_syntax_error_is_typed_across_the_wire(self, served):
+        _runtime, _plane, client = served
+        with pytest.raises(FlowQLSyntaxError):
+            client.query("SELECT NONSENSE FROM ALL")
+
+    def test_health_census(self, served):
+        _runtime, plane, client = served
+        census = client.health()
+        assert census["status"] == "ok"
+        assert census["server_errors"] == 0
+        assert set(census["nodes"]) == set(plane.nodes)
+        assert census["requests_routed"] >= 4
+
+    def test_drilldowns_route_to_edge_nodes(self, served):
+        _runtime, plane, client = served
+        client.query(f"SELECT TOTAL FROM ALL AT {ROUTER1}")
+        assert plane.nodes[ROUTER1].requests_served >= 1
+
+
+# ---------------------------------------------------------------------------
+# admission, backpressure, timeouts against small live planes
+
+
+@pytest.fixture()
+def small_runtime():
+    runtime = loaded_runtime(
+        regions=1, routers=2, epochs=1, flows_per_epoch=80
+    )
+    yield runtime
+    runtime.shutdown()
+
+
+class TestAdmissionOverHTTP:
+    def test_shed_load_raises_typed_admission_error(self, small_runtime):
+        plane = ServePlane(
+            small_runtime, admission_rate_per_s=0.001, admission_burst=2.0
+        )
+        with plane:
+            endpoint = plane.start_background()
+            with FlowQLClient(
+                endpoint=endpoint, client_id="greedy"
+            ) as client:
+                assert client.query("SELECT TOTAL FROM ALL").scalar
+                client.query("SELECT TOTAL FROM ALL")
+                with pytest.raises(AdmissionError) as excinfo:
+                    client.query("SELECT TOTAL FROM ALL")
+            assert excinfo.value.reason == "admission"
+            assert excinfo.value.retry_after_s > 0
+            census = plane.census()
+            assert census["admission"]["rejected"] >= 1
+            assert census["server_errors"] == 0
+
+    def test_429_carries_retry_after_header(self, small_runtime):
+        plane = ServePlane(
+            small_runtime, admission_rate_per_s=0.001, admission_burst=1.0
+        )
+        with plane:
+            plane.start_background()
+            connection = http.client.HTTPConnection(
+                plane.gateway.host, plane.gateway.port, timeout=10
+            )
+            try:
+                payload = json.dumps(
+                    {"query": "SELECT TOTAL FROM ALL", "client_id": "c"}
+                )
+                headers = {"Content-Type": "application/json"}
+                statuses = []
+                for _ in range(2):
+                    connection.request(
+                        "POST", "/v1/query", body=payload, headers=headers
+                    )
+                    response = connection.getresponse()
+                    body = json.loads(response.read())
+                    statuses.append((response, body))
+                response, body = statuses[1]
+                assert response.status == 429
+                assert float(response.headers["Retry-After"]) > 0
+                kind, rejection = wire.open_envelope(body)
+                assert kind == wire.KIND_REJECTED
+                assert rejection["reason"] == "admission"
+            finally:
+                connection.close()
+
+    def test_admitted_clients_stay_correct_while_shedding(
+        self, small_runtime
+    ):
+        """Load shedding must not corrupt admitted answers."""
+        expected = small_runtime.query("SELECT TOTAL FROM ALL").scalar
+        plane = ServePlane(
+            small_runtime, admission_rate_per_s=0.001, admission_burst=1.0
+        )
+        with plane:
+            endpoint = plane.start_background()
+            answers, rejections = [], 0
+            for index in range(6):
+                with FlowQLClient(
+                    endpoint=endpoint, client_id=f"c{index % 2}"
+                ) as client:
+                    try:
+                        answers.append(
+                            client.query("SELECT TOTAL FROM ALL").scalar
+                        )
+                    except AdmissionError:
+                        rejections += 1
+            assert rejections >= 4  # two bursts of one, four shed
+            assert answers and all(
+                answer == expected for answer in answers
+            )
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self, small_runtime):
+        plane = ServePlane(
+            small_runtime, queue_limit=1, admission_rate_per_s=10**6,
+            admission_burst=10**6,
+        )
+        real_execute = plane.execute_on_node
+
+        def slow_execute(label, query_text, trace_id):
+            time.sleep(0.25)
+            return real_execute(label, query_text, trace_id)
+
+        plane.execute_on_node = slow_execute
+        expected = small_runtime.query("SELECT TOTAL FROM ALL").scalar
+
+        def one_client(index):
+            with FlowQLClient(
+                endpoint=plane.endpoint, client_id=f"bp{index}"
+            ) as client:
+                try:
+                    return ("ok", client.query("SELECT TOTAL FROM ALL"))
+                except AdmissionError as error:
+                    return ("rejected", error)
+
+        with plane:
+            plane.start_background()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(pool.map(one_client, range(8)))
+        served_answers = [o for kind, o in outcomes if kind == "ok"]
+        rejections = [o for kind, o in outcomes if kind == "rejected"]
+        assert rejections, "a 1-deep queue under 8 clients must shed"
+        assert all(r.reason == "backpressure" for r in rejections)
+        assert all(r.retry_after_s > 0 for r in rejections)
+        assert served_answers, "admitted requests still complete"
+        assert all(o.scalar == expected for o in served_answers)
+        assert plane.census()["server_errors"] == 0
+
+
+class TestDeadlineDegradation:
+    def test_timeout_degrades_to_partial_outcome(self, small_runtime):
+        plane = ServePlane(small_runtime, timeout_s=0.05)
+        real_execute = plane.execute_on_node
+
+        def slow_execute(label, query_text, trace_id):
+            time.sleep(0.4)
+            return real_execute(label, query_text, trace_id)
+
+        plane.execute_on_node = slow_execute
+        with plane:
+            endpoint = plane.start_background()
+            with FlowQLClient(endpoint=endpoint, client_id="t") as client:
+                outcome = client.query("SELECT TOTAL FROM ALL")
+        assert outcome.is_degraded
+        assert outcome.degradation.attempted_paths
+        assert any(
+            "timeout" in reason for reason in outcome.degradation.reasons
+        )
+        assert outcome.scalar == Score()  # honest empty, not a lie
+        assert plane.nodes[plane.root_label].timeouts >= 1
+
+
+# ---------------------------------------------------------------------------
+# the client facade and the deprecation shim
+
+
+class TestFlowQLClientFacade:
+    def test_exactly_one_backend_required(self):
+        with pytest.raises(ServeError):
+            FlowQLClient()
+        with pytest.raises(ServeError):
+            FlowQLClient(runtime=object(), endpoint="http://x:1")
+
+    def test_in_process_backend_matches_runtime(self, small_runtime):
+        client = FlowQLClient(runtime=small_runtime)
+        outcome = client.query("SELECT TOTAL FROM ALL")
+        assert outcome.scalar == small_runtime.query(
+            "SELECT TOTAL FROM ALL"
+        ).scalar
+
+    def test_subscribe_is_reserved(self, small_runtime):
+        client = FlowQLClient(runtime=small_runtime)
+        with pytest.raises(NotImplementedError):
+            client.subscribe("SELECT TOTAL FROM ALL")
+
+    def test_now_is_an_in_process_knob(self):
+        client = FlowQLClient(endpoint="http://127.0.0.1:1")
+        with pytest.raises(ServeError):
+            client.query("SELECT TOTAL FROM ALL", now=1.0)
+
+    def test_unreachable_endpoint_is_a_serve_error(self):
+        client = FlowQLClient(endpoint="http://127.0.0.1:9")
+        with pytest.raises(ServeError):
+            client.query("SELECT TOTAL FROM ALL")
+
+    def test_bad_endpoint_url_rejected(self):
+        with pytest.raises(ServeError):
+            FlowQLClient(endpoint="ftp://host:1")
+
+
+class TestPlannerQueryShim:
+    def test_direct_planner_query_warns_once(self, small_runtime):
+        planner = small_runtime.planner
+        FederatedQueryPlanner._query_shim_warned = False
+        try:
+            with pytest.warns(DeprecationWarning, match="FlowQLClient"):
+                outcome = planner.query("SELECT TOTAL FROM ALL")
+            assert outcome.scalar is not None
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                planner.query("SELECT TOTAL FROM ALL")
+            assert not [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+            ]
+        finally:
+            FederatedQueryPlanner._query_shim_warned = False
+
+    def test_shim_answers_match_execute(self, small_runtime):
+        planner = small_runtime.planner
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            shimmed = planner.query("SELECT TOTAL FROM ALL")
+        assert shimmed.scalar == planner.execute(
+            "SELECT TOTAL FROM ALL"
+        ).scalar
+
+
+class TestAttemptedPathsInProcess:
+    def test_degraded_outcome_names_attempted_nodes(self):
+        runtime = loaded_runtime(regions=2, routers=1)
+        try:
+            runtime.inject_faults(
+                FaultPlan(outages=[LinkOutage(ROUTER1, 0, 10**9)])
+            )
+            outcome = runtime.query(
+                f"SELECT TOTAL FROM ALL AT {ROUTER1}"
+            )
+            assert outcome.is_degraded
+            attempted = outcome.degradation.attempted_paths
+            assert attempted, "degraded outcomes must name attempts"
+            assert any("router1" in path for path in attempted)
+        finally:
+            runtime.shutdown()
