@@ -44,6 +44,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro.errors import WireSchemaError
 from repro.faults import FaultPlan, LinkOutage
 from repro.runtime.presets import network_4level_runtime
 from repro.serve import ServePlane, wire
@@ -84,6 +85,21 @@ QUERY_MIX = (
 
 #: a client that keeps getting 429s retries at most this many times
 MAX_RETRIES = 50
+
+
+def _retry_after_hint(headers, body) -> float:
+    """The precise retry hint of one 429 response.
+
+    The ``Retry-After`` header is RFC 9110 integer delta-seconds
+    (ceiled, so a 50 ms hint reads ``1``); the rejection body carries
+    the exact float.  Well-behaved clients prefer the body and fall
+    back to the header.
+    """
+    try:
+        _, rejection = wire.open_envelope(body)
+        return float(rejection["retry_after_s"])
+    except (WireSchemaError, KeyError, TypeError, ValueError):
+        return float(headers.get("retry-after", "1"))
 
 
 def ensure_fd_headroom(needed: int = 8192) -> None:
@@ -146,7 +162,7 @@ async def _one_client(
                 if status != 429:
                     break
                 counters["rejected_429"] += 1
-                retry_after = float(headers.get("retry-after", "0.05"))
+                retry_after = _retry_after_hint(headers, body)
                 if retry_after <= 0:
                     counters["bad_retry_after"] += 1
                 await asyncio.sleep(min(retry_after, 0.5))
@@ -260,11 +276,10 @@ async def run_shedding_arm(runtime):
                     )
                     if status == 429:
                         rejected += 1
-                        retry_hints.append(
-                            float(headers.get("retry-after", "0"))
-                        )
+                        retry_hints.append(_retry_after_hint(headers, body))
                         kind, _body = wire.open_envelope(body)
                         assert kind == wire.KIND_REJECTED
+                        assert headers.get("retry-after", "1").isdigit()
                     else:
                         admitted += 1
                         outcome = wire.decode_outcome(body)

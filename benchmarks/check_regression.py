@@ -93,6 +93,7 @@ DEFAULT_OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_ELASTIC_BASELINE = REPO_ROOT / "BENCH_elastic.json"
 DEFAULT_DURABILITY_BASELINE = REPO_ROOT / "BENCH_durability.json"
 DEFAULT_SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
+DEFAULT_SUBSCRIBE_BASELINE = REPO_ROOT / "BENCH_subscribe.json"
 DEFAULT_TOLERANCE = 0.5
 #: the zero-drop run is deterministic; allow only float-formatting drift
 WAN_MATCH_TOLERANCE = 0.01
@@ -582,6 +583,86 @@ def check_serve(baseline_path: Path) -> int:
     return 0
 
 
+def check_subscribe(baseline_path: Path) -> int:
+    """Validate the committed standing-query baseline + a reduced sweep.
+
+    The committed baseline must record N>=16 standing queries whose
+    delta-maintained answers stayed ``to_wire``-identical to full
+    re-execution at every epoch close with zero steady-state rebuilds,
+    and the headline claim: delta refreshes >=5x cheaper than
+    re-execution in both milliseconds and bytes.  A fresh reduced sweep
+    (8 subscriptions x 8 epochs) must then hold the structural claims
+    live: zero identity mismatches, zero rebuilds, and a clear (>=2x)
+    win on both axes.  Returns an exit status.
+    """
+    try:
+        committed = json.loads(baseline_path.read_text())
+        committed_results = committed["results"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"cannot read subscribe baseline {baseline_path}: {exc}")
+        return 2
+    if committed_results.get("subscriptions", 0) < 16:
+        print(
+            "REGRESSION: committed subscribe baseline ran fewer than 16 "
+            f"standing queries ({committed_results.get('subscriptions')})"
+        )
+        return 1
+    if committed_results.get("identity_mismatches") != 0:
+        print(
+            "REGRESSION: committed subscribe baseline recorded delta/"
+            "re-execution mismatches "
+            f"({committed_results.get('identity_mismatches')})"
+        )
+        return 1
+    if committed_results.get("rebuilds") != 0:
+        print(
+            "REGRESSION: committed subscribe baseline rebuilt views in "
+            f"steady state ({committed_results.get('rebuilds')})"
+        )
+        return 1
+    for axis in ("speedup_ms", "speedup_bytes"):
+        if not float(committed_results.get(axis, 0)) >= 5.0:
+            print(
+                f"REGRESSION: committed subscribe baseline {axis} "
+                f"{committed_results.get(axis)} < 5.0"
+            )
+            return 1
+    print(
+        f"\ncommitted sweep: {committed_results['subscriptions']} "
+        f"standing queries x {committed_results['epochs']} epochs, "
+        f"{committed_results['speedup_ms']}x faster / "
+        f"{committed_results['speedup_bytes']}x leaner than re-execution"
+    )
+
+    from benchmarks.bench_subscribe import measure
+
+    print("re-running reduced sweep: 8 subscriptions x 8 epochs")
+    fresh = measure(subscriptions=8, epochs=8)
+    print(
+        f"fresh sweep: {fresh['speedup_ms']}x ms, "
+        f"{fresh['speedup_bytes']}x bytes, "
+        f"{fresh['identity_mismatches']} mismatches, "
+        f"{fresh['rebuilds']} rebuilds"
+    )
+    if fresh["identity_mismatches"] != 0:
+        print("REGRESSION: delta-maintained views diverged from re-execution")
+        return 1
+    if fresh["rebuilds"] != 0:
+        print("REGRESSION: steady-state closes triggered view rebuilds")
+        return 1
+    if fresh["delta_refreshes"] <= 0:
+        print("REGRESSION: no delta refreshes were recorded")
+        return 1
+    for axis in ("speedup_ms", "speedup_bytes"):
+        if not float(fresh[axis]) >= 2.0:
+            print(
+                f"REGRESSION: reduced-sweep {axis} {fresh[axis]} < 2.0"
+            )
+            return 1
+    print("OK: standing queries are identical to re-execution, and cheaper")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -654,10 +735,19 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--subscribe-baseline",
+        type=Path,
+        default=DEFAULT_SUBSCRIBE_BASELINE,
+        help=(
+            "committed standing-query baseline JSON "
+            f"(default: {DEFAULT_SUBSCRIBE_BASELINE})"
+        ),
+    )
+    parser.add_argument(
         "--only",
         choices=(
             "all", "flowtree", "query", "faults", "obs", "elastic",
-            "durability", "serve",
+            "durability", "serve", "subscribe",
         ),
         default="all",
         help="run a single regression gate (default: all)",
@@ -697,6 +787,8 @@ def main(argv=None) -> int:
         return check_durability(args.durability_baseline)
     if args.only == "serve":
         return check_serve(args.serve_baseline)
+    if args.only == "subscribe":
+        return check_subscribe(args.subscribe_baseline)
     try:
         committed = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -751,7 +843,10 @@ def main(argv=None) -> int:
     status = check_durability(args.durability_baseline)
     if status != 0:
         return status
-    return check_serve(args.serve_baseline)
+    status = check_serve(args.serve_baseline)
+    if status != 0:
+        return status
+    return check_subscribe(args.subscribe_baseline)
 
 
 if __name__ == "__main__":

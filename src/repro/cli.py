@@ -312,6 +312,146 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# subscribe (standing queries)
+
+
+def _configure_subscribe(parser: argparse.ArgumentParser) -> None:
+    _add_drive_args(parser, epochs=4, flows_per_epoch=500)
+    _add_query_arg(
+        parser, "default subscribes an edge TOPK and the global TOTAL"
+    )
+    parser.add_argument(
+        "--endpoint", metavar="URL", default=None,
+        help=(
+            "subscribe against a running 'repro serve' gateway over "
+            "HTTP (long-poll) instead of a local runtime"
+        ),
+    )
+    parser.add_argument(
+        "--updates", type=int, default=4,
+        help="updates to long-poll for per subscription (HTTP mode)",
+    )
+    parser.add_argument(
+        "--client-id", default="cli",
+        help="client identity the gateway meters admission by",
+    )
+
+
+def _print_update(update, text: str) -> None:
+    tag = f"[{update.subscription_id} seq={update.seq} {update.mode}]"
+    print(f"\n{tag} {text}")
+    print(
+        f"  epoch={update.epoch:g} shipped={update.shipped_bytes:,} B "
+        f"changed={update.changed}"
+        + (" DEGRADED" if update.degraded else "")
+    )
+    result = update.result
+    if result.scalar is not None:
+        print(f"  {result.scalar}")
+    else:
+        for row in result.rows[:5]:
+            print(f"  {row[0]}  packets={row[1]:,} bytes={row[2]:,}")
+
+
+def _run_subscribe_remote(args: argparse.Namespace) -> int:
+    from repro.client import FlowQLClient
+    from repro.errors import AdmissionError
+
+    queries = args.query or ["SUBSCRIBE SELECT TOTAL FROM ALL"]
+    with FlowQLClient(
+        endpoint=args.endpoint, client_id=args.client_id
+    ) as client:
+        handles = []
+        for text in queries:
+            try:
+                handle = client.subscribe(text)
+            except AdmissionError as error:
+                print(
+                    f"  rejected ({error.reason}): retry after "
+                    f"{error.retry_after_s:.3f}s"
+                )
+                return 3
+            except ReproError as error:
+                print(f"  error: {error}")
+                return 1
+            print(f"subscribed {handle.id}: {text}")
+            handles.append((handle, text))
+        for handle, text in handles:
+            first = handle.latest()
+            if first is not None:
+                _print_update(first, text)
+        seen = {handle.id: 0 for handle, _ in handles}
+        while any(count < args.updates for count in seen.values()):
+            progressed = False
+            for handle, text in handles:
+                if seen[handle.id] >= args.updates:
+                    continue
+                for update in handle.poll(wait_s=10.0):
+                    _print_update(update, text)
+                    seen[handle.id] += 1
+                    progressed = True
+            if not progressed:
+                print(
+                    "\nno updates within 10s (is the served runtime "
+                    "closing epochs?)"
+                )
+                break
+        for handle, _text in handles:
+            handle.cancel()
+    return 0
+
+
+def _run_subscribe(args: argparse.Namespace) -> int:
+    if args.endpoint is not None:
+        return _run_subscribe_remote(args)
+
+    from repro.client import FlowQLClient
+    from repro.runtime.presets import (
+        factory_4level_runtime,
+        network_4level_runtime,
+    )
+
+    if args.preset == "network":
+        runtime = network_4level_runtime(retain_partitions=True)
+    else:
+        runtime = factory_4level_runtime(retain_partitions=True)
+    sites = runtime.ingest_sites()
+    client = FlowQLClient(runtime=runtime, client_id=args.client_id)
+    queries = args.query or [
+        "SUBSCRIBE SELECT TOTAL FROM ALL",
+        f"SUBSCRIBE SELECT TOPK(3) FROM ALL AT {sites[0]} BY bytes",
+    ]
+    handles = []
+    for text in queries:
+        try:
+            handle = client.subscribe(
+                text, on_update=lambda u, t=text: _print_update(u, t)
+            )
+        except ReproError as error:
+            print(f"error: {error}")
+            return 1
+        print(f"subscribed {handle.id}: {text}")
+        handles.append(handle)
+    print(
+        f"\ndriving {args.epochs} epochs x {len(sites)} edge sites "
+        f"({args.preset} preset); each close publishes one update per "
+        "subscription:"
+    )
+    _load_traffic(runtime, args.epochs, args.flows_per_epoch, args.seed)
+    registry = runtime.planner.subscriptions
+    print(
+        f"\nregistry: updates={registry.updates_published} "
+        f"delta={registry.delta_refreshes} "
+        f"rebuilds={registry.rebuilds} "
+        f"shipped={registry.shipped_bytes_total:,} B "
+        f"refresh={registry.refresh_seconds_total * 1e3:.1f} ms total"
+    )
+    for handle in handles:
+        handle.cancel()
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # serve (the networked FlowQL serving plane)
 
 
@@ -940,6 +1080,13 @@ SUBCOMMANDS: Tuple[Subcommand, ...] = (
         "endpoint",
         _configure_query,
         _run_query,
+    ),
+    Subcommand(
+        "subscribe",
+        "register standing FlowQL queries and watch delta-maintained "
+        "updates per epoch",
+        _configure_subscribe,
+        _run_subscribe,
     ),
     Subcommand(
         "serve",

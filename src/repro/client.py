@@ -17,9 +17,18 @@ Either way, :meth:`query` returns a :class:`QueryOutcome` and raises
 the same typed errors (:class:`~repro.errors.FlowQLSyntaxError`,
 :class:`~repro.errors.FlowQLPlanningError`); rate-limited or
 backpressured requests raise :class:`~repro.errors.AdmissionError`
-carrying the server's ``Retry-After`` hint.  ``SUBSCRIBE`` is reserved
-API surface for the standing-queries roadmap item and raises
-``NotImplementedError`` for now.
+carrying the server's retry hint (the exact float from the rejection
+body, with the integer ``Retry-After`` header as fallback).
+
+:meth:`subscribe` is the standing-query counterpart: it registers
+``SUBSCRIBE <flowql>`` with the planner's delta-maintaining
+registry — directly in-process, or through the gateway's
+``/v1/subscribe`` + long-poll ``/v1/subscribe/poll`` routes — and
+returns a :class:`SubscriptionHandle` that yields typed
+:class:`~repro.query.subscriptions.SubscriptionUpdate` snapshots.  The
+HTTP handle tracks a cursor, so a reconnect resumes exactly where the
+client left off (or resyncs to the newest snapshot when the gap
+outgrew the server's replay ring).
 """
 
 from __future__ import annotations
@@ -27,14 +36,141 @@ from __future__ import annotations
 import http.client
 import json
 import urllib.parse
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 
 from repro.errors import ServeError, WireSchemaError
 from repro.query.plan import QueryOutcome
+from repro.query.subscriptions import Subscription, SubscriptionUpdate
 from repro.serve import wire
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.runtime import HierarchyRuntime
+
+
+class SubscriptionHandle:
+    """One standing query as the client sees it, backend-agnostic.
+
+    * :meth:`poll` — updates newer than the handle's cursor, blocking
+      up to ``wait_s`` for fresh ones (0 = return immediately).
+    * :meth:`latest` — the most recent snapshot (None before the
+      query first materializes).
+    * :meth:`updates` — an iterator of update batches; each ``next()``
+      long-polls once.
+    * :meth:`cancel` — deregister; further polls return nothing.
+
+    ``resynced`` flips to True when the handle's cursor had aged out of
+    the server's replay ring and the stream jumped forward — every
+    update is a complete snapshot, so only history was lost.
+    """
+
+    def __init__(self, subscription_id: str) -> None:
+        self.id = subscription_id
+        self.cursor = 0
+        self.resynced = False
+        self.cancelled = False
+
+    # subclasses implement the transport
+    def poll(self, wait_s: float = 0.0) -> List[SubscriptionUpdate]:
+        raise NotImplementedError
+
+    def latest(self) -> Optional[SubscriptionUpdate]:
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        raise NotImplementedError
+
+    def updates(
+        self, wait_s: float = 30.0
+    ) -> Iterator[List[SubscriptionUpdate]]:
+        """Long-poll forever (until cancelled), yielding batches."""
+        while not self.cancelled:
+            batch = self.poll(wait_s=wait_s)
+            if batch:
+                yield batch
+
+
+class InProcessSubscription(SubscriptionHandle):
+    """A handle wrapping the planner registry's own Subscription."""
+
+    def __init__(self, subscription: Subscription) -> None:
+        super().__init__(subscription.id)
+        self._subscription = subscription
+        self._registry = subscription._registry
+
+    def poll(self, wait_s: float = 0.0) -> List[SubscriptionUpdate]:
+        if self.cancelled:
+            return []
+        pending, resynced, known = self._registry.wait_for(
+            self.id, self.cursor, wait_s
+        )
+        if not known:
+            self.cancelled = True
+            return []
+        if resynced:
+            self.resynced = True
+        if pending:
+            self.cursor = pending[-1].seq
+        return pending
+
+    def latest(self) -> Optional[SubscriptionUpdate]:
+        return self._subscription.latest()
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._subscription.cancel()
+
+
+class HTTPSubscription(SubscriptionHandle):
+    """A handle speaking the gateway's subscribe/poll/cancel routes."""
+
+    def __init__(
+        self,
+        client: "FlowQLClient",
+        subscription_id: str,
+        first: Optional[SubscriptionUpdate],
+    ) -> None:
+        super().__init__(subscription_id)
+        self._client = client
+        self._latest = first
+        if first is not None:
+            self.cursor = first.seq
+
+    def poll(self, wait_s: float = 0.0) -> List[SubscriptionUpdate]:
+        if self.cancelled:
+            return []
+        status, _headers, body = self._client._request(
+            "POST",
+            "/v1/subscribe/poll",
+            {
+                "subscription_id": self.id,
+                "cursor": self.cursor,
+                "timeout_s": wait_s,
+            },
+        )
+        if status == 404:
+            # cancelled elsewhere, or the server restarted and lost us
+            self.cancelled = True
+            return []
+        if status != 200:
+            raise self._client._wire_failure(status, body)
+        updates, cursor, resync = wire.decode_updates(body)
+        self.cursor = cursor
+        if resync:
+            self.resynced = True
+        if updates:
+            self._latest = updates[-1]
+        return updates
+
+    def latest(self) -> Optional[SubscriptionUpdate]:
+        return self._latest
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._client._request(
+            "POST", "/v1/subscribe/cancel", {"subscription_id": self.id}
+        )
 
 
 class FlowQLClient:
@@ -93,17 +229,42 @@ class FlowQLClient:
             )
         return self._query_http(flowql)
 
-    def subscribe(self, flowql: str):
-        """Reserved: standing queries (``SUBSCRIBE <flowql>``).
+    def subscribe(
+        self,
+        flowql: str,
+        on_update: Optional[
+            Callable[[SubscriptionUpdate], None]
+        ] = None,
+    ) -> SubscriptionHandle:
+        """Register one standing query; returns its handle.
 
-        Incremental subscriptions are the next roadmap item; the
-        client reserves the name now so apps written against this
-        facade will not need a new API when deltas land.
+        Accepts ``SUBSCRIBE SELECT ...`` or bare ``SELECT ...``.  The
+        planner materializes the query once and delta-maintains it at
+        every epoch close; the handle's :meth:`~SubscriptionHandle.
+        poll` / :meth:`~SubscriptionHandle.updates` yield one typed
+        snapshot per close, identical to re-running :meth:`query`.
+
+        ``on_update`` (a callback fired synchronously per update)
+        only applies in-process; an HTTP handle is poll-driven.
         """
-        raise NotImplementedError(
-            "SUBSCRIBE is reserved for the standing-queries roadmap "
-            "item; only query() is served today"
+        if self.runtime is not None:
+            return InProcessSubscription(
+                self.runtime.subscribe(flowql, on_update=on_update)
+            )
+        if on_update is not None:
+            raise ServeError(
+                "on_update= is an in-process knob; poll an HTTP "
+                "subscription (handle.poll / handle.updates) instead"
+            )
+        status, _headers, body = self._request(
+            "POST",
+            "/v1/subscribe",
+            {"query": flowql, "client_id": self.client_id},
         )
+        if status != 200:
+            raise self._wire_failure(status, body)
+        subscription_id, first = wire.decode_subscribed(body)
+        return HTTPSubscription(self, subscription_id, first)
 
     def health(self) -> dict:
         """The served plane's census (HTTP backends only)."""
@@ -175,17 +336,21 @@ class FlowQLClient:
         )
         if status == 200:
             return wire.decode_outcome(body)
+        raise self._wire_failure(status, body)
+
+    def _wire_failure(self, status: int, body: object) -> Exception:
+        """The typed exception a non-200 wire response describes."""
         try:
             kind, envelope_body = wire.open_envelope(body)
         except WireSchemaError:
-            raise ServeError(
+            return ServeError(
                 f"serve endpoint returned HTTP {status} with an "
                 "unreadable body"
             )
         if kind == wire.KIND_REJECTED:
-            raise wire.decode_rejection(envelope_body)
+            return wire.decode_rejection(envelope_body)
         if kind == wire.KIND_ERROR:
-            raise wire.decode_error(envelope_body)
-        raise ServeError(
+            return wire.decode_error(envelope_body)
+        return ServeError(
             f"unexpected {kind!r} envelope with HTTP {status}"
         )

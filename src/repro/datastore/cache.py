@@ -15,7 +15,7 @@ hashable (callables etc.) are simply never cached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.core.primitive import QueryRequest
 
@@ -56,11 +56,20 @@ def _freeze(value: Any) -> Any:
 
 @dataclass
 class CacheEntry:
-    """One memoized result."""
+    """One memoized result.
+
+    ``window`` is the query's effective time window (for ``VS``
+    queries, the hull of both windows): epoch-scoped invalidation keeps
+    entries whose window was already fully closed when they were cached
+    — new epochs cannot change them — and drops the rest.  The default
+    ``(None, None)`` marks an unbounded window, which is always dropped
+    at a boundary.
+    """
 
     value: Any
     stored_at: float
     result_bytes: int
+    window: Tuple[Optional[float], Optional[float]] = (None, None)
 
 
 @dataclass
@@ -123,6 +132,7 @@ class QueryCache:
         value: Any,
         result_bytes: int,
         now: float,
+        window: Tuple[Optional[float], Optional[float]] = (None, None),
     ) -> None:
         """Store one result (evicting the oldest entry past the cap)."""
         if key is None:
@@ -133,14 +143,60 @@ class QueryCache:
         elif len(self._entries) >= self.max_entries:
             del self._entries[next(iter(self._entries))]
         self._entries[key] = CacheEntry(
-            value=value, stored_at=now, result_bytes=result_bytes
+            value=value,
+            stored_at=now,
+            result_bytes=result_bytes,
+            window=window,
         )
 
     def invalidate(self) -> int:
-        """Drop everything (e.g. after an epoch close); returns count."""
+        """Drop everything (topology change, explicit flush); count."""
         count = len(self._entries)
         self._entries.clear()
         return count
+
+    def invalidate_open(self, boundary: float) -> int:
+        """Epoch-scoped invalidation: drop entries still open at
+        ``boundary`` (the previous close), keep fully-closed windows.
+
+        An entry whose window end is at or before the boundary that
+        held when it was cached already saw every record its window
+        will ever cover — a new epoch seals strictly later data — so it
+        survives the close and keeps answering historical repeats with
+        zero bytes shipped.  Unbounded windows (``end=None``) and
+        windows reaching past the boundary are dropped, exactly as the
+        old wholesale invalidation dropped them.
+        """
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.window[1] is None or entry.window[1] > boundary
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def invalidate_window(
+        self, start: Optional[float], end: Optional[float]
+    ) -> int:
+        """Drop entries whose window overlaps ``[start, end)``.
+
+        The late-delivery hook: when a parked export finally lands, its
+        (historical) interval re-opens every cached window it touches —
+        those answers are stale even though their windows were closed.
+        ``None`` bounds are unbounded on that side.
+        """
+        doomed = []
+        for key, entry in self._entries.items():
+            win_start, win_end = entry.window
+            if start is not None and win_end is not None and win_end <= start:
+                continue
+            if end is not None and win_start is not None and win_start >= end:
+                continue
+            doomed.append(key)
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -51,7 +51,13 @@ class Restriction:
 
 @dataclass(frozen=True)
 class FlowQLQuery:
-    """A fully parsed FlowQL query."""
+    """A fully parsed FlowQL query.
+
+    ``subscribe`` marks the standing-query form (``SUBSCRIBE SELECT
+    ...``): the same query, but registered with the planner's
+    :class:`~repro.query.subscriptions.SubscriptionRegistry` and
+    delta-maintained across epoch closes instead of executed once.
+    """
 
     select: OpCall
     time: TimeSpec
@@ -60,3 +66,4 @@ class FlowQLQuery:
     where: List[Restriction] = field(default_factory=list)
     metric: str = "bytes"
     limit: Optional[int] = None
+    subscribe: bool = False

@@ -15,6 +15,7 @@ from typing import List
 from repro.errors import FlowQLSyntaxError
 
 KEYWORDS = {
+    "subscribe",
     "select",
     "from",
     "vs",

@@ -54,6 +54,7 @@ class _Parser:
     # -- grammar ------------------------------------------------------------
 
     def parse_query(self) -> FlowQLQuery:
+        subscribe = self.accept_keyword("subscribe")
         self.expect("KEYWORD", "select")
         select = self.parse_op_call()
         self.expect("KEYWORD", "from")
@@ -95,6 +96,7 @@ class _Parser:
             where=where,
             metric=metric,
             limit=limit,
+            subscribe=subscribe,
         )
 
     def parse_op_call(self) -> OpCall:
@@ -182,5 +184,10 @@ class _Parser:
 
 
 def parse(text: str) -> FlowQLQuery:
-    """Parse FlowQL text into a :class:`FlowQLQuery`."""
+    """Parse FlowQL text into a :class:`FlowQLQuery`.
+
+    Accepts both the one-shot form (``SELECT ...``) and the standing
+    form (``SUBSCRIBE SELECT ...``); the latter sets
+    :attr:`FlowQLQuery.subscribe`.
+    """
     return _Parser(tokenize(text)).parse_query()

@@ -49,6 +49,7 @@ from repro.query.plan import (
     QueryPlan,
     SiteRead,
 )
+from repro.query.subscriptions import SubscriptionRegistry
 
 from typing import TYPE_CHECKING
 
@@ -90,6 +91,11 @@ class FederatedQueryPlanner:
         self.clock = 0.0
         #: the routing decision of the most recent execute()
         self.last_plan: Optional[QueryPlan] = None
+        #: standing queries, delta-maintained at every epoch close
+        self.subscriptions = SubscriptionRegistry(self)
+        # the highest FlowDB entry id already inspected for late
+        # deliveries (parked exports landing after their epoch closed)
+        self._late_watermark = runtime.db.max_entry_id()
 
     def _topology_generation(self) -> int:
         """The runtime's live topology generation (0 when static)."""
@@ -243,6 +249,7 @@ class FederatedQueryPlanner:
                 result.copy(),
                 approx_result_bytes((result.scalar, result.rows)),
                 now,
+                window=self._effective_window(query),
             )
         self.last_plan = plan
         return QueryOutcome(
@@ -251,6 +258,26 @@ class FederatedQueryPlanner:
             degradation=degradation,
             cache=CacheInfo(hit=False, key=key),
         )
+
+    @staticmethod
+    def _effective_window(
+        query: FlowQLQuery,
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """The hull of every window the query reads (FROM and VS).
+
+        This is what epoch-scoped cache invalidation keys on: a result
+        whose hull closed before the previous boundary cannot be
+        changed by newly sealed epochs, so its cache entry survives.
+        ``None`` on either side means unbounded (always invalidated).
+        """
+        starts = [query.time.start]
+        ends = [query.time.end]
+        if query.vs_time is not None:
+            starts.append(query.vs_time.start)
+            ends.append(query.vs_time.end)
+        start = None if any(s is None for s in starts) else min(starts)
+        end = None if any(e is None for e in ends) else max(ends)
+        return (start, end)
 
     def _cache_request(
         self, query: FlowQLQuery, plan: QueryPlan
@@ -615,6 +642,39 @@ class FederatedQueryPlanner:
         return self.cache.invalidate()
 
     def on_epoch_closed(self, now: float) -> int:
-        """Epoch boundary: new data exists, cached answers are stale."""
+        """Epoch boundary: scope invalidation to what actually changed.
+
+        A close seals data *after* the previous boundary, so cached
+        results over fully-closed historical windows are still exact —
+        only entries whose window was open (reaching past the previous
+        boundary, or unbounded) are dropped.  Two escape hatches keep
+        this safe:
+
+        * **Late deliveries.**  Parked exports can land whole epochs
+          after the interval they describe; any FlowDB entry that
+          arrived since the last close with an interval at or before
+          the previous boundary re-opens the cached windows it overlaps.
+        * **Topology.**  Reconfiguration doesn't come through here at
+          all — :meth:`invalidate_cache` stays the wholesale drop for
+          elastic operations, and cache keys carry the topology
+          generation besides.
+
+        Standing queries refresh after invalidation, so a subscription
+        rebuild that re-executes never sees a stale entry.  Returns the
+        number of cache entries dropped.
+        """
+        boundary = self.clock
         self.clock = max(self.clock, now)
-        return self.invalidate_cache()
+        dropped = 0
+        if self.cache is not None:
+            dropped = self.cache.invalidate_open(boundary)
+            for entry in self.runtime.db.entries_since(
+                self._late_watermark
+            ):
+                if entry.interval.end <= boundary:
+                    dropped += self.cache.invalidate_window(
+                        entry.interval.start, entry.interval.end
+                    )
+        self._late_watermark = self.runtime.db.max_entry_id()
+        self.subscriptions.on_epoch_closed(self.clock)
+        return dropped

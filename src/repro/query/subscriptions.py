@@ -1,0 +1,864 @@
+"""Standing FlowQL queries: the planner-side subscription registry.
+
+Dashboards and detectors re-issue the same FlowQL every epoch; the
+reactive :class:`~repro.datastore.cache.QueryCache` only helps *within*
+an epoch, because each close seals new data.  ``SUBSCRIBE <flowql>``
+turns such a query into a *standing* one: the planner materializes its
+plan's result once and then **delta-maintains** it on every epoch close
+— Merge of the newly sealed partitions into the materialized view
+instead of re-reading (and re-shipping) the whole window.
+
+Correctness contract — the delta path is provably identical to a cold
+re-execution of the same query:
+
+* **Cloud route.**  A fresh ``FlowDB.merged_tree`` merges entries in
+  ``(interval.start, location)`` order; new epochs always sort after
+  everything already folded.  The maintained view therefore undergoes
+  the *identical* operation sequence a cold merge would — including
+  compression timing — so the result is bit-identical by construction.
+  The registry validates the folded prefix (entry ids) every close and
+  rebuilds when it does not match (restart recovery re-ids entries).
+* **Federated route.**  A cold read folds each site's window
+  partitions into one per-site tree (``combine_flowtrees``: first
+  partition's tree copied, the rest merged in catalog order, under the
+  *partition's* node budget) and then merges the per-site trees — in
+  sorted site order — into a fresh tree under the root's merge budget.
+  Both folds are deterministic, so the view maintains the *same state*
+  incrementally: one fold tree per (site, aggregator) advanced by
+  exactly the merges a cold fold would append (new partitions only ever
+  arrive at the catalog's tail), plus a recomputed top-level merge per
+  close.  Identical operation sequences compress at identical points,
+  so the view stays bit-identical to re-execution even after per-site
+  compression sets in.  What *breaks* the sequence triggers a rebuild:
+  a folded partition vanishing (expiration, site restart), a partition
+  turning replica-resident at the root (cold then serves it
+  individually instead of folding it — a different merge order), a
+  participating store growing a privacy guard, or a degraded read.
+* **Topology.**  A generation bump (join/leave/split/merge/migrate)
+  invalidates and rebuilds the view — the *only* structural event that
+  does; ordinary closes never rebuild.
+
+Updates are typed (:class:`SubscriptionUpdate`), sequence-numbered, and
+kept in a bounded ring per subscription, which is what makes the
+serving plane's long-poll ``/v1/subscribe`` route cursor-resumable: a
+reconnecting client replays from its cursor, or resyncs to the latest
+snapshot when the gap outgrew the ring (every update carries the full
+result, so a resync loses history, never correctness).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+from collections import deque
+
+from repro.errors import (
+    FlowQLPlanningError,
+    TransferError,
+    WireSchemaError,
+)
+from repro.flowql.ast import FlowQLQuery, TimeSpec
+from repro.flowql.executor import FlowQLResult, apply_operator
+from repro.flowql.parser import parse
+from repro.flows.tree import Flowtree
+from repro.query.plan import (
+    ROUTE_CLOUD,
+    ROUTE_FEDERATED,
+    Degradation,
+    QueryPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.planner import FederatedQueryPlanner
+
+#: ``repro_subscribe_*`` metric family names
+ACTIVE = "repro_subscribe_active"
+UPDATES_TOTAL = "repro_subscribe_updates_total"
+REFRESH_SECONDS = "repro_subscribe_refresh_seconds"
+SHIPPED_BYTES_TOTAL = "repro_subscribe_shipped_bytes_total"
+REBUILDS_TOTAL = "repro_subscribe_rebuilds_total"
+
+#: refresh-latency buckets: sub-millisecond deltas up to full rebuilds
+_REFRESH_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: updates kept per subscription for cursor resume
+HISTORY = 64
+
+_subscription_ids = itertools.count(1)
+
+#: update modes
+MODE_INIT = "init"
+MODE_DELTA = "delta"
+MODE_REBUILD = "rebuild"
+
+
+class _RebuildNeeded(Exception):
+    """Internal: the delta path cannot prove identity; rebuild instead."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SubscriptionUpdate:
+    """One epoch's push for one standing query.
+
+    Every update is a *snapshot*: ``result`` is the query's complete
+    current answer (identical to what a cold execution at the same
+    boundary returns), so a client that missed updates only needs the
+    latest one.  ``mode`` records how the snapshot was produced
+    (``init`` at registration, ``delta`` for an incremental merge,
+    ``rebuild`` for a from-scratch re-materialization) and
+    ``shipped_bytes`` what the refresh moved across the fabric — the
+    two numbers the subscribe benchmark compares against re-execution.
+    """
+
+    subscription_id: str
+    seq: int
+    epoch: float
+    generation: int
+    mode: str
+    result: FlowQLResult
+    route: str
+    shipped_bytes: int = 0
+    changed: bool = True
+    degraded: bool = False
+
+    def to_wire(self) -> dict:
+        return {
+            "subscription_id": self.subscription_id,
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "generation": self.generation,
+            "mode": self.mode,
+            "result": self.result.to_wire(),
+            "route": self.route,
+            "shipped_bytes": self.shipped_bytes,
+            "changed": self.changed,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SubscriptionUpdate":
+        try:
+            return cls(
+                subscription_id=data["subscription_id"],
+                seq=int(data["seq"]),
+                epoch=float(data["epoch"]),
+                generation=int(data["generation"]),
+                mode=data["mode"],
+                result=FlowQLResult.from_wire(data["result"]),
+                route=data.get("route", ROUTE_FEDERATED),
+                shipped_bytes=int(data.get("shipped_bytes", 0)),
+                changed=bool(data.get("changed", True)),
+                degraded=bool(data.get("degraded", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireSchemaError(
+                f"bad SubscriptionUpdate on the wire: {exc}"
+            )
+
+
+class _WindowView:
+    """One materialized window (FROM or VS) of a standing query."""
+
+    def __init__(self, spec: TimeSpec) -> None:
+        self.spec = spec
+        self.tree: Optional[Flowtree] = None
+        #: cloud route: entry ids folded, in merge order
+        self.folded_entries: List[int] = []
+        #: federated route: store label -> partition ids folded, in
+        #: catalog order
+        self.folded_partitions: Dict[str, List[str]] = {}
+        #: federated route: label -> aggregator -> the per-site fold
+        #: tree, maintained by the same operation sequence a cold
+        #: ``combine_flowtrees`` performs
+        self.site_trees: Dict[str, Dict[str, Flowtree]] = {}
+
+    # -- cloud route ---------------------------------------------------------
+
+    def build_cloud(
+        self, planner: "FederatedQueryPlanner", query: FlowQLQuery
+    ) -> None:
+        """Materialize from the root FlowDB, mirroring ``merged_tree``
+        exactly (same entry order, same budget) so later deltas are a
+        continuation of the cold computation."""
+        db = planner.runtime.db
+        entries = db.entries(
+            query.sites or None, self.spec.start, self.spec.end
+        )
+        if not entries:
+            raise FlowQLPlanningError(
+                "no Flowtree summaries match the subscribed window"
+            )
+        tree = Flowtree(
+            entries[0].tree.policy,
+            node_budget=db.merge_node_budget,
+            metric=entries[0].tree.metric,
+        )
+        for entry in entries:
+            tree.merge(entry.tree)
+        self.tree = tree
+        self.folded_entries = [e.entry_id for e in entries]
+
+    def advance_cloud(
+        self, planner: "FederatedQueryPlanner", query: FlowQLQuery
+    ) -> int:
+        """Merge entries sealed since the last refresh; returns bytes
+        shipped (always 0 — the root reads its own FlowDB locally)."""
+        db = planner.runtime.db
+        entries = db.entries(
+            query.sites or None, self.spec.start, self.spec.end
+        )
+        ids = [e.entry_id for e in entries]
+        folded = self.folded_entries
+        if ids[: len(folded)] != folded:
+            # recovery re-ids entries, retention may drop them: the
+            # continuation property no longer holds
+            raise _RebuildNeeded("entry-prefix")
+        for entry in entries[len(folded):]:
+            self.tree.merge(entry.tree)
+        self.folded_entries = ids
+        return 0
+
+    # -- federated route -----------------------------------------------------
+
+    def _current_partitions(
+        self,
+        planner: "FederatedQueryPlanner",
+        plan: QueryPlan,
+        query: FlowQLQuery,
+    ) -> Dict[str, list]:
+        """label -> window partitions at the plan's level, the same
+        selection ``_assemble`` makes."""
+        from repro.query.planner import _covers
+
+        stores = planner.runtime.stores_at_level(plan.level)
+        current: Dict[str, list] = {}
+        for label in sorted(stores):
+            if query.sites and not any(
+                _covers(label, site) for site in query.sites
+            ):
+                continue
+            if stores[label].privacy is not None:
+                # per-epoch privacy export need not commute with the
+                # whole-window export a cold read performs
+                raise _RebuildNeeded("privacy-guard")
+            partitions = planner._window_partitions(
+                stores[label], self.spec.start, self.spec.end
+            )
+            if partitions:
+                current[label] = partitions
+        return current
+
+    @staticmethod
+    def _replica_resident(planner: "FederatedQueryPlanner", pid: str) -> bool:
+        root_path = planner.replica_store.location.path
+        return f"{pid}@{root_path}" in planner.replica_store.replicas
+
+    def _fold_sites(
+        self, planner: "FederatedQueryPlanner", current: Dict[str, list]
+    ) -> Dict[str, Dict[str, Flowtree]]:
+        """Per-site fold trees by ``combine_flowtrees``' exact sequence:
+        the first partition's tree copied (keeping the partition node
+        budget), the rest merged in catalog order."""
+        site_trees: Dict[str, Dict[str, Flowtree]] = {}
+        for label in sorted(current):
+            groups: Dict[str, Flowtree] = {}
+            for partition in current[label]:
+                if self._replica_resident(planner, partition.partition_id):
+                    # a cold read serves a root-replicated partition
+                    # individually, outside the site fold — a different
+                    # merge sequence than the one this view maintains
+                    raise _RebuildNeeded("replica-served")
+                fold = groups.get(partition.aggregator)
+                if fold is None:
+                    groups[partition.aggregator] = (
+                        partition.summary.payload.copy()
+                    )
+                else:
+                    fold.merge(partition.summary.payload)
+            site_trees[label] = groups
+        return site_trees
+
+    def _top_merge(self, planner: "FederatedQueryPlanner") -> Flowtree:
+        """The cold assembly's final step: per-site trees merged — in
+        sorted site then aggregator order — into a fresh tree under the
+        root's merge budget."""
+        ordered: List[Flowtree] = []
+        for label in sorted(self.site_trees):
+            groups = self.site_trees[label]
+            ordered.extend(groups[agg] for agg in sorted(groups))
+        if not ordered:
+            raise _RebuildNeeded("partition-prefix")
+        budget = planner.runtime.db.merge_node_budget
+        if len(ordered) == 1 and (
+            budget is None or ordered[0].node_count <= budget
+        ):
+            # single-site window (the AT <edge site> shape): cold's
+            # final merge absorbs one fold tree into a fresh tree and,
+            # under the root budget, cannot compress — an exact
+            # structural copy.  Serve the fold directly instead of
+            # copying it every close.
+            return ordered[0]
+        merged = Flowtree(
+            ordered[0].policy,
+            node_budget=budget,
+            metric=ordered[0].metric,
+        )
+        for tree in ordered:
+            merged.merge(tree)
+        return merged
+
+    def seed_federated(
+        self,
+        planner: "FederatedQueryPlanner",
+        plan: QueryPlan,
+        query: FlowQLQuery,
+        tree: Flowtree,
+    ) -> None:
+        """Adopt a freshly assembled tree plus the per-site fold state
+        future deltas will advance."""
+        current = self._current_partitions(planner, plan, query)
+        self.site_trees = self._fold_sites(planner, current)
+        self.tree = tree
+        self.folded_partitions = {
+            label: [p.partition_id for p in partitions]
+            for label, partitions in current.items()
+        }
+
+    def advance_federated(
+        self,
+        planner: "FederatedQueryPlanner",
+        plan: QueryPlan,
+        query: FlowQLQuery,
+        now: float,
+    ) -> int:
+        """Fetch and fold partitions sealed since the last refresh.
+
+        Reads go through the planner's ``_read_store`` — fabric-
+        accounted, feeding the Fig. 6 replication cycle just like any
+        query — but only for the *new* partitions, which is the entire
+        saving.  Each fresh partition extends its site's fold tree by
+        exactly the merge a cold ``combine_flowtrees`` would append,
+        then the top-level merge is recomputed the way ``_assemble``
+        builds it; identical operation sequences keep the view
+        bit-identical to re-execution, compression included.  Returns
+        the bytes shipped.
+        """
+        stores = planner.runtime.stores_at_level(plan.level)
+        current = self._current_partitions(planner, plan, query)
+        folded = self.folded_partitions
+        for label, pids in folded.items():
+            seen = [
+                p.partition_id for p in current.get(label, [])
+            ][: len(pids)]
+            if seen != pids:
+                # a folded partition vanished (expiration, restart) or
+                # the catalog was rewritten under us
+                raise _RebuildNeeded("partition-prefix")
+        for label in sorted(current):
+            for partition in current[label]:
+                if self._replica_resident(planner, partition.partition_id):
+                    # replication promoted a window partition to the
+                    # root since the last fold: cold reads now serve it
+                    # individually, so the fold sequence diverged
+                    raise _RebuildNeeded("replica-served")
+        shipped = 0
+        advanced = False
+        for label in sorted(current):
+            partitions = current[label]
+            known = len(folded.get(label, []))
+            fresh = partitions[known:]
+            if fresh:
+                advanced = True
+                read, _ = planner._read_store(
+                    label, plan.level, stores[label], fresh, now
+                )
+                shipped += read.shipped_bytes
+                groups = self.site_trees.setdefault(label, {})
+                for partition in fresh:
+                    fold = groups.get(partition.aggregator)
+                    if fold is None:
+                        groups[partition.aggregator] = (
+                            partition.summary.payload.copy()
+                        )
+                    else:
+                        fold.merge(partition.summary.payload)
+            folded[label] = [p.partition_id for p in partitions]
+        if advanced:
+            self.tree = self._top_merge(planner)
+        return shipped
+
+
+class Subscription:
+    """One standing query and its delta-maintained state."""
+
+    def __init__(
+        self,
+        subscription_id: str,
+        query: FlowQLQuery,
+        text: str,
+        registry: "SubscriptionRegistry",
+    ) -> None:
+        self.id = subscription_id
+        self.query = query
+        self.text = text
+        self._registry = registry
+        self.active = True
+        self.seq = 0
+        self.updates: Deque[SubscriptionUpdate] = deque(maxlen=HISTORY)
+        self.callbacks: List[Callable[[SubscriptionUpdate], None]] = []
+        self.callback_errors = 0
+        #: materialized windows (None until the first successful build)
+        self.views: Optional[List[_WindowView]] = None
+        self.generation = -1
+        self.route: Optional[str] = None
+        self.level: Optional[str] = None
+        self.last_result: Optional[FlowQLResult] = None
+        #: lifetime counters (census / benchmark)
+        self.delta_refreshes = 0
+        self.rebuilds = 0
+        self.shipped_bytes_total = 0
+
+    # -- consumer API --------------------------------------------------------
+
+    def latest(self) -> Optional[SubscriptionUpdate]:
+        """The most recent update (None before materialization)."""
+        with self._registry._lock:
+            return self.updates[-1] if self.updates else None
+
+    def updates_since(
+        self, cursor: int
+    ) -> Tuple[List[SubscriptionUpdate], bool]:
+        """Updates with ``seq > cursor``; ``(updates, resynced)``.
+
+        When the cursor has fallen out of the ring, returns whatever
+        the ring still holds with ``resynced=True`` — the first update
+        is then a snapshot newer than the gap, not its continuation.
+        """
+        with self._registry._lock:
+            pending = [u for u in self.updates if u.seq > cursor]
+            resynced = bool(
+                pending
+                and cursor > 0
+                and pending[0].seq != cursor + 1
+            )
+            return pending, resynced
+
+    def cancel(self) -> None:
+        """Deregister: no further updates are produced."""
+        self._registry.cancel(self.id)
+
+    def on_update(
+        self, callback: Callable[[SubscriptionUpdate], None]
+    ) -> None:
+        """Register an in-process callback fired per published update."""
+        self.callbacks.append(callback)
+
+
+class SubscribeMetrics:
+    """``repro_subscribe_*`` families; a no-op shell when obs is off."""
+
+    def __init__(self, obs) -> None:
+        self.enabled = obs.enabled
+        if not self.enabled:
+            return
+        registry = obs.registry
+        self.active = registry.gauge(
+            ACTIVE, "Standing queries currently registered"
+        )
+        self.updates = registry.counter(
+            UPDATES_TOTAL,
+            "Subscription updates published, by mode "
+            "(init, delta, rebuild)",
+            ("mode",),
+        )
+        self.refresh_seconds = registry.histogram(
+            REFRESH_SECONDS,
+            "Per-subscription refresh latency at each epoch close",
+            buckets=_REFRESH_BUCKETS,
+        )
+        self.shipped = registry.counter(
+            SHIPPED_BYTES_TOTAL,
+            "Fabric bytes moved by subscription refreshes",
+        )
+        self.rebuilds = registry.counter(
+            REBUILDS_TOTAL,
+            "Full view rebuilds, by reason (generation, entry-prefix, "
+            "partition-prefix, replica-served, privacy-guard, "
+            "degraded, route-changed)",
+            ("reason",),
+        )
+
+    def published(
+        self, mode: str, seconds: float, shipped_bytes: int
+    ) -> None:
+        if not self.enabled:
+            return
+        self.updates.labels(mode=mode).inc()
+        self.refresh_seconds.labels().observe(seconds)
+        if shipped_bytes:
+            self.shipped.labels().inc(shipped_bytes)
+
+    def rebuild(self, reason: str) -> None:
+        if not self.enabled:
+            return
+        self.rebuilds.labels(reason=reason).inc()
+
+    def set_active(self, count: int) -> None:
+        if not self.enabled:
+            return
+        self.active.labels().set(count)
+
+
+class SubscriptionRegistry:
+    """Every standing query of one planner, refreshed at epoch closes."""
+
+    def __init__(self, planner: "FederatedQueryPlanner") -> None:
+        self.planner = planner
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self.metrics = SubscribeMetrics(planner.runtime.obs)
+        #: lifetime census (the benchmark and ``/healthz`` read these)
+        self.updates_published = 0
+        self.rebuilds = 0
+        self.delta_refreshes = 0
+        self.shipped_bytes_total = 0
+        self.refresh_seconds_total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        flowql: Union[str, FlowQLQuery],
+        on_update: Optional[
+            Callable[[SubscriptionUpdate], None]
+        ] = None,
+        now: Optional[float] = None,
+    ) -> Subscription:
+        """Register one standing query and materialize it once.
+
+        Accepts ``SUBSCRIBE SELECT ...`` or bare ``SELECT ...`` text
+        (or a parsed query).  When the hierarchy holds no matching data
+        yet, the subscription stays pending and materializes at the
+        first close that covers it.
+        """
+        query = parse(flowql) if isinstance(flowql, str) else flowql
+        text = flowql if isinstance(flowql, str) else ""
+        if query.subscribe:
+            query = replace(query, subscribe=False)
+        subscription = Subscription(
+            f"sub-{next(_subscription_ids)}", query, text, self
+        )
+        if on_update is not None:
+            subscription.on_update(on_update)
+        now = self.planner.clock if now is None else now
+        with self._lock:
+            self._subscriptions[subscription.id] = subscription
+            try:
+                self._rebuild(subscription, now, mode=MODE_INIT)
+            except FlowQLPlanningError:
+                pass  # nothing to materialize yet; retry at each close
+            self.metrics.set_active(len(self._subscriptions))
+        return subscription
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        with self._lock:
+            return self._subscriptions.get(subscription_id)
+
+    def cancel(self, subscription_id: str) -> bool:
+        with self._cond:
+            subscription = self._subscriptions.pop(subscription_id, None)
+            if subscription is None:
+                return False
+            subscription.active = False
+            self.metrics.set_active(len(self._subscriptions))
+            self._cond.notify_all()
+            return True
+
+    # -- the epoch hook ------------------------------------------------------
+
+    def on_epoch_closed(self, now: float) -> int:
+        """Refresh every standing query; returns updates published.
+
+        Runs inside the runtime's ``close_epoch`` (and on restart
+        recovery), after rollup/export so the newly sealed partitions
+        and FlowDB entries are visible.
+        """
+        with self._lock:
+            subscriptions = list(self._subscriptions.values())
+        published = 0
+        for subscription in subscriptions:
+            if not subscription.active:
+                continue
+            try:
+                self._refresh(subscription, now)
+                published += 1
+            except FlowQLPlanningError:
+                # the query does not plan right now (no coverage after
+                # a leave/restart, or no data yet): stay pending and
+                # retry at the next boundary
+                subscription.views = None
+        return published
+
+    # -- refresh machinery ---------------------------------------------------
+
+    def _refresh(self, subscription: Subscription, now: float) -> None:
+        started = time.perf_counter()
+        generation = self.planner._topology_generation()
+        if subscription.views is None:
+            self._rebuild(subscription, now, mode=MODE_INIT)
+            return
+        if generation != subscription.generation:
+            self.metrics.rebuild("generation")
+            self._rebuild(subscription, now, mode=MODE_REBUILD)
+            return
+        plan = self.planner.plan(subscription.query)
+        if (
+            plan.route != subscription.route
+            or plan.level != subscription.level
+        ):
+            self.metrics.rebuild("route-changed")
+            self._rebuild(subscription, now, mode=MODE_REBUILD)
+            return
+        try:
+            shipped = 0
+            for view in subscription.views:
+                if plan.route == ROUTE_CLOUD:
+                    shipped += view.advance_cloud(
+                        self.planner, subscription.query
+                    )
+                else:
+                    shipped += view.advance_federated(
+                        self.planner, plan, subscription.query, now
+                    )
+        except _RebuildNeeded as exc:
+            self.metrics.rebuild(exc.reason)
+            self._rebuild(subscription, now, mode=MODE_REBUILD)
+            return
+        except TransferError:
+            # a link died mid-delta: the view may hold a torn window,
+            # so drop it and answer this boundary with a (possibly
+            # degraded) cold rebuild
+            self.metrics.rebuild("degraded")
+            self._rebuild(subscription, now, mode=MODE_REBUILD)
+            return
+        result = apply_operator(
+            self._combined(subscription), subscription.query
+        )
+        subscription.delta_refreshes += 1
+        self.delta_refreshes += 1
+        self._publish(
+            subscription,
+            result,
+            now,
+            generation,
+            MODE_DELTA,
+            plan.route,
+            shipped,
+            degraded=False,
+            started=started,
+        )
+
+    def _combined(self, subscription: Subscription) -> Flowtree:
+        views = subscription.views
+        if len(views) == 1:
+            return views[0].tree
+        return views[0].tree.diff(views[1].tree)
+
+    def _rebuild(
+        self, subscription: Subscription, now: float, mode: str
+    ) -> None:
+        """Materialize from scratch, mirroring a cold execution."""
+        started = time.perf_counter()
+        planner = self.planner
+        query = subscription.query
+        plan = planner.plan(query)
+        generation = planner._topology_generation()
+        specs = [query.time] + (
+            [query.vs_time] if query.vs_time is not None else []
+        )
+        views: List[_WindowView] = []
+        shipped = 0
+        degradation = Degradation()
+        continuable = True
+        for spec in specs:
+            view = _WindowView(spec)
+            if plan.route == ROUTE_CLOUD:
+                view.build_cloud(planner, query)
+            else:
+                window_plan = QueryPlan(
+                    route=plan.route,
+                    window=(spec.start, spec.end),
+                    level=plan.level,
+                    sites=list(plan.sites),
+                )
+                tree = planner._assemble(
+                    window_plan, query, spec, now, degradation
+                )
+                shipped += window_plan.shipped_bytes
+                if any(
+                    read.level != plan.level
+                    for read in window_plan.reads
+                ):
+                    # alternative-coverage fallback reads served this
+                    # window from other levels; the folded census would
+                    # not describe the tree
+                    continuable = False
+                try:
+                    view.seed_federated(planner, plan, query, tree)
+                except _RebuildNeeded:
+                    continuable = False
+                    view.tree = tree
+            views.append(view)
+        degraded = degradation.is_degraded
+        result = apply_operator(
+            views[0].tree
+            if len(views) == 1
+            else views[0].tree.diff(views[1].tree),
+            query,
+        )
+        if degraded or not continuable:
+            # the snapshot is honest, but the view cannot be continued:
+            # stay unmaterialized and rebuild again next boundary
+            subscription.views = None
+            if degraded:
+                self.metrics.rebuild("degraded")
+        else:
+            subscription.views = views
+            subscription.generation = generation
+            subscription.route = plan.route
+            subscription.level = plan.level
+        if mode != MODE_INIT:
+            subscription.rebuilds += 1
+            self.rebuilds += 1
+        self._publish(
+            subscription,
+            result,
+            now,
+            generation,
+            mode,
+            plan.route,
+            shipped,
+            degraded=degraded,
+            started=started,
+        )
+
+    def _publish(
+        self,
+        subscription: Subscription,
+        result: FlowQLResult,
+        now: float,
+        generation: int,
+        mode: str,
+        route: str,
+        shipped: int,
+        degraded: bool,
+        started: float,
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        with self._cond:
+            subscription.seq += 1
+            changed = (
+                subscription.last_result is None
+                or result.to_wire()
+                != subscription.last_result.to_wire()
+            )
+            update = SubscriptionUpdate(
+                subscription_id=subscription.id,
+                seq=subscription.seq,
+                epoch=now,
+                generation=generation,
+                mode=mode,
+                result=result.copy(),
+                route=route,
+                shipped_bytes=shipped,
+                changed=changed,
+                degraded=degraded,
+            )
+            subscription.updates.append(update)
+            subscription.last_result = result
+            subscription.shipped_bytes_total += shipped
+            self.updates_published += 1
+            self.shipped_bytes_total += shipped
+            self.refresh_seconds_total += elapsed
+            self.metrics.published(mode, elapsed, shipped)
+            self._cond.notify_all()
+        for callback in list(subscription.callbacks):
+            try:
+                callback(update)
+            except Exception:  # noqa: BLE001 - apps must not kill closes
+                subscription.callback_errors += 1
+
+    # -- blocking consumers (the serving plane's long-poll) ------------------
+
+    def wait_for(
+        self,
+        subscription_id: str,
+        cursor: int,
+        timeout_s: float,
+    ) -> Tuple[List[SubscriptionUpdate], bool, bool]:
+        """Block until updates past ``cursor`` exist (or timeout).
+
+        Returns ``(updates, resynced, known)`` — ``known=False`` means
+        the subscription does not exist (or was cancelled while
+        waiting).
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._cond:
+            while True:
+                subscription = self._subscriptions.get(subscription_id)
+                if subscription is None:
+                    return [], False, False
+                pending, resynced = subscription.updates_since(cursor)
+                if pending:
+                    return pending, resynced, True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], False, True
+                self._cond.wait(timeout=remaining)
+
+    # -- introspection -------------------------------------------------------
+
+    def census(self) -> dict:
+        """A JSON-able snapshot (plane ``/healthz``, CLI)."""
+        with self._lock:
+            return {
+                "active": len(self._subscriptions),
+                "updates_published": self.updates_published,
+                "delta_refreshes": self.delta_refreshes,
+                "rebuilds": self.rebuilds,
+                "shipped_bytes_total": self.shipped_bytes_total,
+                "subscriptions": {
+                    sub.id: {
+                        "query": sub.text or sub.query.select.name,
+                        "seq": sub.seq,
+                        "route": sub.route,
+                        "delta_refreshes": sub.delta_refreshes,
+                        "rebuilds": sub.rebuilds,
+                        "shipped_bytes": sub.shipped_bytes_total,
+                    }
+                    for sub in self._subscriptions.values()
+                },
+            }

@@ -29,7 +29,16 @@ Per-hop volume and latency land in :class:`~repro.runtime.stats.VolumeStats`.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.control.controller import BudgetTuner, Controller
 from repro.control.manager import Manager
@@ -1312,6 +1321,28 @@ class HierarchyRuntime:
         unreachable.
         """
         return self.planner.execute(flowql, now=now)
+
+    def subscribe(
+        self,
+        flowql: str,
+        on_update: Optional[Callable] = None,
+        now: Optional[float] = None,
+    ):
+        """Register a standing FlowQL query (``SUBSCRIBE SELECT ...``).
+
+        The planner materializes the query once and delta-maintains the
+        result at every epoch close, publishing a typed
+        :class:`~repro.query.subscriptions.SubscriptionUpdate` per
+        boundary — identical to what re-executing the query would
+        return, at a fraction of the read/shipping cost.  Returns the
+        :class:`~repro.query.subscriptions.Subscription` handle
+        (``latest()``, ``updates_since()``, ``cancel()``); pass
+        ``on_update`` to be called synchronously per update instead of
+        polling.  Bare ``SELECT ...`` text is accepted too.
+        """
+        return self.planner.subscriptions.register(
+            flowql, on_update=on_update, now=now
+        )
 
     def wan_bytes(self) -> int:
         """Bytes that crossed a link into the hierarchy root."""

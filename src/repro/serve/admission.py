@@ -9,6 +9,12 @@ one, and an empty bucket yields an HTTP 429 whose ``Retry-After`` is
 the exact time until the next token — so well-behaved closed-loop
 clients converge on the sustainable rate instead of retry-storming.
 
+The bucket map is bounded: a bucket idle for longer than one full
+refill-to-burst interval holds exactly ``burst`` tokens — the same
+state a brand-new bucket starts with — so evicting it is lossless, and
+a hard ``max_clients`` cap (LRU) keeps one-shot client churn (load
+tests, scrapers rotating ids) from growing the map without limit.
+
 The clock is injectable (tests pin it); production uses
 ``time.monotonic``.
 """
@@ -46,35 +52,80 @@ class TokenBucket:
 
 
 class AdmissionController:
-    """Per-client token buckets with shared rate/burst defaults."""
+    """Per-client token buckets, bounded by idle-eviction and an LRU cap.
+
+    ``_buckets`` is kept in least-recently-admitted order (each admit
+    re-inserts the client's bucket at the back), so both bounds evict
+    from the dict front in O(1) amortized:
+
+    * **Idle eviction** — a bucket untouched for one refill-to-burst
+      interval (``burst / rate_per_s`` seconds) has refilled completely;
+      dropping it and re-creating it later yields the identical bucket,
+      so the eviction never changes an admission decision.
+    * **LRU cap** — ``max_clients`` bounds the map even under
+      pathological churn of never-idle clients.  Evicting a *non*-idle
+      bucket can forgive a partially drained budget, which is the usual
+      LRU trade: bounded memory for worst-case slack of one burst.
+    """
 
     def __init__(
         self,
         rate_per_s: float = 200.0,
         burst: float = 50.0,
         clock: Optional[Callable[[], float]] = None,
+        max_clients: int = 4096,
     ) -> None:
         if rate_per_s < 0 or burst < 1:
             raise ValueError(
                 "admission needs rate_per_s >= 0 and burst >= 1; got "
                 f"rate_per_s={rate_per_s}, burst={burst}"
             )
+        if max_clients < 1:
+            raise ValueError(
+                f"admission needs max_clients >= 1, got {max_clients}"
+            )
         self.rate_per_s = rate_per_s
         self.burst = burst
+        self.max_clients = max_clients
         self.clock = clock or time.monotonic
         self._buckets: Dict[str, TokenBucket] = {}
         #: census counters the gateway metrics export
         self.admitted = 0
         self.rejected = 0
+        self.evicted = 0
+
+    @property
+    def _idle_ttl_s(self) -> float:
+        """Seconds of idleness after which a bucket is fully refilled."""
+        if self.rate_per_s <= 0.0:
+            # rate 0 never refills; fall back to a long explicit ttl so
+            # blocked clients still age out eventually
+            return 3600.0
+        return self.burst / self.rate_per_s
+
+    def _evict(self, now: float) -> None:
+        ttl = self._idle_ttl_s
+        while self._buckets:
+            front = next(iter(self._buckets))
+            bucket = self._buckets[front]
+            if (
+                len(self._buckets) > self.max_clients
+                or now - bucket.updated_at >= ttl
+            ):
+                del self._buckets[front]
+                self.evicted += 1
+            else:
+                break  # LRU order: everything behind is fresher
 
     def admit(self, client_id: str) -> Tuple[bool, float]:
         """Meter one request; returns ``(admitted, retry_after_s)``."""
         now = self.clock()
-        bucket = self._buckets.get(client_id)
+        bucket = self._buckets.pop(client_id, None)
         if bucket is None:
-            bucket = self._buckets[client_id] = TokenBucket(
-                self.rate_per_s, self.burst, now
-            )
+            bucket = TokenBucket(self.rate_per_s, self.burst, now)
+        # re-insert at the back: dict order is recency order
+        self._buckets[client_id] = bucket
+        self._evict(now)
         admitted, retry_after = bucket.try_acquire(now)
         if admitted:
             self.admitted += 1
@@ -83,5 +134,5 @@ class AdmissionController:
         return admitted, retry_after
 
     def clients(self) -> int:
-        """How many distinct clients have been metered."""
+        """How many distinct clients currently hold a bucket."""
         return len(self._buckets)

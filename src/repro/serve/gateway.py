@@ -169,6 +169,18 @@ class FlowQLGateway:
             )
         if request.method == "POST" and request.path == "/v1/query":
             return await self._handle_query(request)
+        if request.method == "POST" and request.path == "/v1/subscribe":
+            return await self._handle_subscribe(request)
+        if (
+            request.method == "POST"
+            and request.path == "/v1/subscribe/poll"
+        ):
+            return await self._handle_subscribe_poll(request)
+        if (
+            request.method == "POST"
+            and request.path == "/v1/subscribe/cancel"
+        ):
+            return await self._handle_subscribe_cancel(request)
         return response_bytes(
             404,
             wire.encode_error(
@@ -204,7 +216,11 @@ class FlowQLGateway:
             return response_bytes(
                 429,
                 wire.encode_rejection("admission", retry_after),
-                headers={"Retry-After": f"{retry_after:.3f}"},
+                # RFC 9110: the header is integer delta-seconds; the
+                # exact float rides in the rejection body
+                headers={
+                    "Retry-After": wire.retry_after_header(retry_after)
+                },
             )
         query_text = body["query"]
         try:
@@ -226,6 +242,139 @@ class FlowQLGateway:
         if "retry-after" in headers:
             relay_headers["Retry-After"] = headers["retry-after"]
         return response_bytes(status, payload, headers=relay_headers)
+
+    # -- standing queries ----------------------------------------------------
+    #
+    # Subscriptions are runtime-global state (the planner's registry),
+    # not per-node capacity, so the gateway serves them directly rather
+    # than forwarding: registration runs on the plane's serialized data
+    # executor (it performs planner reads), while long-poll *waits* run
+    # on the loop's default executor so a thousand idle pollers cannot
+    # starve the one data-plane thread.
+
+    #: ceiling on one long-poll wait; clients just poll again
+    MAX_POLL_WAIT_S = 30.0
+
+    async def _handle_subscribe(self, request: Request) -> bytes:
+        try:
+            body = request.json()
+        except ServeError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        if not isinstance(body, dict) or not isinstance(
+            body.get("query"), str
+        ):
+            return response_bytes(
+                400,
+                wire.encode_error(
+                    ServeError(
+                        'subscribe body needs {"query": "<flowql>"}'
+                    )
+                ),
+            )
+        client_id = str(
+            body.get("client_id")
+            or request.headers.get("x-repro-client")
+            or "anonymous"
+        )
+        admitted, retry_after = self.plane.admission.admit(client_id)
+        if not admitted:
+            self.admission_rejections += 1
+            self.plane.metrics.rejection("admission")
+            return response_bytes(
+                429,
+                wire.encode_rejection("admission", retry_after),
+                headers={
+                    "Retry-After": wire.retry_after_header(retry_after)
+                },
+            )
+        registry = self.plane.runtime.planner.subscriptions
+        loop = asyncio.get_running_loop()
+        try:
+            subscription = await loop.run_in_executor(
+                self.plane.data_executor, registry.register, body["query"]
+            )
+        except ReproError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        return response_bytes(
+            200,
+            wire.encode_subscribed(
+                subscription.id, subscription.latest()
+            ),
+        )
+
+    async def _handle_subscribe_poll(self, request: Request) -> bytes:
+        try:
+            body = request.json()
+        except ServeError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        if not isinstance(body, dict) or not isinstance(
+            body.get("subscription_id"), str
+        ):
+            return response_bytes(
+                400,
+                wire.encode_error(
+                    ServeError(
+                        "poll body needs "
+                        '{"subscription_id": "...", "cursor": <seq>}'
+                    )
+                ),
+            )
+        try:
+            cursor = int(body.get("cursor", 0))
+            timeout_s = min(
+                float(body.get("timeout_s", 0.0)), self.MAX_POLL_WAIT_S
+            )
+        except (TypeError, ValueError):
+            return response_bytes(
+                400,
+                wire.encode_error(
+                    ServeError("cursor/timeout_s must be numbers")
+                ),
+            )
+        registry = self.plane.runtime.planner.subscriptions
+        loop = asyncio.get_running_loop()
+        updates, resync, known = await loop.run_in_executor(
+            None,  # the default pool: waits must not hold the data thread
+            registry.wait_for,
+            body["subscription_id"],
+            cursor,
+            timeout_s,
+        )
+        if not known:
+            return response_bytes(
+                404,
+                wire.encode_error(
+                    ServeError(
+                        "unknown subscription "
+                        f"{body['subscription_id']!r} (cancelled, or "
+                        "registered against a previous server run)"
+                    )
+                ),
+            )
+        next_cursor = updates[-1].seq if updates else cursor
+        return response_bytes(
+            200, wire.encode_updates(updates, next_cursor, resync)
+        )
+
+    async def _handle_subscribe_cancel(self, request: Request) -> bytes:
+        try:
+            body = request.json()
+        except ServeError as exc:
+            return response_bytes(400, wire.encode_error(exc))
+        if not isinstance(body, dict) or not isinstance(
+            body.get("subscription_id"), str
+        ):
+            return response_bytes(
+                400,
+                wire.encode_error(
+                    ServeError(
+                        'cancel body needs {"subscription_id": "..."}'
+                    )
+                ),
+            )
+        registry = self.plane.runtime.planner.subscriptions
+        cancelled = registry.cancel(body["subscription_id"])
+        return response_bytes(200, {"cancelled": cancelled})
 
     def _route(self, query_text: str) -> str:
         """The serving node for one query (cached per generation)."""

@@ -57,6 +57,7 @@ class ServePlane:
         timeout_s: float = 5.0,
         admission_rate_per_s: float = 200.0,
         admission_burst: float = 50.0,
+        admission_max_clients: int = 4096,
         admission: Optional[AdmissionController] = None,
     ) -> None:
         if queue_limit < 1 or workers_per_node < 1 or timeout_s <= 0:
@@ -71,7 +72,9 @@ class ServePlane:
         self.workers_per_node = workers_per_node
         self.timeout_s = timeout_s
         self.admission = admission or AdmissionController(
-            rate_per_s=admission_rate_per_s, burst=admission_burst
+            rate_per_s=admission_rate_per_s,
+            burst=admission_burst,
+            max_clients=admission_max_clients,
         )
         self.metrics = ServeMetrics(runtime.obs)
         #: the one thread the planner executes on: queries from every
@@ -237,9 +240,14 @@ class ServePlane:
                 "clients": self.admission.clients(),
                 "admitted": self.admission.admitted,
                 "rejected": self.admission.rejected,
+                "evicted": self.admission.evicted,
                 "rate_per_s": self.admission.rate_per_s,
                 "burst": self.admission.burst,
+                "max_clients": self.admission.max_clients,
             },
+            "subscriptions": (
+                self.runtime.planner.subscriptions.census()
+            ),
             "routing": {
                 "entries": len(self.gateway.routing),
                 "hits": self.gateway.routing.hits,

@@ -228,7 +228,11 @@ class NodeServer:
             return response_bytes(
                 429,
                 wire.encode_rejection("backpressure", retry_after),
-                headers={"Retry-After": f"{retry_after:.3f}"},
+                # RFC 9110: the header is integer delta-seconds; the
+                # exact float rides in the rejection body
+                headers={
+                    "Retry-After": wire.retry_after_header(retry_after)
+                },
             )
         self._note_queue_depth()
         return await future

@@ -16,8 +16,18 @@ Kinds:
   server fault) with the exception class name, message, and — for
   degraded-path failures — the node paths that were attempted.
 * ``rejected`` — an admission-control or backpressure refusal with the
-  server's ``retry_after_s`` hint (also sent as the HTTP
-  ``Retry-After`` header).
+  server's ``retry_after_s`` hint.  The exact (possibly fractional)
+  float lives in the body; the HTTP ``Retry-After`` header carries the
+  RFC 9110 rendering from :func:`retry_after_header` — an *integer*
+  number of seconds, rounded up, never 0 on a rejection.
+* ``subscribed`` — the acknowledgement of a ``/v1/subscribe``
+  registration: the subscription id plus its first update when the
+  standing query materialized immediately.
+* ``updates`` — a batch of
+  :class:`~repro.query.subscriptions.SubscriptionUpdate` snapshots from
+  a ``/v1/subscribe/poll`` long-poll, with the cursor the client should
+  resume from and a ``resync`` flag when the cursor had fallen out of
+  the server's replay ring.
 
 Version handling is strict: decoders accept exactly
 :data:`WIRE_VERSION` and raise :class:`~repro.errors.WireSchemaError`
@@ -27,7 +37,8 @@ worse than a loud protocol error.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import List, Optional, Tuple
 
 from repro.errors import (
     AdmissionError,
@@ -38,6 +49,7 @@ from repro.errors import (
     WireSchemaError,
 )
 from repro.query.plan import QueryOutcome
+from repro.query.subscriptions import SubscriptionUpdate
 
 #: The one wire version this build speaks.
 WIRE_VERSION = 1
@@ -45,6 +57,16 @@ WIRE_VERSION = 1
 KIND_OUTCOME = "outcome"
 KIND_ERROR = "error"
 KIND_REJECTED = "rejected"
+KIND_SUBSCRIBED = "subscribed"
+KIND_UPDATES = "updates"
+
+_KINDS = (
+    KIND_OUTCOME,
+    KIND_ERROR,
+    KIND_REJECTED,
+    KIND_SUBSCRIBED,
+    KIND_UPDATES,
+)
 
 #: error-body ``type`` values that rebuild into specific exceptions
 _ERROR_TYPES = {
@@ -74,7 +96,7 @@ def open_envelope(data: object) -> tuple:
         )
     kind = data.get("kind")
     body = data.get("body")
-    if kind not in (KIND_OUTCOME, KIND_ERROR, KIND_REJECTED):
+    if kind not in _KINDS:
         raise WireSchemaError(f"unknown envelope kind {kind!r}")
     if not isinstance(body, dict):
         raise WireSchemaError("envelope body must be an object")
@@ -128,7 +150,99 @@ def decode_error(body: dict) -> ReproError:
     return error_type(message)
 
 
+# -- subscriptions -----------------------------------------------------------
+
+
+def encode_subscribed(
+    subscription_id: str, first: Optional[SubscriptionUpdate]
+) -> dict:
+    """A subscription registration ack as a wire envelope."""
+    return envelope(
+        KIND_SUBSCRIBED,
+        {
+            "subscription_id": subscription_id,
+            "first": first.to_wire() if first is not None else None,
+        },
+    )
+
+
+def decode_subscribed(
+    data: object,
+) -> Tuple[str, Optional[SubscriptionUpdate]]:
+    """``(subscription_id, first_update_or_None)`` from the ack."""
+    kind, body = open_envelope(data)
+    if kind != KIND_SUBSCRIBED:
+        raise WireSchemaError(
+            f"expected a subscribed envelope, got kind {kind!r}"
+        )
+    try:
+        first = body.get("first")
+        return (
+            body["subscription_id"],
+            SubscriptionUpdate.from_wire(first)
+            if first is not None
+            else None,
+        )
+    except KeyError as exc:
+        raise WireSchemaError(f"bad subscribed body on the wire: {exc}")
+
+
+def encode_updates(
+    updates: List[SubscriptionUpdate], cursor: int, resync: bool
+) -> dict:
+    """A long-poll batch as a wire envelope.
+
+    ``cursor`` is the sequence number the client should poll from next;
+    ``resync`` warns that the client's previous cursor had aged out of
+    the replay ring, so the batch starts at a snapshot newer than the
+    gap (snapshots are complete, so only history is lost).
+    """
+    return envelope(
+        KIND_UPDATES,
+        {
+            "updates": [update.to_wire() for update in updates],
+            "cursor": cursor,
+            "resync": resync,
+        },
+    )
+
+
+def decode_updates(
+    data: object,
+) -> Tuple[List[SubscriptionUpdate], int, bool]:
+    """``(updates, next_cursor, resync)`` from an ``updates`` envelope."""
+    kind, body = open_envelope(data)
+    if kind != KIND_UPDATES:
+        raise WireSchemaError(
+            f"expected an updates envelope, got kind {kind!r}"
+        )
+    try:
+        return (
+            [
+                SubscriptionUpdate.from_wire(update)
+                for update in body.get("updates", [])
+            ],
+            int(body.get("cursor", 0)),
+            bool(body.get("resync", False)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireSchemaError(f"bad updates body on the wire: {exc}")
+
+
 # -- rejections --------------------------------------------------------------
+
+
+def retry_after_header(retry_after_s: float) -> str:
+    """The RFC 9110 ``Retry-After`` rendering of a retry hint.
+
+    The header grammar is ``delay-seconds = 1*DIGIT`` — an integer;
+    fractional values like ``0.050`` are invalid and real client stacks
+    parse them as 0 (retry immediately) or drop them.  Round *up* so a
+    rejecting server never advertises a zero wait; the exact float
+    still rides in the rejection body for clients that speak the wire
+    schema.
+    """
+    return str(max(1, math.ceil(retry_after_s)))
 
 
 def encode_rejection(reason: str, retry_after_s: float) -> dict:

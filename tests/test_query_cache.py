@@ -118,6 +118,66 @@ class TestQueryCacheUnit:
         assert cache.invalidate() == 1
         assert cache.get(key, now=0.1) is None
 
+    def test_invalidate_open_keeps_closed_windows(self):
+        """Epoch-scoped invalidation: only entries whose window was
+        still open at the boundary are dropped."""
+        cache = QueryCache()
+        request = QueryRequest("total", {})
+        closed = cache.key_for("agg", request, 0.0, 60.0)
+        straddling = cache.key_for("agg", request, 60.0, 180.0)
+        unbounded = cache.key_for("agg", request, 0.0, None)
+        cache.put(closed, "a", 1, now=70.0, window=(0.0, 60.0))
+        cache.put(straddling, "b", 1, now=70.0, window=(60.0, 180.0))
+        cache.put(unbounded, "c", 1, now=70.0, window=(0.0, None))
+        assert cache.invalidate_open(120.0) == 2
+        entry = cache.get(closed, now=80.0)
+        assert entry is not None and entry.value == "a"
+        assert cache.get(straddling, now=80.0) is None
+        assert cache.get(unbounded, now=80.0) is None
+
+    def test_invalidate_open_boundary_is_inclusive(self):
+        """A window ending exactly at the boundary is closed (survives);
+        one ending just past it is open (dropped)."""
+        cache = QueryCache()
+        request = QueryRequest("total", {})
+        at_boundary = cache.key_for("agg", request, 0.0, 120.0)
+        past_boundary = cache.key_for("agg", request, 0.0, 120.001)
+        cache.put(at_boundary, "a", 1, now=130.0, window=(0.0, 120.0))
+        cache.put(past_boundary, "b", 1, now=130.0, window=(0.0, 120.001))
+        assert cache.invalidate_open(120.0) == 1
+        assert cache.get(at_boundary, now=130.0) is not None
+        assert cache.get(past_boundary, now=130.0) is None
+
+    def test_invalidate_window_drops_overlaps_only(self):
+        """The late-delivery hook hits exactly the overlapping windows
+        (half-open interval semantics: touching endpoints don't
+        overlap)."""
+        cache = QueryCache()
+        request = QueryRequest("total", {})
+        windows = [(0.0, 60.0), (60.0, 120.0), (120.0, 180.0)]
+        keys = {}
+        for start, end in windows:
+            key = cache.key_for("agg", request, start, end)
+            cache.put(key, (start, end), 1, now=200.0,
+                      window=(start, end))
+            keys[(start, end)] = key
+        assert cache.invalidate_window(60.0, 120.0) == 1
+        assert cache.get(keys[(0.0, 60.0)], now=210.0) is not None
+        assert cache.get(keys[(60.0, 120.0)], now=210.0) is None
+        assert cache.get(keys[(120.0, 180.0)], now=210.0) is not None
+
+    def test_invalidate_window_none_bounds_are_unbounded(self):
+        cache = QueryCache()
+        request = QueryRequest("total", {})
+        early = cache.key_for("agg", request, 0.0, 60.0)
+        late = cache.key_for("agg", request, 60.0, 120.0)
+        cache.put(early, "a", 1, now=130.0, window=(0.0, 60.0))
+        cache.put(late, "b", 1, now=130.0, window=(60.0, 120.0))
+        # everything before t=60 overlaps only the early window
+        assert cache.invalidate_window(None, 60.0) == 1
+        assert cache.get(early, now=140.0) is None
+        assert cache.get(late, now=140.0) is not None
+
 
 class TestFederatedCaching:
     @pytest.fixture()
@@ -203,6 +263,86 @@ class TestFederatedCaching:
         assert runtime.planner.last_plan.cache_hit is False
         assert runtime.stats.queries_cached == 1  # no stale hit
         assert fresh.scalar.bytes > first.scalar.bytes  # sees epoch 1
+
+    def test_closed_window_repeats_survive_epoch_closes(self):
+        """Epoch-scoped invalidation end to end: a federated query over
+        a fully-closed historical window stays a zero-byte cache hit
+        across later epoch closes — new epochs seal strictly later data
+        and cannot change it."""
+        from repro.runtime.presets import network_4level_runtime
+        from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+        runtime = network_4level_runtime(
+            networks=1, regions_per_network=1, routers_per_region=2,
+            retain_partitions=True,
+        )
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=120), seed=13
+        )
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 0))
+        runtime.close_epoch(60.0)
+
+        flowql = f"SELECT TOTAL FROM TIME(0, 60) AT {sites[0]}"
+        first = runtime.query(flowql)
+        assert first.plan.route == "federated"
+        assert first.cache.hit is False
+
+        for epoch in (1, 2):
+            for site in sites:
+                runtime.ingest(site, generator.epoch(site, epoch))
+            runtime.close_epoch(60.0 * (epoch + 1))
+            repeat = runtime.query(flowql)
+            assert repeat.cache.hit  # survived the close
+            assert repeat.scalar == first.scalar
+            assert repeat.plan.shipped_bytes == 0
+
+    def test_late_entry_reopens_closed_window(self):
+        """An entry that lands with a *historical* interval (a parked
+        root export finally redelivered) must re-invalidate the cached
+        windows it overlaps at the next close — those answers changed
+        even though their windows were closed."""
+        from repro.core.summary import TimeInterval
+        from repro.runtime.presets import network_4level_runtime
+        from repro.simulation.traffic import TrafficConfig, TrafficGenerator
+
+        runtime = network_4level_runtime(
+            networks=1, regions_per_network=1, routers_per_region=2,
+            retain_partitions=True,
+        )
+        sites = runtime.ingest_sites()
+        generator = TrafficGenerator(
+            TrafficConfig(sites=tuple(sites), flows_per_epoch=120), seed=23
+        )
+        for epoch in (0, 1):
+            for site in sites:
+                runtime.ingest(site, generator.epoch(site, epoch))
+            runtime.close_epoch(60.0 * (epoch + 1))
+
+        reopened = "SELECT TOTAL FROM TIME(0, 60)"
+        untouched = "SELECT TOTAL FROM TIME(60, 120)"
+        stale = runtime.query(reopened)
+        runtime.query(untouched)
+        assert runtime.query(reopened).cache.hit  # both warm
+        assert runtime.query(untouched).cache.hit
+
+        # a parked epoch-0 export redelivers late: _deliver_flowdb
+        # inserts it with its original (historical) interval
+        template = runtime.db.entries(None, None, None)[0]
+        runtime.db.insert(
+            location=template.location,
+            interval=TimeInterval(5.0, 55.0),
+            tree=template.tree.copy(),
+        )
+        for site in sites:
+            runtime.ingest(site, generator.epoch(site, 2))
+        runtime.close_epoch(180.0)
+
+        fresh = runtime.query(reopened)
+        assert fresh.cache.hit is False  # late arrival reopened it
+        assert fresh.scalar.bytes > stale.scalar.bytes  # recovered mass
+        assert runtime.query(untouched).cache.hit  # disjoint: survived
 
     def test_replica_promotion_retires_cached_plans_mid_window(self):
         """Promoting a partition to a root-side replica mid-window must

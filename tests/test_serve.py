@@ -310,6 +310,95 @@ class TestTokenBucket:
         assert controller.clients() == 2
 
 
+class TestAdmissionBoundedClients:
+    """The bucket map must stay bounded under client-id churn (the
+    unbounded ``_buckets`` growth bug)."""
+
+    def test_million_client_churn_stays_bounded(self):
+        clock = [0.0]
+        controller = AdmissionController(
+            rate_per_s=100.0, burst=10.0, max_clients=512,
+            clock=lambda: clock[0],
+        )
+        for index in range(1_000_000):
+            clock[0] += 0.001
+            controller.admit(f"scraper-{index}")
+        assert controller.clients() <= 512
+        assert controller.evicted == 1_000_000 - controller.clients()
+
+    def test_idle_eviction_is_lossless(self):
+        """A bucket idle past one refill-to-burst interval holds
+        exactly ``burst`` tokens again — evicting and re-creating it
+        must not change any admission decision."""
+        clock = [0.0]
+        controller = AdmissionController(
+            rate_per_s=1.0, burst=2.0, max_clients=1024,
+            clock=lambda: clock[0],
+        )
+        assert controller.admit("alice")[0]
+        assert controller.admit("alice")[0]  # burst drained
+        assert not controller.admit("alice")[0]
+        clock[0] = 10.0  # idle well past burst/rate = 2s
+        controller.admit("bob")  # any admit sweeps the idle front
+        assert controller.evicted == 1
+        assert controller.clients() == 1
+        # alice returns with the same budget a kept bucket would have
+        # refilled to: the full burst, then starvation again
+        assert controller.admit("alice")[0]
+        assert controller.admit("alice")[0]
+        admitted, retry_after = controller.admit("alice")
+        assert not admitted and retry_after > 0
+
+    def test_lru_cap_evicts_least_recently_admitted(self):
+        clock = [0.0]
+        controller = AdmissionController(
+            rate_per_s=100.0, burst=10.0, max_clients=2,
+            clock=lambda: clock[0],
+        )
+        controller.admit("a")
+        controller.admit("b")
+        controller.admit("a")  # refresh: a is now most recent
+        controller.admit("c")  # cap: evicts b, the stale front
+        assert set(controller._buckets) == {"a", "c"}
+        assert controller.evicted == 1
+
+    def test_rejected_probes_also_bounded(self):
+        """Clients that only ever get 429s must not pin map entries
+        either (rate 0 blocks everyone, ttl falls back to one hour)."""
+        clock = [0.0]
+        controller = AdmissionController(
+            rate_per_s=0.0, burst=1.0, max_clients=64,
+            clock=lambda: clock[0],
+        )
+        for index in range(1000):
+            clock[0] += 1.0
+            controller.admit(f"probe-{index}")
+        assert controller.clients() <= 64
+
+
+class TestRetryAfterHeader:
+    """RFC 9110 Retry-After is integer delta-seconds: the header must
+    be a ``ceil()``ed integer, never fractional, never zero (a 0 reads
+    as 'retry immediately' — a retry storm invitation)."""
+
+    @pytest.mark.parametrize(
+        ("retry_after_s", "expected"),
+        [
+            (0.050, "1"),
+            (0.0, "1"),
+            (0.999, "1"),
+            (1.0, "1"),
+            (1.2, "2"),
+            (59.01, "60"),
+            (1000.0, "1000"),
+        ],
+    )
+    def test_ceiled_integer_never_zero(self, retry_after_s, expected):
+        header = wire.retry_after_header(retry_after_s)
+        assert header == expected
+        assert header.isdigit() and int(header) >= 1
+
+
 class TestRoutingTable:
     def test_generation_bump_invalidates(self):
         table = RoutingTable()
@@ -471,10 +560,47 @@ class TestAdmissionOverHTTP:
                     statuses.append((response, body))
                 response, body = statuses[1]
                 assert response.status == 429
-                assert float(response.headers["Retry-After"]) > 0
+                header = response.headers["Retry-After"]
+                assert header.isdigit()  # RFC 9110 delta-seconds
+                assert int(header) >= 1
                 kind, rejection = wire.open_envelope(body)
                 assert kind == wire.KIND_REJECTED
                 assert rejection["reason"] == "admission"
+            finally:
+                connection.close()
+
+    def test_fractional_retry_rides_in_body_not_header(
+        self, small_runtime
+    ):
+        """A sub-second retry hint must surface as an integer header
+        (ceiled, never the RFC-invalid ``Retry-After: 0.050``) while
+        the exact float stays in the rejection body."""
+        plane = ServePlane(
+            small_runtime, admission_rate_per_s=2.0, admission_burst=1.0
+        )
+        with plane:
+            plane.start_background()
+            connection = http.client.HTTPConnection(
+                plane.gateway.host, plane.gateway.port, timeout=10
+            )
+            try:
+                payload = json.dumps(
+                    {"query": "SELECT TOTAL FROM ALL", "client_id": "f"}
+                )
+                headers = {"Content-Type": "application/json"}
+                response = None
+                for _ in range(2):
+                    connection.request(
+                        "POST", "/v1/query", body=payload, headers=headers
+                    )
+                    response = connection.getresponse()
+                    body = json.loads(response.read())
+                assert response.status == 429
+                header = response.headers["Retry-After"]
+                assert header == "1"  # ceil(<1s hint), not "0.4..."
+                _, rejection = wire.open_envelope(body)
+                exact = rejection["retry_after_s"]
+                assert 0 < exact < 1  # the precise float, body only
             finally:
                 connection.close()
 
@@ -542,6 +668,53 @@ class TestBackpressure:
         assert all(o.scalar == expected for o in served_answers)
         assert plane.census()["server_errors"] == 0
 
+    def test_backpressure_429_header_is_integer(self, small_runtime):
+        """The node's 429 (relayed by the gateway) must carry an
+        RFC 9110 integer Retry-After, like the gateway's own."""
+        plane = ServePlane(
+            small_runtime, queue_limit=1, admission_rate_per_s=10**6,
+            admission_burst=10**6,
+        )
+        real_execute = plane.execute_on_node
+
+        def slow_execute(label, query_text, trace_id):
+            time.sleep(0.25)
+            return real_execute(label, query_text, trace_id)
+
+        plane.execute_on_node = slow_execute
+
+        def one_raw_request(index):
+            connection = http.client.HTTPConnection(
+                plane.gateway.host, plane.gateway.port, timeout=10
+            )
+            try:
+                connection.request(
+                    "POST",
+                    "/v1/query",
+                    body=json.dumps(
+                        {
+                            "query": "SELECT TOTAL FROM ALL",
+                            "client_id": f"raw{index}",
+                        }
+                    ),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                return response.status, response.headers.get("Retry-After")
+            finally:
+                connection.close()
+
+        with plane:
+            plane.start_background()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(one_raw_request, range(8)))
+        rejected = [h for status, h in results if status == 429]
+        assert rejected, "a 1-deep queue under 8 clients must shed"
+        for header in rejected:
+            assert header is not None
+            assert header.isdigit() and int(header) >= 1
+
 
 class TestDeadlineDegradation:
     def test_timeout_degrades_to_partial_outcome(self, small_runtime):
@@ -584,10 +757,16 @@ class TestFlowQLClientFacade:
             "SELECT TOTAL FROM ALL"
         ).scalar
 
-    def test_subscribe_is_reserved(self, small_runtime):
+    def test_subscribe_returns_live_handle(self, small_runtime):
         client = FlowQLClient(runtime=small_runtime)
-        with pytest.raises(NotImplementedError):
-            client.subscribe("SELECT TOTAL FROM ALL")
+        handle = client.subscribe("SUBSCRIBE SELECT TOTAL FROM ALL")
+        first = handle.latest()
+        assert first is not None and first.mode == "init"
+        assert first.result.scalar == small_runtime.query(
+            "SELECT TOTAL FROM ALL"
+        ).scalar
+        handle.cancel()
+        assert handle.poll() == []
 
     def test_now_is_an_in_process_knob(self):
         client = FlowQLClient(endpoint="http://127.0.0.1:1")
